@@ -1,0 +1,306 @@
+//! A dense fixed-universe bit set, the workhorse of the iterative bit-vector
+//! dataflow problems (liveness here; the `USED_C` consistency problem in the
+//! allocator crate).
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-size set of small integers backed by `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use lsra_analysis::BitSet;
+///
+/// let mut live = BitSet::new(128);
+/// live.insert(3);
+/// live.insert(90);
+/// assert!(live.contains(3));
+/// assert_eq!(live.iter().collect::<Vec<_>>(), vec![3, 90]);
+///
+/// let mut other = BitSet::new(128);
+/// other.insert(90);
+/// live.difference_with(&other);
+/// assert!(!live.contains(90));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// The universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let newly = *w & mask == 0;
+        *w |= mask;
+        newly
+    }
+
+    /// Removes `i`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *w & mask != 0;
+        *w &= !mask;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets every element of the universe.
+    pub fn fill(&mut self) {
+        self.words.fill(!0);
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * WORD_BITS - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self &= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self -= other`; returns true if `self` changed.
+    pub fn difference_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Computes `gen ∪ (other ∖ kill)` into `self` (the classic dataflow
+    /// transfer); returns true if `self` changed.
+    pub fn assign_transfer(&mut self, gen: &BitSet, other: &BitSet, kill: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for i in 0..self.words.len() {
+            let new = gen.words[i] | (other.words[i] & !kill.words[i]);
+            changed |= new != self.words[i];
+            self.words[i] = new;
+        }
+        changed
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word_idx: 0, word: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+/// Iterator over a [`BitSet`]'s elements.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    word: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.word = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert reports no change");
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(129));
+        assert!(!s.remove(129));
+        assert!(!s.contains(129));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a: BitSet = [1, 3, 5, 100].into_iter().collect();
+        let mut b = BitSet::new(a.universe());
+        b.insert(3);
+        b.insert(7);
+        assert!(a.union_with(&b));
+        assert!(a.contains(7));
+        assert!(!a.union_with(&b), "idempotent union reports no change");
+        assert!(a.difference_with(&b));
+        assert!(!a.contains(3) && !a.contains(7));
+        let c: BitSet = [1, 5].into_iter().collect();
+        let mut c2 = BitSet::new(a.universe());
+        for i in &c {
+            c2.insert(i);
+        }
+        a.intersect_with(&c2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn transfer_function() {
+        // out = gen ∪ (in ∖ kill)
+        let universe = 8;
+        let gen: BitSet = {
+            let mut s = BitSet::new(universe);
+            s.insert(0);
+            s
+        };
+        let kill: BitSet = {
+            let mut s = BitSet::new(universe);
+            s.insert(1);
+            s
+        };
+        let inp: BitSet = {
+            let mut s = BitSet::new(universe);
+            s.insert(1);
+            s.insert(2);
+            s
+        };
+        let mut out = BitSet::new(universe);
+        assert!(out.assign_transfer(&gen, &inp, &kill));
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(!out.assign_transfer(&gen, &inp, &kill), "fixed point");
+    }
+
+    #[test]
+    fn fill_respects_universe() {
+        let mut s = BitSet::new(70);
+        s.fill();
+        assert_eq!(s.count(), 70);
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s: BitSet = [64, 2, 63, 128].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 63, 64, 128]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(5));
+    }
+}

@@ -1,0 +1,125 @@
+//! CFG edge utilities: critical-edge splitting.
+//!
+//! The resolution phase of the binpacking allocator (§2.4) places fix-up
+//! code at the top of a block with a unique predecessor, at the bottom of a
+//! block with a unique successor, and otherwise *splits the critical edge*,
+//! "safely creating a location to place the resolution code".
+
+use lsra_ir::{BlockId, Function, Inst};
+
+/// Retargets every occurrence of `from` in `b`'s terminator to `to`.
+pub fn retarget(f: &mut Function, b: BlockId, from: BlockId, to: BlockId) {
+    let term = &mut f.block_mut(b).insts.last_mut().expect("block has terminator").inst;
+    match term {
+        Inst::Jump { target } if *target == from => *target = to,
+        Inst::Jump { .. } => {}
+        Inst::Branch { then_tgt, else_tgt, .. } => {
+            if *then_tgt == from {
+                *then_tgt = to;
+            }
+            if *else_tgt == from {
+                *else_tgt = to;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Splits the edge `pred -> succ` by inserting a fresh block containing only
+/// a jump to `succ`, and retargeting `pred`'s terminator. Returns the new
+/// block (appended at the end of the linear order).
+pub fn split_edge(f: &mut Function, pred: BlockId, succ: BlockId) -> BlockId {
+    let new = f.add_block();
+    f.block_mut(new).insts.push(Inst::Jump { target: succ }.into());
+    retarget(f, pred, succ, new);
+    new
+}
+
+/// True if `pred -> succ` is a critical edge (multi-successor predecessor
+/// into a multi-predecessor successor), given precomputed predecessor lists.
+pub fn is_critical(f: &Function, preds: &[Vec<BlockId>], pred: BlockId, succ: BlockId) -> bool {
+    f.succs(pred).len() > 1 && preds[succ.index()].len() > 1
+}
+
+/// Splits every critical edge in `f`; returns the number split.
+pub fn split_critical_edges(f: &mut Function) -> usize {
+    let preds = f.compute_preds();
+    let mut to_split = Vec::new();
+    for b in f.block_ids() {
+        for s in f.succs(b) {
+            if is_critical(f, &preds, b, s) {
+                to_split.push((b, s));
+            }
+        }
+    }
+    let n = to_split.len();
+    for (p, s) in to_split {
+        split_edge(f, p, s);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_ir::{Cond, FunctionBuilder, MachineSpec};
+
+    /// b0 branches to b1/b2; b1 jumps to b2 — so b0->b2 is critical.
+    fn with_critical_edge() -> Function {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "ce", &[]);
+        let t = b.int_temp("t");
+        b.movi(t, 1);
+        let b1 = b.block();
+        let b2 = b.block();
+        b.branch(Cond::Ne, t, b1, b2);
+        b.switch_to(b1);
+        b.jump(b2);
+        b.switch_to(b2);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn detects_and_splits_critical_edge() {
+        let mut f = with_critical_edge();
+        let preds = f.compute_preds();
+        assert!(is_critical(&f, &preds, BlockId(0), BlockId(2)));
+        assert!(!is_critical(&f, &preds, BlockId(0), BlockId(1)));
+        let n = split_critical_edges(&mut f);
+        assert_eq!(n, 1);
+        assert!(f.validate().is_ok());
+        // b0 no longer targets b2 directly.
+        assert!(!f.succs(BlockId(0)).contains(&BlockId(2)));
+        let preds = f.compute_preds();
+        for b in f.block_ids() {
+            for s in f.succs(b) {
+                assert!(!is_critical(&f, &preds, b, s), "no critical edges remain");
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_cfg_semantics() {
+        let mut f = with_critical_edge();
+        let new = split_edge(&mut f, BlockId(0), BlockId(2));
+        assert_eq!(f.succs(new), vec![BlockId(2)]);
+        assert!(f.succs(BlockId(0)).contains(&new));
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn branch_with_both_targets_equal_retargets_both() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "bb", &[]);
+        let t = b.int_temp("t");
+        b.movi(t, 0);
+        let b1 = b.block();
+        b.branch(Cond::Ne, t, b1, b1);
+        b.switch_to(b1);
+        b.ret(None);
+        let mut f = b.finish();
+        let new = split_edge(&mut f, BlockId(0), b1);
+        assert_eq!(f.succs(BlockId(0)), vec![new]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Block orderings: reverse postorder, used by the iterative dataflow
+//! solvers and the dominator computation.
+
+use lsra_ir::{BlockId, Function};
+
+/// Depth-first preorder/postorder information over a function's CFG.
+#[derive(Clone, Debug)]
+pub struct Order {
+    /// Blocks in reverse postorder (entry first).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`, or `usize::MAX` if unreachable.
+    pub rpo_pos: Vec<usize>,
+}
+
+impl Order {
+    /// Computes a reverse postorder from the entry block.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        // Iterative DFS with an explicit stack of (block, next-succ-index).
+        let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+        let entry = f.entry();
+        state[entry.index()] = 1;
+        stack.push((entry, f.succs(entry), 0));
+        while let Some((b, succs, i)) = stack.last_mut() {
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    let ss = f.succs(s);
+                    stack.push((s, ss, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(*b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        Order { rpo: post, rpo_pos }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_ir::{Cond, FunctionBuilder, MachineSpec};
+
+    fn diamond() -> Function {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "d", &[]);
+        let t = b.int_temp("t");
+        b.movi(t, 1);
+        let l = b.block();
+        let r = b.block();
+        let j = b.block();
+        b.branch(Cond::Ne, t, l, r);
+        b.switch_to(l);
+        b.jump(j);
+        b.switch_to(r);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_ends_at_exit() {
+        let f = diamond();
+        let o = Order::compute(&f);
+        assert_eq!(o.rpo.len(), 4);
+        assert_eq!(o.rpo[0], f.entry());
+        assert_eq!(*o.rpo.last().unwrap(), BlockId(3));
+        for b in f.block_ids() {
+            assert!(o.is_reachable(b));
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "u", &[]);
+        b.ret(None);
+        let dead = b.block();
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let o = Order::compute(&f);
+        assert!(o.is_reachable(BlockId(0)));
+        assert!(!o.is_reachable(dead));
+        assert_eq!(o.rpo.len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! The post-allocation peephole pass.
+//!
+//! Both allocator configurations in the paper are "followed by a peephole
+//! optimization pass that removes moves" (§3). After allocation, a
+//! coalesced move has identical physical source and destination; this pass
+//! deletes such moves.
+
+use lsra_ir::{Function, Inst};
+
+/// Removes `mov rX, rX` identity moves; returns the number removed.
+pub fn remove_identity_moves(f: &mut Function) -> usize {
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let block = f.block_mut(b);
+        let before = block.insts.len();
+        block.insts.retain(|ins| match ins.inst {
+            Inst::Mov { dst, src } => dst != src,
+            _ => true,
+        });
+        removed += before - block.insts.len();
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_ir::{FunctionBuilder, MachineSpec, PhysReg, Reg};
+
+    #[test]
+    fn removes_only_identity_moves() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "pm", &[]);
+        let r1: Reg = PhysReg::int(1).into();
+        let r2: Reg = PhysReg::int(2).into();
+        b.mov(r1, r1); // identity
+        b.mov(r2, r1); // real move
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(remove_identity_moves(&mut f), 1);
+        assert_eq!(f.count_insts(|i| i.is_move()), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates the paper's **Table 3**: allocation time on modules with
+//! small, large, and very large average register-candidate counts, showing
+//! coloring's superlinear slowdown as interference graphs grow.
+//!
+//! The three module generators mirror the paper's rows:
+//!
+//! | paper module | avg candidates | avg interference edges |
+//! |--------------|---------------:|-----------------------:|
+//! | cvrin.c      |            245 |                  1,061 |
+//! | twldrv.f     |          6,218 |                 51,796 |
+//! | fpppp.f      |          6,697 |                116,926 |
+//!
+//! ```sh
+//! cargo bench -p lsra-bench --bench alloc_time
+//! ```
+
+use lsra_bench::time_allocation;
+use lsra_core::BinpackAllocator;
+use lsra_coloring::ColoringAllocator;
+use lsra_ir::MachineSpec;
+use lsra_workloads::scaling;
+
+fn main() {
+    let spec = MachineSpec::alpha_like();
+    let runs = 5; // best of five, as in the paper
+
+    let modules = [
+        ("cvrin-like", scaling::cvrin_like()),
+        ("twldrv-like", scaling::twldrv_like()),
+        ("fpppp-like", scaling::fpppp_like()),
+    ];
+
+    println!("Table 3: allocation times (best of {runs})");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14} {:>14} {:>8}",
+        "module", "candidates", "graph edges", "coloring (ms)", "binpack (ms)", "gc/bp"
+    );
+    println!("{}", "-".repeat(80));
+    for (name, module) in &modules {
+        // Average candidates over the "procedure" functions (main excluded,
+        // mirroring the paper's per-procedure averages).
+        let procs: Vec<_> =
+            module.funcs.iter().filter(|f| f.name.starts_with("proc")).collect();
+        let avg_candidates =
+            procs.iter().map(|f| f.num_temps()).sum::<usize>() / procs.len().max(1);
+
+        let (gc_time, gc_stats) = time_allocation(module, &ColoringAllocator, &spec, runs);
+        let (bp_time, _) = time_allocation(module, &BinpackAllocator::default(), &spec, runs);
+        println!(
+            "{:<12} {:>12} {:>14} {:>14.2} {:>14.2} {:>8.2}",
+            name,
+            avg_candidates,
+            gc_stats.interference_edges / procs.len().max(1) as u64,
+            gc_time * 1e3,
+            bp_time * 1e3,
+            gc_time / bp_time,
+        );
+    }
+    println!();
+    println!(
+        "The paper reports 0.4s vs 1.5s (coloring faster) at 245 candidates and \
+         15.8s vs 4.5s (coloring 3.5x slower) at 6,697; the crossover and the \
+         superlinear growth are the claims under test."
+    );
+}

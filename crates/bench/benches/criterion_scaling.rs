@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of allocation time as a function of the
+//! register-candidate count — the continuous version of the paper's
+//! Table 3 (and the "linear scan is linear, coloring is not" claim of
+//! §2.6/§3.2).
+//!
+//! ```sh
+//! cargo bench -p lsra-bench --bench criterion_scaling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsra_core::{BinpackAllocator, RegisterAllocator};
+use lsra_coloring::ColoringAllocator;
+use lsra_ir::MachineSpec;
+use lsra_poletto::PolettoAllocator;
+use lsra_workloads::scaling;
+
+fn scaling_benches(c: &mut Criterion) {
+    let spec = MachineSpec::alpha_like();
+    let mut group = c.benchmark_group("allocation_time_vs_candidates");
+    group.sample_size(10);
+    for &candidates in &[100, 300, 1000, 3000] {
+        let overlap = (candidates / 12).clamp(16, 56);
+        let module = scaling::module_with_candidates("scal", candidates, overlap, 1);
+        group.bench_with_input(
+            BenchmarkId::new("binpack", candidates),
+            &module,
+            |b, module| {
+                b.iter(|| {
+                    let mut m = module.clone();
+                    BinpackAllocator::default().allocate_module(&mut m, &spec)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coloring", candidates),
+            &module,
+            |b, module| {
+                b.iter(|| {
+                    let mut m = module.clone();
+                    ColoringAllocator.allocate_module(&mut m, &spec)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("poletto", candidates),
+            &module,
+            |b, module| {
+                b.iter(|| {
+                    let mut m = module.clone();
+                    PolettoAllocator.allocate_module(&mut m, &spec)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_benches);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Regenerates the paper's **Table 1** (dynamic instruction counts and run
+//! times, second-chance binpacking vs. graph coloring, with ratios),
+//! **Table 2** (percentage of dynamic instructions due to spill code), and
+//! **Figure 3** (spill-code composition normalized to binpacking's total).
+//!
+//! ```sh
+//! cargo bench -p lsra-bench --bench paper_tables
+//! ```
+
+use lsra_bench::{measure, ratio, spill_percent, Measurement};
+use lsra_core::BinpackAllocator;
+use lsra_coloring::ColoringAllocator;
+use lsra_ir::MachineSpec;
+
+fn main() {
+    let spec = MachineSpec::alpha_like();
+    let runs = 5; // the paper: "best of five consecutive runs"
+    let workloads = lsra_workloads::all();
+
+    let mut rows: Vec<(Measurement, Measurement)> = Vec::new();
+    for w in &workloads {
+        let bp = measure(w, &BinpackAllocator::default(), &spec, runs);
+        let gc = measure(w, &ColoringAllocator, &spec, runs);
+        rows.push((bp, gc));
+    }
+
+    println!("Table 1: dynamic instruction counts and run times");
+    println!(
+        "{:<10} {:>14} {:>14} {:>7} | {:>10} {:>10} {:>7}",
+        "benchmark", "binpack", "coloring", "ratio", "bp (ms)", "gc (ms)", "ratio"
+    );
+    println!("{}", "-".repeat(82));
+    for (bp, gc) in &rows {
+        println!(
+            "{:<10} {:>14} {:>14} {:>7} | {:>10.2} {:>10.2} {:>7}",
+            bp.workload,
+            bp.counts.total,
+            gc.counts.total,
+            ratio(bp.counts.total as f64, gc.counts.total as f64),
+            bp.run_seconds * 1e3,
+            gc.run_seconds * 1e3,
+            ratio(bp.run_seconds, gc.run_seconds),
+        );
+    }
+
+    println!();
+    println!("Table 2: percentage of dynamic instructions due to spill code");
+    println!("{:<10} {:>16} {:>16}", "benchmark", "binpacking", "coloring");
+    println!("{}", "-".repeat(44));
+    for (bp, gc) in &rows {
+        println!(
+            "{:<10} {:>16} {:>16}",
+            bp.workload,
+            spill_percent(&bp.counts),
+            spill_percent(&gc.counts)
+        );
+    }
+
+    println!();
+    println!("Figure 3: spill-code composition, normalized to binpacking's total");
+    println!("(benchmarks with spill code under either allocator)");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "bench-alloc", "ev.load", "ev.store", "ev.move", "rs.load", "rs.store", "rs.move", "total"
+    );
+    println!("{}", "-".repeat(84));
+    for (bp, gc) in &rows {
+        let base = bp.counts.spill_total();
+        if base == 0 && gc.counts.spill_total() == 0 {
+            continue;
+        }
+        let denom = if base == 0 { 1 } else { base } as f64;
+        for m in [bp, gc] {
+            let tag = if m.allocator.contains("binpack") { "b" } else { "c" };
+            let (el, es, em) = m.counts.evict();
+            let (rl, rs, rm) = m.counts.resolve();
+            println!(
+                "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                format!("{}-{}", m.workload, tag),
+                el as f64 / denom,
+                es as f64 / denom,
+                em as f64 / denom,
+                rl as f64 / denom,
+                rs as f64 / denom,
+                rm as f64 / denom,
+                m.counts.spill_total() as f64 / denom,
+            );
+        }
+    }
+}

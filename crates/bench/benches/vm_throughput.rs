@@ -1,0 +1,47 @@
+//! Interpreter throughput: how many dynamic instructions per second the
+//! execution substrate delivers, per workload. Not a paper table — this
+//! calibrates the harness itself (the paper's equivalent was "a lightly
+//! loaded Alpha").
+//!
+//! ```sh
+//! cargo bench -p lsra-bench --bench vm_throughput
+//! ```
+
+use std::time::Instant;
+
+use lsra_ir::MachineSpec;
+
+fn main() {
+    let spec = MachineSpec::alpha_like();
+    println!("{:<10} {:>12} {:>10} {:>12}", "workload", "dyn insts", "ms", "Minst/s");
+    let mut total_insts = 0u64;
+    let mut total_secs = 0f64;
+    for w in lsra_workloads::all() {
+        let module = (w.build)();
+        let input = (w.input)();
+        let mut best = f64::INFINITY;
+        let mut insts = 0;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let r = lsra_vm::run_module(&module, &spec, &input).expect("reference run");
+            best = best.min(t.elapsed().as_secs_f64());
+            insts = r.counts.total;
+        }
+        total_insts += insts;
+        total_secs += best;
+        println!(
+            "{:<10} {:>12} {:>10.2} {:>12.1}",
+            w.name,
+            insts,
+            best * 1e3,
+            insts as f64 / best / 1e6
+        );
+    }
+    println!(
+        "{:<10} {:>12} {:>10.2} {:>12.1}",
+        "total",
+        total_insts,
+        total_secs * 1e3,
+        total_insts as f64 / total_secs / 1e6
+    );
+}

@@ -1,0 +1,159 @@
+//! Shared harness utilities for the benchmark targets that regenerate the
+//! paper's tables and figures.
+//!
+//! Each `benches/*.rs` target prints one table/figure; see `DESIGN.md` for
+//! the experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use lsra_core::{AllocStats, RegisterAllocator};
+use lsra_ir::{MachineSpec, Module};
+use lsra_vm::{verify_allocation, DynCounts, VmOptions};
+use lsra_workloads::Workload;
+
+/// One benchmark × allocator measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Allocator name.
+    pub allocator: String,
+    /// Dynamic counters from the verified run.
+    pub counts: DynCounts,
+    /// Static allocation statistics.
+    pub stats: AllocStats,
+    /// Wall-clock of the verified VM run, best of `runs` (the paper's
+    /// "best of five consecutive runs").
+    pub run_seconds: f64,
+}
+
+/// Allocates `workload` with `alloc` (including the post-allocation
+/// peephole pass), verifies the result by differential execution, and
+/// times the allocated program's interpretation (best of `runs`).
+///
+/// # Panics
+///
+/// Panics if the allocation changes program behaviour — a harness this
+/// paper-faithful refuses to time broken code.
+pub fn measure(
+    workload: &Workload,
+    alloc: &dyn RegisterAllocator,
+    spec: &MachineSpec,
+    runs: usize,
+) -> Measurement {
+    let original = (workload.build)();
+    let input = (workload.input)();
+    let mut allocated = original.clone();
+    let stats = alloc.allocate_module(&mut allocated, spec);
+    for id in allocated.func_ids().collect::<Vec<_>>() {
+        lsra_analysis::remove_identity_moves(allocated.func_mut(id));
+    }
+    let counts = verify_allocation(&original, &allocated, spec, &input, VmOptions::default())
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", workload.name, alloc.name()))
+        .counts;
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let r = lsra_vm::run_module(&allocated, spec, &input).expect("timed run");
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(r);
+    }
+    Measurement {
+        workload: workload.name,
+        allocator: alloc.name().to_string(),
+        counts,
+        stats,
+        run_seconds: best,
+    }
+}
+
+/// Re-runs only the allocation core on a module (best of `runs`), the
+/// quantity Table 3 reports. The module is cloned per run so each timing
+/// starts from unallocated code.
+pub fn time_allocation(
+    module: &Module,
+    alloc: &dyn RegisterAllocator,
+    spec: &MachineSpec,
+    runs: usize,
+) -> (f64, AllocStats) {
+    let mut best = f64::INFINITY;
+    let mut stats = AllocStats::default();
+    for _ in 0..runs.max(1) {
+        let mut m = module.clone();
+        let t = Instant::now();
+        stats = alloc.allocate_module(&mut m, spec);
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&m);
+    }
+    (best, stats)
+}
+
+/// Second-chance binpacking followed by the §2.4 "future work" cleanup
+/// pass (spill load forwarding + dead spill-store elimination).
+#[derive(Clone, Debug, Default)]
+pub struct BinpackWithCleanup(pub lsra_core::BinpackConfig);
+
+impl RegisterAllocator for BinpackWithCleanup {
+    fn name(&self) -> &str {
+        "binpack + cleanup"
+    }
+
+    fn allocate_function(
+        &self,
+        f: &mut lsra_ir::Function,
+        spec: &MachineSpec,
+    ) -> AllocStats {
+        let stats = lsra_core::BinpackAllocator::new(self.0).allocate_function(f, spec);
+        lsra_core::optimize_spill_code(f, spec);
+        stats
+    }
+}
+
+/// Formats a ratio column the way the paper does (three decimals).
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.3}", a / b)
+    }
+}
+
+/// Formats a spill percentage the way the paper's Table 2 does: tiny
+/// percentages keep three decimals, exact zero prints "0%".
+pub fn spill_percent(counts: &DynCounts) -> String {
+    if counts.spill_total() == 0 {
+        "0%".to_string()
+    } else {
+        format!("{:.3}%", 100.0 * counts.spill_fraction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_core::BinpackAllocator;
+
+    #[test]
+    fn measure_runs_and_verifies() {
+        let spec = MachineSpec::alpha_like();
+        let w = lsra_workloads::by_name("eqntott").unwrap();
+        let m = measure(&w, &BinpackAllocator::default(), &spec, 1);
+        assert!(m.counts.total > 0);
+        assert!(m.run_seconds > 0.0);
+        assert_eq!(m.workload, "eqntott");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(2.0, 1.0), "2.000");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        let mut c = DynCounts::default();
+        c.record(lsra_ir::SpillTag::None);
+        assert_eq!(spill_percent(&c), "0%");
+        c.record(lsra_ir::SpillTag::EvictLoad);
+        assert_eq!(spill_percent(&c), "50.000%");
+    }
+}

@@ -1,0 +1,89 @@
+//! The second-chance binpacking allocator: pipeline driver.
+
+use std::time::Instant;
+
+use lsra_analysis::{Lifetimes, Liveness, LoopInfo};
+use lsra_ir::{Function, MachineSpec};
+
+use crate::config::BinpackConfig;
+use crate::scan::Scanner;
+use crate::stats::{AllocStats, RegisterAllocator};
+use crate::{resolve, two_pass};
+
+/// The linear-scan register allocator of Traub, Holloway & Smith (PLDI
+/// 1998): second-chance binpacking.
+///
+/// The default configuration runs the full algorithm — single-pass
+/// allocate/rewrite with lifetime holes, second chances, store suppression,
+/// early second chance, move coalescing, and the iterative consistency
+/// dataflow. See [`BinpackConfig`] for the ablation switches, including the
+/// traditional two-pass mode.
+///
+/// # Examples
+///
+/// ```
+/// use lsra_core::{BinpackAllocator, RegisterAllocator};
+/// use lsra_ir::{FunctionBuilder, MachineSpec, RegClass};
+///
+/// let spec = MachineSpec::alpha_like();
+/// let mut b = FunctionBuilder::new(&spec, "f", &[RegClass::Int]);
+/// let x = b.param(0);
+/// let y = b.int_temp("y");
+/// b.add(y, x, x);
+/// b.ret(Some(y.into()));
+/// let mut f = b.finish();
+///
+/// let stats = BinpackAllocator::default().allocate_function(&mut f, &spec);
+/// assert!(f.allocated);
+/// assert!(!f.has_virtual_operands());
+/// assert_eq!(stats.candidates, 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BinpackAllocator {
+    /// Algorithm switches.
+    pub config: BinpackConfig,
+}
+
+impl BinpackAllocator {
+    /// An allocator with a specific configuration.
+    pub fn new(config: BinpackConfig) -> Self {
+        BinpackAllocator { config }
+    }
+
+    /// The traditional two-pass binpacking comparator (§3.1).
+    pub fn two_pass() -> Self {
+        BinpackAllocator { config: BinpackConfig::two_pass() }
+    }
+}
+
+impl RegisterAllocator for BinpackAllocator {
+    fn name(&self) -> &str {
+        if self.config.second_chance {
+            "second-chance binpacking"
+        } else {
+            "two-pass binpacking"
+        }
+    }
+
+    fn allocate_function(&self, f: &mut Function, spec: &MachineSpec) -> AllocStats {
+        let start = Instant::now();
+        let mut stats = AllocStats::default();
+        if self.config.second_chance {
+            // Shared setup (the paper excludes this from allocation
+            // timing; we include only the lifetime computation, which is
+            // the allocator's own first phase).
+            let live = Liveness::compute(f);
+            let loops = LoopInfo::of(f);
+            let lt = Lifetimes::compute(f, &live, &loops, spec);
+            let out =
+                Scanner::new(f, spec, &live, &lt, self.config, &mut stats).run();
+            resolve::resolve(f, &live, &out, self.config, &mut stats);
+        } else {
+            two_pass::allocate(f, spec, &mut stats);
+        }
+        f.allocated = true;
+        debug_assert!(!f.has_virtual_operands(), "allocation left virtual operands");
+        stats.alloc_seconds = start.elapsed().as_secs_f64();
+        stats
+    }
+}

@@ -1,0 +1,106 @@
+//! Configuration switches for the binpacking allocator.
+//!
+//! Every design decision the paper discusses is a switch here, so the
+//! evaluation harness can ablate them (and so the "traditional two-pass
+//! binpacking" comparator of §3.1 is one configuration away).
+
+/// How the resolution phase establishes cross-block soundness for the
+/// store-suppression optimization (§2.4, §2.6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ConsistencyMode {
+    /// The paper's default: solve the `USED_C` iterative bit-vector dataflow
+    /// problem and insert consistency stores on offending edges. Worst-case
+    /// quadratic, "two or three iterations at most" in practice.
+    #[default]
+    Iterative,
+    /// The strictly linear alternative of §2.6: initialise the working
+    /// `ARE_CONSISTENT` vector at each block top with the intersection of
+    /// the saved vectors of all *already scanned* predecessors (an
+    /// unscanned predecessor clears every bit), so suppression never relies
+    /// on unproven cross-block consistency.
+    Conservative,
+}
+
+/// Configuration of the second-chance binpacking allocator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BinpackConfig {
+    /// Give spilled temporaries second (third, ...) chances at registers:
+    /// lifetime splitting with optimistic reloads and postponed stores
+    /// (§2.3). Turning this off selects the traditional two-pass binpacking
+    /// of §3.1: every temporary lives in a register or in memory for its
+    /// whole lifetime.
+    pub second_chance: bool,
+    /// Allow allocating a temporary into a register hole too small for its
+    /// remaining lifetime, evicting when the hole expires (§2.5). This is
+    /// what lets temporaries that live across calls still use caller-saved
+    /// registers between calls.
+    pub allow_insufficient_holes: bool,
+    /// On a convention-forced eviction that would require a store, move the
+    /// value to a free register instead when one can hold the remaining
+    /// lifetime ("early second chance", §2.5).
+    pub early_second_chance: bool,
+    /// Try to assign a move's destination to the move's source register
+    /// when the source dies at the move and the register's hole covers the
+    /// destination's lifetime (§2.5); the peephole pass then deletes the
+    /// move.
+    pub move_coalescing: bool,
+    /// Suppress spill stores when the register and the memory home are
+    /// known consistent (`ARE_CONSISTENT`, §2.3), or when the temporary is
+    /// evicted during a lifetime hole.
+    pub store_suppression: bool,
+    /// How cross-block consistency is guaranteed.
+    pub consistency: ConsistencyMode,
+}
+
+impl Default for BinpackConfig {
+    /// The paper's full algorithm.
+    fn default() -> Self {
+        BinpackConfig {
+            second_chance: true,
+            allow_insufficient_holes: true,
+            early_second_chance: true,
+            move_coalescing: true,
+            store_suppression: true,
+            consistency: ConsistencyMode::Iterative,
+        }
+    }
+}
+
+impl BinpackConfig {
+    /// The traditional two-pass binpacking comparator of §3.1: whole
+    /// lifetimes to register or memory, no lifetime splitting, no store
+    /// avoidance.
+    pub fn two_pass() -> Self {
+        BinpackConfig {
+            second_chance: false,
+            allow_insufficient_holes: false,
+            early_second_chance: false,
+            move_coalescing: false,
+            store_suppression: false,
+            consistency: ConsistencyMode::Iterative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_algorithm() {
+        let c = BinpackConfig::default();
+        assert!(c.second_chance);
+        assert!(c.allow_insufficient_holes);
+        assert!(c.early_second_chance);
+        assert!(c.move_coalescing);
+        assert!(c.store_suppression);
+        assert_eq!(c.consistency, ConsistencyMode::Iterative);
+    }
+
+    #[test]
+    fn two_pass_disables_splitting() {
+        let c = BinpackConfig::two_pass();
+        assert!(!c.second_chance);
+        assert!(!c.store_suppression);
+    }
+}

@@ -1,0 +1,174 @@
+//! The resolution phase (§2.4).
+//!
+//! The linear scan models control flow as a straight line, so the location
+//! of a temporary assumed at the top of a block can disagree with its actual
+//! location at the bottom of a CFG predecessor. This pass traverses every
+//! CFG edge and repairs each mismatch with loads, stores, and moves —
+//! sequencing the moves as a parallel copy (register swaps included) and
+//! placing the repair code at the top of a single-predecessor head, the
+//! bottom of a single-successor tail, or on a freshly split critical edge.
+//!
+//! It also runs the paper's `USED_C` iterative bit-vector dataflow to insert
+//! the spill stores that make the store-suppression optimization (§2.3)
+//! sound across all paths. Two kinds of suppression rely on consistency
+//! facts that may have been inherited along the *linear* order rather than a
+//! CFG path: eviction-store suppression during the scan (the paper's `Ut`)
+//! and edge-store omission during resolution itself; both contribute GEN
+//! bits here.
+
+use lsra_analysis::{BitSet, Liveness};
+use lsra_ir::{BlockId, Function, PhysReg, Temp};
+
+use crate::config::{BinpackConfig, ConsistencyMode};
+use crate::parallel_move::{sequentialize, EdgeOp};
+use crate::scan::ScanOutput;
+use crate::stats::AllocStats;
+
+fn reg_of(map: &[(Temp, PhysReg)], t: Temp) -> Option<PhysReg> {
+    map.binary_search_by_key(&t, |&(x, _)| x).ok().map(|i| map[i].1)
+}
+
+/// True if the block's terminator reads no register, so code may be placed
+/// immediately before it.
+fn terminator_is_placement_safe(f: &Function, b: BlockId) -> bool {
+    let mut uses = 0;
+    f.block(b).terminator().for_each_use(|_| uses += 1);
+    uses == 0
+}
+
+pub(crate) fn resolve(
+    f: &mut Function,
+    live: &Liveness,
+    scan: &ScanOutput,
+    cfg: BinpackConfig,
+    stats: &mut AllocStats,
+) {
+    let nb = scan.top_map.len();
+    let ng = live.num_globals();
+
+    // Snapshot the original edges; splitting will append blocks.
+    let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+    for b in 0..nb {
+        for s in f.succs(BlockId(b as u32)) {
+            edges.push((BlockId(b as u32), s));
+        }
+    }
+    let preds = f.compute_preds();
+
+    // GEN sets: the scan's eviction-suppression reliances, plus the
+    // resolution edge-store omissions computed below (a temporary kept
+    // consistent-in-register at a predecessor bottom while the successor
+    // top expects it in memory relies on that consistency).
+    let mut used_c_in: Vec<BitSet> = scan.used_consistency.clone();
+    if cfg.consistency == ConsistencyMode::Iterative {
+        for &(p, s) in &edges {
+            for g in live.live_in(s).iter() {
+                let t = live.temp_of(g);
+                let loc_p = reg_of(&scan.bottom_map[p.index()], t);
+                let loc_s = reg_of(&scan.top_map[s.index()], t);
+                if loc_p.is_some()
+                    && loc_s.is_none()
+                    && scan.consistent_bottom[p.index()].contains(g)
+                    && !scan.wrote_tr[p.index()].contains(g)
+                {
+                    used_c_in[p.index()].insert(g);
+                }
+            }
+        }
+        // Solve USED_C_in(b) = GEN(b) ∪ (∪_s USED_C_in(s) ∖ WROTE_TR(b))
+        // to a fixed point (backward problem).
+        let gen = used_c_in.clone();
+        let order: Vec<BlockId> = (0..nb as u32).rev().map(BlockId).collect();
+        let sol = lsra_analysis::solve_backward(f, ng, &gen, &scan.wrote_tr, &order);
+        used_c_in = sol.live_in;
+        stats.iterations = sol.iterations;
+    }
+
+    // Process each edge.
+    for (p, s) in edges {
+        let mut ops: Vec<EdgeOp> = Vec::new();
+        for g in live.live_in(s).iter() {
+            let t = live.temp_of(g);
+            let loc_p = reg_of(&scan.bottom_map[p.index()], t);
+            let loc_s = reg_of(&scan.top_map[s.index()], t);
+            let consistent_p = scan.consistent_bottom[p.index()].contains(g);
+            let mut store = false;
+            match (loc_p, loc_s) {
+                (Some(r1), Some(r2)) => {
+                    if r1 != r2 {
+                        ops.push(EdgeOp::Move { temp: t, src: r1, dst: r2 });
+                    }
+                    // Consistency patch (§2.4): a path beginning here
+                    // reaches a point that exploited register/memory
+                    // consistency, but they are not consistent at p.
+                    if cfg.consistency == ConsistencyMode::Iterative
+                        && used_c_in[s.index()].contains(g)
+                        && !consistent_p
+                    {
+                        store = true;
+                    }
+                }
+                (Some(_), None) => {
+                    // Register at p, memory at s: store unless already
+                    // consistent (if consistent, the omission's GEN bit was
+                    // recorded above).
+                    if !consistent_p {
+                        store = true;
+                    }
+                }
+                (None, Some(r2)) => {
+                    ops.push(EdgeOp::Load { temp: t, dst: r2 });
+                }
+                (None, None) => {}
+            }
+            if store {
+                let r1 = loc_p.expect("store source must be a register");
+                ops.push(EdgeOp::Store { temp: t, src: r1 });
+            }
+            if std::env::var_os("LSRA_DEBUG").is_some() && (loc_p.is_some() || loc_s.is_some()) {
+                eprintln!(
+                    "EDGE {p}->{s} {t}: p={loc_p:?} s={loc_s:?} consistent_p={consistent_p} store={store}"
+                );
+            }
+        }
+        if ops.is_empty() {
+            continue;
+        }
+        let mut spilled = Vec::new();
+        let seq = sequentialize(&ops, |t| spilled.push(t));
+        for t in ops.iter().filter_map(|o| match o {
+            EdgeOp::Store { temp, .. } | EdgeOp::Load { temp, .. } => Some(*temp),
+            EdgeOp::Move { .. } => None,
+        }) {
+            if f.spill_slots[t.index()].is_none() {
+                stats.spilled_temps += 1;
+            }
+            f.slot_for(t);
+        }
+        for t in spilled {
+            if f.spill_slots[t.index()].is_none() {
+                stats.spilled_temps += 1;
+            }
+            f.slot_for(t);
+        }
+        for (_, tag) in &seq {
+            stats.record_insert(*tag);
+        }
+        let insns: Vec<lsra_ir::Ins> =
+            seq.into_iter().map(|(inst, tag)| lsra_ir::Ins::tagged(inst, tag)).collect();
+
+        // Placement (§2.4, footnote 1).
+        if preds[s.index()].len() == 1 {
+            let blk = f.block_mut(s);
+            blk.insts.splice(0..0, insns);
+        } else if f.succs(p).len() == 1 && terminator_is_placement_safe(f, p) {
+            let blk = f.block_mut(p);
+            let at = blk.insts.len() - 1;
+            blk.insts.splice(at..at, insns);
+        } else {
+            let nb2 = lsra_analysis::split_edge(f, p, s);
+            let blk = f.block_mut(nb2);
+            blk.insts.splice(0..0, insns);
+        }
+    }
+}

@@ -1,0 +1,915 @@
+//! The single-pass allocate-and-rewrite linear scan (§2.2, §2.3, §2.5).
+//!
+//! Unlike earlier linear-scan allocators, which decide allocations in one
+//! pass over sorted lifetimes and rewrite operands in a second, this scan
+//! interleaves the two: each instruction's operands are allocated (evicting
+//! or reloading as needed) and immediately rewritten to physical registers.
+//! A spill therefore *splits* the victim's lifetime — earlier references
+//! keep their register; only future references are affected — and a spilled
+//! temporary gets a *second chance* at a register at its next reference.
+//!
+//! The scan also records, per basic block, the location maps and consistency
+//! bit vectors that the resolution phase (§2.4) consumes.
+
+use lsra_analysis::{BitSet, Lifetimes, Liveness, Point};
+use lsra_ir::{
+    Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp,
+};
+
+use crate::config::{BinpackConfig, ConsistencyMode};
+use crate::stats::AllocStats;
+
+/// Where a temporary's current value lives during the scan.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Loc {
+    /// Not yet materialised anywhere (before its first reference, or while
+    /// holding no value inside a lifetime hole after losing its register).
+    None,
+    /// In a physical register.
+    Reg(PhysReg),
+    /// In its memory home (spill slot).
+    Mem,
+}
+
+/// Per-block facts handed from the scan to the resolution phase.
+#[derive(Debug)]
+pub(crate) struct ScanOutput {
+    /// Register-resident live-in temporaries at the top of each block;
+    /// live-in temporaries absent from the list are in memory.
+    pub top_map: Vec<Vec<(Temp, PhysReg)>>,
+    /// Same at the bottom of each block (live-out temporaries).
+    pub bottom_map: Vec<Vec<(Temp, PhysReg)>>,
+    /// Saved `ARE_CONSISTENT` at the bottom of each block (over the
+    /// liveness global-temp universe; a set bit means the temporary is in a
+    /// register whose contents match its memory home).
+    pub consistent_bottom: Vec<BitSet>,
+    /// `USED_CONSISTENCY(b)` — the GEN set of the `USED_C` dataflow.
+    pub used_consistency: Vec<BitSet>,
+    /// `WROTE_TR(b)` — the KILL set.
+    pub wrote_tr: Vec<BitSet>,
+}
+
+pub(crate) struct Scanner<'a> {
+    f: &'a mut Function,
+    live: &'a Liveness,
+    lt: &'a Lifetimes,
+    cfg: BinpackConfig,
+    stats: &'a mut AllocStats,
+    ni: usize,
+    occupant: Vec<Option<Temp>>,
+    loc: Vec<Loc>,
+    consistent: Vec<bool>,
+    wrote_local: Vec<bool>,
+    used_local: Vec<bool>,
+    seg_cur: Vec<usize>,
+    ref_cur: Vec<usize>,
+    blk_cur: Vec<usize>,
+    preds: Vec<Vec<lsra_ir::BlockId>>,
+    /// The register a temporary last occupied before being displaced while
+    /// inside one of its lifetime holes (the binpacking model's "another
+    /// temporary fits inside the hole", §2.1-§2.2). Used to restore the
+    /// original occupant when the hole ends at a block boundary.
+    last_reg: Vec<Option<usize>>,
+    /// Top boundary point of the block currently being scanned.
+    cur_top: Point,
+    /// Per register: the displaced hole owner expected to reclaim it when
+    /// its hole ends. Successive fillers must fit before the owner's
+    /// return, even after earlier fillers die (the container keeps its
+    /// register around every filler, §2.1).
+    pending_owner: Vec<Option<Temp>>,
+    out: ScanOutput,
+}
+
+const INF: Point = Point(u32::MAX);
+
+impl<'a> Scanner<'a> {
+    pub(crate) fn new(
+        f: &'a mut Function,
+        spec: &'a MachineSpec,
+        live: &'a Liveness,
+        lt: &'a Lifetimes,
+        cfg: BinpackConfig,
+        stats: &'a mut AllocStats,
+    ) -> Self {
+        let ni = spec.num_regs(RegClass::Int) as usize;
+        let nregs = spec.total_regs();
+        let nt = f.num_temps();
+        let nb = f.num_blocks();
+        let ng = live.num_globals();
+        let preds = f.compute_preds();
+        Scanner {
+            f,
+            live,
+            lt,
+            cfg,
+            stats,
+            ni,
+            occupant: vec![None; nregs],
+            loc: vec![Loc::None; nt],
+            consistent: vec![false; nt],
+            wrote_local: vec![false; nt],
+            used_local: vec![false; nt],
+            seg_cur: vec![0; nt],
+            ref_cur: vec![0; nt],
+            blk_cur: vec![0; nregs],
+            preds,
+            last_reg: vec![None; nt],
+            cur_top: Point(0),
+            pending_owner: vec![None; nregs],
+            out: ScanOutput {
+                top_map: vec![Vec::new(); nb],
+                bottom_map: vec![Vec::new(); nb],
+                consistent_bottom: vec![BitSet::new(ng); nb],
+                used_consistency: vec![BitSet::new(ng); nb],
+                wrote_tr: vec![BitSet::new(ng); nb],
+            },
+        }
+    }
+
+    #[inline]
+    fn dense(&self, p: PhysReg) -> usize {
+        match p.class {
+            RegClass::Int => p.index as usize,
+            RegClass::Float => self.ni + p.index as usize,
+        }
+    }
+
+    #[inline]
+    fn phys(&self, d: usize) -> PhysReg {
+        if d < self.ni {
+            PhysReg::int(d as u8)
+        } else {
+            PhysReg::float((d - self.ni) as u8)
+        }
+    }
+
+    fn class_range(&self, class: RegClass) -> std::ops::Range<usize> {
+        match class {
+            RegClass::Int => 0..self.ni,
+            RegClass::Float => self.ni..self.occupant.len(),
+        }
+    }
+
+    /// Advances the segment cursor of `t` to the first segment ending at or
+    /// after `p`.
+    fn advance_segs(&mut self, t: Temp, p: Point) {
+        let segs = self.lt.segments(t);
+        let c = &mut self.seg_cur[t.index()];
+        while *c < segs.len() && segs[*c].end < p {
+            *c += 1;
+        }
+    }
+
+    /// True if `t` carries a live value at `p`.
+    fn temp_live_at(&mut self, t: Temp, p: Point) -> bool {
+        self.advance_segs(t, p);
+        let segs = self.lt.segments(t);
+        let c = self.seg_cur[t.index()];
+        c < segs.len() && segs[c].start <= p
+    }
+
+    /// The first point at or after `p` where `t` is live (`INF` if never).
+    fn next_live_start(&mut self, t: Temp, p: Point) -> Point {
+        self.advance_segs(t, p);
+        let segs = self.lt.segments(t);
+        match segs.get(self.seg_cur[t.index()]) {
+            Some(s) => s.start.max(p),
+            None => INF,
+        }
+    }
+
+    /// The end of `t`'s whole lifetime (`INF` if `t` has no references —
+    /// which cannot happen for a temp the scan is asked about).
+    fn lifetime_end(&self, t: Temp) -> Point {
+        self.lt.lifetime(t).map_or(INF, |s| s.end)
+    }
+
+    /// The next reference of `t` at or after `p`.
+    fn next_ref(&mut self, t: Temp, p: Point) -> Option<lsra_analysis::RefPoint> {
+        let refs = self.lt.refs(t);
+        let c = &mut self.ref_cur[t.index()];
+        while *c < refs.len() && refs[*c].point < p {
+            *c += 1;
+        }
+        refs.get(*c).copied()
+    }
+
+    /// The start of the next precolored-blocked segment of register `d` at
+    /// or after `p`, or `None` if `d` is blocked *at* `p`.
+    fn reg_unblocked_until(&mut self, d: usize, p: Point) -> Option<Point> {
+        let blocked = self.lt.blocked(self.phys(d));
+        let c = &mut self.blk_cur[d];
+        while *c < blocked.len() && blocked[*c].end < p {
+            *c += 1;
+        }
+        match blocked.get(*c) {
+            Some(s) if s.start <= p => None,
+            Some(s) => Some(s.start),
+            None => Some(INF),
+        }
+    }
+
+    /// How long register `d` is free starting at `p` (`None` if not free at
+    /// `p`: blocked by a precolored value or occupied by a live temporary).
+    fn reg_free_until(&mut self, d: usize, p: Point, for_temp: Temp) -> Option<Point> {
+        self.reg_hole(d, p, for_temp).map(|(free_until, _)| free_until)
+    }
+
+    /// The hole of register `d` at `p`: `(free_until, occupant_return)`.
+    /// `free_until` is bounded by both the next precolored block and the
+    /// current occupant's next live segment; `occupant_return` is the
+    /// occupant bound alone (`INF` when the register is empty). `None` if
+    /// the register is not free at `p`.
+    ///
+    /// The distinction matters for the §2.5 insufficiently-large-hole rule:
+    /// a temporary may be packed into a *register* hole that is too small
+    /// (it is evicted when the convention reclaims the register), but a
+    /// *lifetime* hole of another temporary only admits values that fit
+    /// entirely inside it (§2.1) — otherwise the filler would steal the
+    /// container's register.
+    fn reg_hole(&mut self, d: usize, p: Point, for_temp: Temp) -> Option<(Point, Point)> {
+        let limit = self.reg_unblocked_until(d, p)?;
+        let mut reclaim = INF;
+        // A displaced hole owner still waiting for this register bounds the
+        // hole by its return point (unless the requester is that owner).
+        if let Some(w) = self.pending_owner[d] {
+            if w != for_temp
+                && self.loc[w.index()] == Loc::None
+                && self.last_reg[w.index()] == Some(d)
+            {
+                let ret = self.next_live_start(w, p);
+                if ret > p {
+                    reclaim = ret;
+                } else {
+                    // The owner's segment already began without a reclaim
+                    // (it was live out of a block on another path); its
+                    // claim lapses — pessimization or a second-chance
+                    // reload will rehome it.
+                    self.pending_owner[d] = None;
+                }
+            } else if w != for_temp {
+                self.pending_owner[d] = None;
+            }
+        }
+        match self.occupant[d] {
+            Some(u) => {
+                if self.temp_live_at(u, p) {
+                    None
+                } else {
+                    let ret = reclaim.min(self.next_live_start(u, p));
+                    Some((limit.min(ret), ret))
+                }
+            }
+            None => Some((limit.min(reclaim), reclaim)),
+        }
+    }
+
+    /// Binds `t` to register `d`, displacing any holed-out previous
+    /// occupant (which remembers the register so it can be restored when
+    /// its hole ends, §2.1-§2.2).
+    fn bind(&mut self, t: Temp, d: usize) {
+        if let Some(o) = self.occupant[d] {
+            if o != t && self.loc[o.index()] == Loc::Reg(self.phys(d)) {
+                if std::env::var_os("LSRA_DEBUG").is_some() {
+                    eprintln!("DISPLACE {o} from {} by {t}", self.phys(d));
+                }
+                self.loc[o.index()] = Loc::None;
+                self.last_reg[o.index()] = Some(d);
+                // The displaced owner becomes (or stays) the register's
+                // pending reclaimer; keep the earlier-returning owner if
+                // one is already waiting.
+                let keep_existing = match self.pending_owner[d] {
+                    Some(w) if w != o
+                        && self.loc[w.index()] == Loc::None
+                        && self.last_reg[w.index()] == Some(d) =>
+                    {
+                        let wr = self.next_live_start(w, Point(0));
+                        let or = self.next_live_start(o, Point(0));
+                        wr <= or
+                    }
+                    _ => false,
+                };
+                if !keep_existing {
+                    self.pending_owner[d] = Some(o);
+                }
+            }
+        }
+        self.occupant[d] = Some(t);
+        self.loc[t.index()] = Loc::Reg(self.phys(d));
+        self.last_reg[t.index()] = None;
+        if self.pending_owner[d] == Some(t) {
+            self.pending_owner[d] = None;
+        }
+    }
+
+    /// The paper's allocation heuristic: among registers free at `at` whose
+    /// hole lasts at least until `need_end`, prefer the *smallest hole* that
+    /// covers `t`'s remaining lifetime; failing that (and if configured) the
+    /// *largest insufficient* hole (§2.5). Within the winning tier, the
+    /// register `t` previously occupied is preferred — the affinity that
+    /// GEM's "history preferencing" provides (§4) and that keeps the
+    /// per-path register choices of the linear scan aligned at CFG joins.
+    fn try_alloc(
+        &mut self,
+        t: Temp,
+        at: Point,
+        need_end: Point,
+        exclude: &[usize],
+        force_insufficient: bool,
+    ) -> Option<usize> {
+        let class = self.f.temp_class(t);
+        let want_end = self.lifetime_end(t);
+        // Three preference tiers:
+        //   1. sufficient holes (smallest first, §2.2);
+        //   2. insufficiently large *register* holes (largest first, §2.5)
+        //      — the occupant bound still covers the whole lifetime, only a
+        //      convention cuts the hole short;
+        //   3. insufficiently large *temporary* holes — allowed as a last
+        //      resort (the displaced owner pays resolution traffic), since
+        //      refusing them can make high pressure unsatisfiable.
+        // Within the winning tier, the previously occupied register wins.
+        let mut best: [Option<(Point, usize)>; 3] = [None; 3];
+        let mut prev_tier: Option<usize> = None;
+        let prev = self.last_reg[t.index()].filter(|d| !exclude.contains(d));
+        for d in self.class_range(class) {
+            if exclude.contains(&d) {
+                continue;
+            }
+            let Some((free_until, occupant_return)) = self.reg_hole(d, at, t) else { continue };
+            if free_until < need_end {
+                continue;
+            }
+            let tier = if free_until >= want_end {
+                0
+            } else if occupant_return >= want_end {
+                1
+            } else {
+                2
+            };
+            let better = match best[tier] {
+                None => true,
+                // Tier 0: smallest hole; tiers 1-2: largest hole.
+                Some((e, _)) => {
+                    if tier == 0 {
+                        free_until < e
+                    } else {
+                        free_until > e
+                    }
+                }
+            };
+            if better {
+                best[tier] = Some((free_until, d));
+            }
+            if prev == Some(d) {
+                prev_tier = Some(tier);
+            }
+        }
+        let tiers: &[usize] = if self.cfg.allow_insufficient_holes || force_insufficient {
+            &[0, 1, 2]
+        } else {
+            &[0]
+        };
+        let mut choice = None;
+        for &tier in tiers {
+            if best[tier].is_some() {
+                choice = if prev_tier == Some(tier) {
+                    prev.map(|d| (INF, d))
+                } else {
+                    best[tier]
+                };
+                break;
+            }
+        }
+        choice.map(|(_, d)| {
+            self.bind(t, d);
+            d
+        })
+    }
+
+    /// Ensures `t` has a spill slot.
+    fn ensure_slot(&mut self, t: Temp) {
+        if self.f.spill_slots[t.index()].is_none() {
+            self.stats.spilled_temps += 1;
+        }
+        self.f.slot_for(t);
+    }
+
+    /// Evicts the occupant of `d`, inserting a spill store (or an early-
+    /// second-chance move) into `pre` when the value would otherwise be
+    /// lost. `convention` marks evictions forced by a register hole expiry
+    /// (call sites and other precolored uses, §2.5).
+    fn evict(
+        &mut self,
+        d: usize,
+        at: Point,
+        pre: &mut Vec<Ins>,
+        convention: bool,
+        pinned: &[usize],
+    ) {
+        let Some(u) = self.occupant[d] else { return };
+        self.occupant[d] = None;
+        if self.loc[u.index()] != Loc::Reg(self.phys(d)) {
+            return; // stale occupancy of a dead or displaced temp
+        }
+        self.stats.evictions += 1;
+        self.last_reg[u.index()] = Some(d);
+        let live = self.temp_live_at(u, at) && !self.segment_ends_at_block_top(u, at);
+        if !live {
+            // Evicted during one of u's lifetime holes (or at a boundary
+            // where its linear segment stems purely from another edge of
+            // the linear predecessor): the next reference overwrites the
+            // value — or the true predecessors' bottom maps carry it — so
+            // no store is needed (§2.3).
+            self.loc[u.index()] = Loc::None;
+            return;
+        }
+        let needs_store = if self.cfg.store_suppression && self.consistent[u.index()] {
+            // Register and memory home agree; suppress the store. If that
+            // knowledge was not established in this block, record the
+            // reliance for the USED_C dataflow (§2.4).
+            if !self.wrote_local[u.index()] {
+                self.used_local[u.index()] = true;
+            }
+            self.stats.stores_suppressed += 1;
+            false
+        } else {
+            true
+        };
+        if needs_store && convention && self.cfg.early_second_chance {
+            // Early second chance: prefer a move to an empty register whose
+            // hole covers u's remaining lifetime over a store now plus a
+            // load later (§2.5).
+            let want_end = self.lifetime_end(u);
+            let class = self.f.temp_class(u);
+            let mut found: Option<(Point, usize)> = None;
+            for d2 in self.class_range(class) {
+                if d2 == d || pinned.contains(&d2) {
+                    // `pinned` holds the registers feeding the current
+                    // instruction: a move emitted before it must not
+                    // overwrite them, even when their values die here.
+                    continue;
+                }
+                // "Only if we can find an empty register rs": empty means
+                // holding no live value — the hole query returns None for a
+                // live occupant and bounds the hole by a returning one.
+                let Some(free_until) = self.reg_free_until(d2, at, u) else { continue };
+                if free_until >= want_end && found.is_none_or(|(e, _)| free_until < e) {
+                    found = Some((free_until, d2));
+                }
+            }
+            if let Some((_, d2)) = found {
+                pre.push(Ins::tagged(
+                    Inst::Mov { dst: Reg::Phys(self.phys(d2)), src: Reg::Phys(self.phys(d)) },
+                    SpillTag::EvictMove,
+                ));
+                self.stats.record_insert(SpillTag::EvictMove);
+                self.bind(u, d2);
+                return;
+            }
+        }
+        if needs_store {
+            self.ensure_slot(u);
+            pre.push(Ins::tagged(
+                Inst::SpillStore { src: Reg::Phys(self.phys(d)), temp: u },
+                SpillTag::EvictStore,
+            ));
+            self.stats.record_insert(SpillTag::EvictStore);
+        }
+        self.loc[u.index()] = Loc::Mem;
+    }
+
+    /// True when `u`'s covering segment ends exactly at the current block's
+    /// top boundary: the liveness behind it belongs to the linear
+    /// predecessor's *other* successors, so within this block `u` carries
+    /// no value (it is not live-in here — a live-in temp's segment extends
+    /// past the boundary). Storing its register here would overwrite its
+    /// memory home with whatever the real incoming edge left in the
+    /// register.
+    fn segment_ends_at_block_top(&mut self, u: Temp, at: Point) -> bool {
+        if at != self.cur_top {
+            return false;
+        }
+        self.advance_segs(u, at);
+        matches!(self.lt.segments(u).get(self.seg_cur[u.index()]), Some(s) if s.end == self.cur_top)
+    }
+
+    /// Picks an eviction victim for `t`'s class: the occupant with the
+    /// lowest priority, where priority is the loop-depth weight of the next
+    /// reference divided by its distance (§2.3). Occupants referenced at
+    /// the current instruction (`guard`) and registers blocked before
+    /// `need_end` are exempt.
+    fn evict_for(
+        &mut self,
+        t: Temp,
+        at: Point,
+        need_end: Point,
+        guard: Point,
+        exclude: &[usize],
+        pre: &mut Vec<Ins>,
+    ) -> Option<usize> {
+        let class = self.f.temp_class(t);
+        let mut best: Option<(f64, usize)> = None;
+        for d in self.class_range(class) {
+            if exclude.contains(&d) {
+                continue;
+            }
+            let Some(u) = self.occupant[d] else { continue };
+            if u == t || !self.temp_live_at(u, at) {
+                continue; // free or holed registers are handled by try_alloc
+            }
+            // The register must be usable through the requested interval.
+            match self.reg_unblocked_until(d, at) {
+                Some(limit) if limit >= need_end => {}
+                _ => continue,
+            }
+            let priority = match self.next_ref(u, at) {
+                Some(r) => {
+                    if r.point <= guard {
+                        continue; // operand of the current instruction
+                    }
+                    r.weight / ((r.point.0 - at.0) as f64 + 1.0)
+                }
+                // Live with no later linear reference (value flows around a
+                // back edge): weight 1 at lifetime-end distance.
+                None => 1.0 / ((self.lifetime_end(u).0.saturating_sub(at.0)) as f64 + 1.0),
+            };
+            if best.is_none_or(|(p, _)| priority < p) {
+                best = Some((priority, d));
+            }
+        }
+        let (_, d) = best?;
+        self.evict(d, at, pre, false, exclude);
+        self.bind(t, d);
+        Some(d)
+    }
+
+    /// Allocates a register for `t`, evicting if necessary.
+    fn alloc(
+        &mut self,
+        t: Temp,
+        at: Point,
+        need_end: Point,
+        guard: Point,
+        exclude: &[usize],
+        pre: &mut Vec<Ins>,
+    ) -> PhysReg {
+        let d = self
+            .try_alloc(t, at, need_end, exclude, false)
+            .or_else(|| self.evict_for(t, at, need_end, guard, exclude, pre))
+            // Even with insufficiently-large holes disabled by policy, a
+            // reference must get *some* register: fall back to them rather
+            // than fail (the temporary is simply evicted again at the hole's
+            // end).
+            .or_else(|| self.try_alloc(t, at, need_end, exclude, true))
+            .unwrap_or_else(|| {
+                let class = self.f.temp_class(t);
+                let mut detail = String::new();
+                for d in self.class_range(class) {
+                    let occ = self.occupant[d];
+                    let occ_live = occ.map(|u| self.temp_live_at(u, at));
+                    let occ_next_ref = occ.and_then(|u| self.next_ref(u, at)).map(|r| r.point);
+                    let occ_loc = occ.map(|u| self.loc[u.index()]);
+                    let hole = self.reg_hole(d, at, t);
+                    detail.push_str(&format!(
+                        "\n  {}: occupant={:?} (live={:?} next_ref={:?} loc={:?}) pending={:?} blocked@cursor={:?} hole={:?}",
+                        self.phys(d),
+                        occ,
+                        occ_live,
+                        occ_next_ref,
+                        occ_loc,
+                        self.pending_owner[d],
+                        self.lt.blocked(self.phys(d)).get(self.blk_cur[d]),
+                        hole,
+                    ));
+                }
+                panic!(
+                    "register pressure unsatisfiable for {t} at {at} (need_end {need_end}, \
+                     guard {guard}, exclude {exclude:?}): every {class} register is pinned by \
+                     the current instruction{detail}"
+                )
+            });
+        self.phys(d)
+    }
+
+    /// Convention sweep: before each instruction, evict temporaries from
+    /// registers whose precolored-blocked segment begins by `threshold`
+    /// ("when a register's lifetime hole expires, ... evict the temporary",
+    /// §2.5).
+    fn sweep(&mut self, threshold: Point, pre: &mut Vec<Ins>, pinned: &[usize]) {
+        for d in 0..self.occupant.len() {
+            let Some(u) = self.occupant[d] else { continue };
+            let blocked = self.lt.blocked(self.phys(d));
+            let mut c = self.blk_cur[d];
+            // Peek without disturbing the cursor past live segments.
+            while c < blocked.len() && blocked[c].end < threshold {
+                // A whole blocked segment passed while we held an occupant:
+                // that would be a missed eviction; it cannot happen because
+                // the sweep runs at every instruction. Advance defensively.
+                c += 1;
+            }
+            self.blk_cur[d] = c;
+            if let Some(s) = blocked.get(c) {
+                if s.start <= threshold {
+                    self.evict(d, threshold, pre, true, pinned);
+                }
+            }
+            let _ = u;
+        }
+    }
+
+    /// Processes a use of temporary `t` at instruction `gi`: returns the
+    /// register to rewrite the operand to, inserting a second-chance reload
+    /// if the value is in memory (§2.3).
+    fn process_use(&mut self, t: Temp, gi: u32, exclude: &mut Vec<usize>, pre: &mut Vec<Ins>) -> PhysReg {
+        let rp = Point::read(gi);
+        match self.loc[t.index()] {
+            Loc::Reg(r) => {
+                debug_assert_eq!(self.occupant[self.dense(r)], Some(t));
+                exclude.push(self.dense(r));
+                r
+            }
+            Loc::Mem | Loc::None => {
+                // Second chance: reload into a register and let it stay
+                // there until evicted.
+                let at = Point::before(gi);
+                let r = self.alloc(t, at, rp, rp, exclude, pre);
+                self.ensure_slot(t);
+                pre.push(Ins::tagged(
+                    Inst::SpillLoad { dst: Reg::Phys(r), temp: t },
+                    SpillTag::EvictLoad,
+                ));
+                self.stats.record_insert(SpillTag::EvictLoad);
+                self.stats.lifetime_splits += 1;
+                // A reload makes register and memory home consistent.
+                self.consistent[t.index()] = true;
+                self.wrote_local[t.index()] = true; // the reload wrote r
+                exclude.push(self.dense(r));
+                r
+            }
+        }
+    }
+
+    /// Processes the definition of `t` at instruction `gi`.
+    fn process_def(&mut self, t: Temp, gi: u32, exclude: &mut Vec<usize>, pre: &mut Vec<Ins>) -> PhysReg {
+        let wp = Point::write(gi);
+        let r = match self.loc[t.index()] {
+            Loc::Reg(r) => {
+                debug_assert_eq!(self.occupant[self.dense(r)], Some(t));
+                r
+            }
+            Loc::Mem | Loc::None => {
+                // "If the next reference to a spilled temporary is a write,
+                // we allocate [a register] and postpone the store" (§2.3).
+                let rp = Point::read(gi);
+                self.alloc(t, wp, wp, rp, exclude, pre)
+            }
+        };
+        self.consistent[t.index()] = false; // register now ahead of memory
+        self.wrote_local[t.index()] = true;
+        exclude.push(self.dense(r));
+        r
+    }
+
+    /// The §2.5 move-coalescing check: when the just-rewritten source of a
+    /// move dies at the move and its register's hole covers the
+    /// destination's whole lifetime, bind the destination to the source
+    /// register (the peephole pass later deletes the identity move).
+    fn try_coalesce_move(&mut self, dst: Temp, src_phys: PhysReg, gi: u32) -> Option<PhysReg> {
+        if !self.cfg.move_coalescing {
+            return None;
+        }
+        if self.loc[dst.index()] == Loc::Reg(src_phys) {
+            return None; // nothing to do; normal path handles it
+        }
+        if !matches!(self.loc[dst.index()], Loc::None) {
+            return None; // only coalesce a fresh destination
+        }
+        if self.f.temp_class(dst) != src_phys.class {
+            return None;
+        }
+        let wp = Point::write(gi);
+        let d = self.dense(src_phys);
+        let free_until = self.reg_free_until(d, wp, dst)?;
+        if free_until < self.lifetime_end(dst) {
+            return None;
+        }
+        self.bind(dst, d);
+        self.consistent[dst.index()] = false;
+        self.wrote_local[dst.index()] = true;
+        self.stats.moves_coalesced += 1;
+        Some(src_phys)
+    }
+
+    /// Debug-only invariant: a temporary believing it owns a register must
+    /// actually be that register's occupant.
+    fn check_invariants(&self, b: lsra_ir::BlockId, gi: u32) {
+        for t in 0..self.loc.len() {
+            if let Loc::Reg(r) = self.loc[t] {
+                let d = self.dense(r);
+                if self.occupant[d] != Some(Temp(t as u32)) {
+                    panic!(
+                        "INVARIANT: t{t} claims {r} but occupant is {:?} (block {b}, inst {gi}, func {})",
+                        self.occupant[d], self.f.name
+                    );
+                }
+            }
+        }
+    }
+
+    fn block_start(&mut self, b: lsra_ir::BlockId) {
+        self.cur_top = self.lt.top(b);
+        self.wrote_local.fill(false);
+        self.used_local.fill(false);
+        if self.cfg.consistency == ConsistencyMode::Conservative {
+            // §2.6: meet of the saved ARE_CONSISTENT vectors of all
+            // predecessors; an unscanned predecessor clears everything.
+            let mut meet = BitSet::new(self.live.num_globals());
+            let mut first = true;
+            let mut any_unscanned = false;
+            for &p in &self.preds[b.index()] {
+                if p.index() >= b.index() {
+                    any_unscanned = true;
+                    break;
+                }
+                if first {
+                    meet.union_with(&self.out.consistent_bottom[p.index()]);
+                    first = false;
+                } else {
+                    meet.intersect_with(&self.out.consistent_bottom[p.index()]);
+                }
+            }
+            if any_unscanned || first {
+                meet.clear();
+            }
+            for g in 0..self.live.num_globals() {
+                let t = self.live.temp_of(g);
+                self.consistent[t.index()] = meet.contains(g);
+            }
+        }
+        // Restore hole-displaced temporaries: a live-in temporary whose
+        // lifetime hole (filled by a shorter lifetime, §2.1-§2.2) ends at
+        // this block boundary gets its old register back when that register
+        // is free again. This realises the binpacking model's rule that the
+        // container keeps its register around the filler's lifetime; the
+        // top-of-block map records the restored location and resolution
+        // honours it on every incoming edge.
+        let top = self.lt.top(b);
+        let live_in: Vec<Temp> = self.live.live_in_temps(b).collect();
+        for &t in &live_in {
+            if self.loc[t.index()] != Loc::None {
+                continue;
+            }
+            if let Some(d) = self.last_reg[t.index()] {
+                let seg_end = {
+                    self.advance_segs(t, top);
+                    let segs = self.lt.segments(t);
+                    match segs.get(self.seg_cur[t.index()]) {
+                        Some(s) if s.start <= top => s.end,
+                        _ => continue,
+                    }
+                };
+                if let Some(free_until) = self.reg_free_until(d, top, t) {
+                    if free_until >= seg_end {
+                        self.bind(t, d);
+                    }
+                }
+            }
+        }
+        // Record the top-of-block locations of live-in temporaries; a
+        // live-in temporary with no location yet is pessimistically given
+        // its memory home (the linear order reached this block before any
+        // definition — resolution will satisfy the assumption, §2.4).
+        let mut map = Vec::new();
+        for &t in &live_in {
+            match self.loc[t.index()] {
+                Loc::Reg(r) => map.push((t, r)),
+                Loc::Mem => {}
+                Loc::None => {
+                    if std::env::var_os("LSRA_DEBUG").is_some() {
+                        eprintln!("PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})", self.last_reg[t.index()]);
+                    }
+                    self.loc[t.index()] = Loc::Mem;
+                }
+            }
+        }
+        map.sort_unstable();
+        self.out.top_map[b.index()] = map;
+    }
+
+    fn block_end(&mut self, b: lsra_ir::BlockId) {
+        let bi = b.index();
+        let mut map = Vec::new();
+        for t in self.live.live_out_temps(b) {
+            match self.loc[t.index()] {
+                Loc::Reg(r) => map.push((t, r)),
+                Loc::Mem => {}
+                Loc::None => {
+                    if std::env::var_os("LSRA_DEBUG").is_some() {
+                        eprintln!("PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})", self.last_reg[t.index()]);
+                    }
+                    self.loc[t.index()] = Loc::Mem;
+                }
+            }
+        }
+        map.sort_unstable();
+        self.out.bottom_map[bi] = map;
+        for g in 0..self.live.num_globals() {
+            let t = self.live.temp_of(g);
+            if matches!(self.loc[t.index()], Loc::Reg(_)) && self.consistent[t.index()] {
+                self.out.consistent_bottom[bi].insert(g);
+            }
+            if self.used_local[t.index()] {
+                self.out.used_consistency[bi].insert(g);
+            }
+            if self.wrote_local[t.index()] {
+                self.out.wrote_tr[bi].insert(g);
+            }
+        }
+    }
+
+    /// Runs the scan over the whole function, rewriting it in place.
+    pub(crate) fn run(mut self) -> ScanOutput {
+        self.stats.candidates = self.f.num_temps();
+        for b in self.f.block_ids().collect::<Vec<_>>() {
+            self.block_start(b);
+            let insts = std::mem::take(&mut self.f.block_mut(b).insts);
+            let mut new_insts: Vec<Ins> = Vec::with_capacity(insts.len() + 4);
+            let first = self.lt.first_inst(b);
+            for (k, mut ins) in insts.into_iter().enumerate() {
+                let gi = first + k as u32;
+                let rp = Point::read(gi);
+                let wp = Point::write(gi);
+                let mut pre: Vec<Ins> = Vec::new();
+                // Convention sweep for register holes expiring at the read
+                // slot (call clobbers, precolored uses).
+                self.sweep(rp, &mut pre, &[]);
+
+                // Rewrite uses. `exclude` accumulates registers pinned by
+                // this instruction.
+                let mut exclude: Vec<usize> = Vec::new();
+                let mut use_map: Vec<(Temp, PhysReg)> = Vec::new();
+                let mut use_temps: Vec<Temp> = Vec::new();
+                ins.inst.for_each_use(|r| {
+                    if let Reg::Temp(t) = r {
+                        if !use_temps.contains(&t) {
+                            use_temps.push(t);
+                        }
+                    }
+                });
+                for t in use_temps {
+                    let r = self.process_use(t, gi, &mut exclude, &mut pre);
+                    use_map.push((t, r));
+                }
+                ins.inst.for_each_use_mut(|r| {
+                    if let Reg::Temp(t) = *r {
+                        let (_, p) = use_map.iter().find(|(u, _)| *u == t).expect("use mapped");
+                        *r = Reg::Phys(*p);
+                    }
+                });
+
+                // Convention sweep for holes expiring at the write slot
+                // (precolored definitions such as argument-register moves).
+                // The registers feeding this instruction are pinned: code
+                // emitted before the instruction must not overwrite them.
+                self.sweep(wp, &mut pre, &exclude);
+
+                // Rewrite the definition, trying the move-coalescing check
+                // first (§2.5).
+                let mut def_temp: Option<Temp> = None;
+                ins.inst.for_each_def(|r| {
+                    if let Reg::Temp(t) = r {
+                        def_temp = Some(t);
+                    }
+                });
+                if let Some(t) = def_temp {
+                    let coalesced = match ins.inst {
+                        Inst::Mov { src: Reg::Phys(p), .. } => self.try_coalesce_move(t, p, gi),
+                        _ => None,
+                    };
+                    // The definition may reuse (or evict) a source register:
+                    // sources are read before the write slot, so no register
+                    // is excluded here; eviction stores land before the
+                    // instruction while the value is still intact.
+                    let mut def_exclude = Vec::new();
+                    let r = match coalesced {
+                        Some(r) => r,
+                        None => self.process_def(t, gi, &mut def_exclude, &mut pre),
+                    };
+                    ins.inst.for_each_def_mut(|d| {
+                        if matches!(*d, Reg::Temp(_)) {
+                            *d = Reg::Phys(r);
+                        }
+                    });
+                }
+                new_insts.append(&mut pre);
+                new_insts.push(ins);
+                if std::env::var_os("LSRA_DEBUG").is_some() {
+                    self.check_invariants(b, gi);
+                }
+            }
+            self.f.block_mut(b).insts = new_insts;
+            self.block_end(b);
+        }
+        self.out
+    }
+}

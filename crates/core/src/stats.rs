@@ -1,0 +1,122 @@
+//! Allocation statistics and the common allocator interface.
+
+use lsra_ir::{Function, MachineSpec, Module, SpillTag};
+
+/// Static counts of allocator activity for one function or module.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AllocStats {
+    /// Register candidates (temporaries) considered.
+    pub candidates: usize,
+    /// Statically inserted instructions per spill category (index 0, for
+    /// `SpillTag::None`, is unused).
+    pub inserted: [u64; 7],
+    /// Temporaries that acquired a memory home at some point.
+    pub spilled_temps: usize,
+    /// Evictions performed (including convention-forced ones).
+    pub evictions: u64,
+    /// Moves whose destination was bound to the source register by the
+    /// move-coalescing check (§2.5), or by coloring's coalescing.
+    pub moves_coalesced: u64,
+    /// Lifetime splits (second-chance reallocations).
+    pub lifetime_splits: u64,
+    /// Spill stores suppressed by the consistency machinery (§2.3).
+    pub stores_suppressed: u64,
+    /// Iterations of the `USED_C` dataflow (binpacking) or of the
+    /// build-color-spill loop (coloring).
+    pub iterations: u32,
+    /// Interference-graph edges (coloring only; 0 for linear scan). The
+    /// paper's Table 3 reports this as a problem-size measure.
+    pub interference_edges: u64,
+    /// Wall-clock time spent in the allocator core, in seconds.
+    pub alloc_seconds: f64,
+}
+
+fn tag_index(tag: SpillTag) -> usize {
+    match tag {
+        SpillTag::None => 0,
+        SpillTag::EvictLoad => 1,
+        SpillTag::EvictStore => 2,
+        SpillTag::EvictMove => 3,
+        SpillTag::ResolveLoad => 4,
+        SpillTag::ResolveStore => 5,
+        SpillTag::ResolveMove => 6,
+    }
+}
+
+impl AllocStats {
+    /// Records one statically inserted instruction.
+    pub fn record_insert(&mut self, tag: SpillTag) {
+        self.inserted[tag_index(tag)] += 1;
+    }
+
+    /// Statically inserted instructions of one category.
+    pub fn inserted_count(&self, tag: SpillTag) -> u64 {
+        self.inserted[tag_index(tag)]
+    }
+
+    /// Total statically inserted spill instructions.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted[1..].iter().sum()
+    }
+
+    /// Accumulates another function's statistics into this one.
+    pub fn merge(&mut self, other: &AllocStats) {
+        self.candidates += other.candidates;
+        for i in 0..self.inserted.len() {
+            self.inserted[i] += other.inserted[i];
+        }
+        self.spilled_temps += other.spilled_temps;
+        self.evictions += other.evictions;
+        self.moves_coalesced += other.moves_coalesced;
+        self.lifetime_splits += other.lifetime_splits;
+        self.stores_suppressed += other.stores_suppressed;
+        self.iterations = self.iterations.max(other.iterations);
+        self.interference_edges += other.interference_edges;
+        self.alloc_seconds += other.alloc_seconds;
+    }
+}
+
+/// A global register allocator: rewrites a function so that every operand is
+/// a physical register (with spill code referencing frame slots).
+pub trait RegisterAllocator {
+    /// A short name for reports ("binpack", "coloring", ...).
+    fn name(&self) -> &str;
+
+    /// Allocates one function in place.
+    fn allocate_function(&self, f: &mut Function, spec: &MachineSpec) -> AllocStats;
+
+    /// Allocates every function of a module, merging statistics.
+    fn allocate_module(&self, m: &mut Module, spec: &MachineSpec) -> AllocStats {
+        let mut total = AllocStats::default();
+        for id in m.func_ids().collect::<Vec<_>>() {
+            let stats = self.allocate_function(m.func_mut(id), spec);
+            total.merge(&stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_accounting() {
+        let mut s = AllocStats::default();
+        s.record_insert(SpillTag::EvictLoad);
+        s.record_insert(SpillTag::EvictLoad);
+        s.record_insert(SpillTag::ResolveMove);
+        assert_eq!(s.inserted_count(SpillTag::EvictLoad), 2);
+        assert_eq!(s.inserted_total(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AllocStats { candidates: 5, evictions: 2, ..Default::default() };
+        let b = AllocStats { candidates: 3, evictions: 1, iterations: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.candidates, 8);
+        assert_eq!(a.evictions, 3);
+        assert_eq!(a.iterations, 4);
+    }
+}

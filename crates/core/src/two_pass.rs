@@ -1,0 +1,492 @@
+//! Traditional two-pass binpacking (§3.1's comparator).
+//!
+//! "A version of our allocator that assigns a whole lifetime to either
+//! memory or register. This implementation still takes advantage of lifetime
+//! holes during allocation." The first pass walks lifetimes in linear start
+//! order and bin-packs each whole lifetime (its live segments) into a
+//! register's free intervals, or spills it to memory for its entire
+//! lifetime. References to spilled temporaries become *point lifetimes*: a
+//! load into a scratch register before each use and a store after each
+//! definition — with no store avoidance and no second chances, which is
+//! precisely the behaviour the paper contrasts against (wc's 38% slowdown).
+
+use std::collections::BTreeMap;
+
+use lsra_analysis::{Lifetimes, Liveness, LoopInfo, Point, Segment};
+use lsra_ir::{
+    Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp,
+};
+
+use crate::stats::AllocStats;
+
+/// Free/occupied intervals of one register: `start -> (end, owner)`.
+/// Precolored blocks are owned by `None`.
+#[derive(Default)]
+struct RegIntervals {
+    map: BTreeMap<u32, (u32, Option<Temp>)>,
+}
+
+impl RegIntervals {
+    fn overlaps(&self, seg: Segment) -> bool {
+        self.overlapping_owner(seg).is_some()
+    }
+
+    /// Returns the owner of some interval overlapping `seg`, if any
+    /// (`Some(None)` for a precolored block).
+    fn overlapping_owner(&self, seg: Segment) -> Option<Option<Temp>> {
+        // An interval [s, e] overlaps [a, b] iff s <= b and e >= a.
+        self.map
+            .range(..=seg.end.0)
+            .next_back()
+            .filter(|(_, (end, _))| *end >= seg.start.0)
+            .map(|(_, (_, owner))| *owner)
+    }
+
+    fn insert(&mut self, seg: Segment, owner: Option<Temp>) {
+        self.map.insert(seg.start.0, (seg.end.0, owner));
+    }
+
+    fn remove_owner(&mut self, t: Temp) {
+        self.map.retain(|_, (_, o)| *o != Some(t));
+    }
+}
+
+struct TwoPass<'a> {
+    f: &'a Function,
+    lt: &'a Lifetimes,
+    ni: usize,
+    regs: Vec<RegIntervals>,
+    assigned: Vec<Option<PhysReg>>,
+    spilled: Vec<bool>,
+    lifetime_len: Vec<u32>,
+}
+
+impl<'a> TwoPass<'a> {
+    fn dense(&self, p: PhysReg) -> usize {
+        match p.class {
+            RegClass::Int => p.index as usize,
+            RegClass::Float => self.ni + p.index as usize,
+        }
+    }
+
+    fn phys(&self, d: usize) -> PhysReg {
+        if d < self.ni {
+            PhysReg::int(d as u8)
+        } else {
+            PhysReg::float((d - self.ni) as u8)
+        }
+    }
+
+    fn class_range(&self, class: RegClass) -> std::ops::Range<usize> {
+        match class {
+            RegClass::Int => 0..self.ni,
+            RegClass::Float => self.ni..self.regs.len(),
+        }
+    }
+
+    fn fits(&self, d: usize, t: Temp) -> bool {
+        self.lt.segments(t).iter().all(|&s| !self.regs[d].overlaps(s))
+    }
+
+    fn assign(&mut self, t: Temp, d: usize) {
+        for &s in self.lt.segments(t) {
+            self.regs[d].insert(s, Some(t));
+        }
+        self.assigned[t.index()] = Some(self.phys(d));
+    }
+
+    fn unassign(&mut self, t: Temp) {
+        if let Some(p) = self.assigned[t.index()].take() {
+            let d = self.dense(p);
+            self.regs[d].remove_owner(t);
+        }
+        self.spilled[t.index()] = true;
+    }
+
+    /// Pass 1: bin-pack whole lifetimes in start order; first fit.
+    fn pack(&mut self) {
+        let mut order: Vec<Temp> = (0..self.f.num_temps() as u32)
+            .map(Temp)
+            .filter(|&t| self.lt.lifetime(t).is_some() && !self.spilled[t.index()])
+            .collect();
+        order.sort_by_key(|&t| self.lt.lifetime(t).unwrap().start);
+        for t in order {
+            if self.assigned[t.index()].is_some() {
+                continue;
+            }
+            let class = self.f.temp_class(t);
+            let choice = self.class_range(class).find(|&d| self.fits(d, t));
+            match choice {
+                Some(d) => self.assign(t, d),
+                None => self.spilled[t.index()] = true,
+            }
+        }
+    }
+
+    /// The span a point lifetime at instruction `gi` must have free.
+    fn point_span(gi: u32) -> Segment {
+        Segment::new(Point::before(gi), Point::before(gi + 1))
+    }
+
+    /// Registers of `class` free over the span.
+    fn free_at(&self, class: RegClass, span: Segment) -> Vec<usize> {
+        self.class_range(class).filter(|&d| !self.regs[d].overlaps(span)).collect()
+    }
+
+    /// Pass 1.5: make sure every instruction referencing spilled temporaries
+    /// has enough free registers for its point lifetimes, unassigning
+    /// victims until it does. Iterates to a fixed point (unassigning a temp
+    /// adds point-lifetime demand at its own references).
+    fn ensure_point_feasibility(&mut self) {
+        loop {
+            let mut changed = false;
+            for b in self.f.block_ids() {
+                let first = self.lt.first_inst(b);
+                for (k, ins) in self.f.block(b).insts.iter().enumerate() {
+                    let gi = first + k as u32;
+                    let span = Self::point_span(gi);
+                    for class in RegClass::ALL {
+                        let mut need = 0usize;
+                        let mut src_spilled: Vec<Temp> = Vec::new();
+                        ins.inst.for_each_use(|r| {
+                            if let Reg::Temp(t) = r {
+                                if self.spilled[t.index()]
+                                    && self.f.temp_class(t) == class
+                                    && !src_spilled.contains(&t)
+                                {
+                                    src_spilled.push(t);
+                                }
+                            }
+                        });
+                        need += src_spilled.len();
+                        let mut dst_extra = false;
+                        ins.inst.for_each_def(|r| {
+                            if let Reg::Temp(t) = r {
+                                if self.spilled[t.index()] && self.f.temp_class(t) == class {
+                                    // The destination can reuse a source
+                                    // scratch of the same class.
+                                    dst_extra = src_spilled.is_empty();
+                                }
+                            }
+                        });
+                        if dst_extra {
+                            need += 1;
+                        }
+                        if need == 0 {
+                            continue;
+                        }
+                        while self.free_at(class, span).len() < need {
+                            let victim = self.victim_at(class, span).unwrap_or_else(|| {
+                                panic!(
+                                    "two-pass binpacking cannot satisfy point lifetimes at \
+                                     instruction {gi} (class {class})"
+                                )
+                            });
+                            self.unassign(victim);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Picks the assigned temporary overlapping `span` with the longest
+    /// lifetime (the classic "furthest end" heuristic).
+    fn victim_at(&self, class: RegClass, span: Segment) -> Option<Temp> {
+        let mut best: Option<(u32, Temp)> = None;
+        for d in self.class_range(class) {
+            if let Some(Some(t)) = self.regs[d].overlapping_owner(span) {
+                let len = self.lifetime_len[t.index()];
+                if best.is_none_or(|(l, _)| len > l) {
+                    best = Some((len, t));
+                }
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+}
+
+/// Runs traditional two-pass binpacking over `f`.
+pub(crate) fn allocate(f: &mut Function, spec: &MachineSpec, stats: &mut AllocStats) {
+    let live = Liveness::compute(f);
+    let loops = LoopInfo::of(f);
+    let lt = Lifetimes::compute(f, &live, &loops, spec);
+    stats.candidates = f.num_temps();
+
+    let ni = spec.num_regs(RegClass::Int) as usize;
+    let nregs = spec.total_regs();
+    let mut tp = TwoPass {
+        f,
+        lt: &lt,
+        ni,
+        regs: (0..nregs).map(|_| RegIntervals::default()).collect(),
+        assigned: vec![None; f.num_temps()],
+        spilled: vec![false; f.num_temps()],
+        lifetime_len: (0..f.num_temps() as u32)
+            .map(|t| lt.lifetime(Temp(t)).map_or(0, |s| s.end.0 - s.start.0))
+            .collect(),
+    };
+    for d in 0..nregs {
+        let p = tp.phys(d);
+        for &s in lt.blocked(p) {
+            tp.regs[d].insert(s, None);
+        }
+    }
+    tp.pack();
+    tp.ensure_point_feasibility();
+    let assigned = tp.assigned;
+    let spilled = tp.spilled;
+    let regs = tp.regs;
+    stats.spilled_temps = spilled.iter().filter(|&&s| s).count();
+
+    // Pass 2: rewrite. Spilled references go through scratch registers free
+    // at the instruction's span.
+    let ni_copy = ni;
+    let phys = |d: usize| -> PhysReg {
+        if d < ni_copy {
+            PhysReg::int(d as u8)
+        } else {
+            PhysReg::float((d - ni_copy) as u8)
+        }
+    };
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let first = lt.first_inst(b);
+        let insts = std::mem::take(&mut f.block_mut(b).insts);
+        let mut out: Vec<Ins> = Vec::with_capacity(insts.len());
+        for (k, mut ins) in insts.into_iter().enumerate() {
+            let gi = first + k as u32;
+            let span = TwoPass::point_span(gi);
+            let mut free: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+            for class in RegClass::ALL {
+                let range = match class {
+                    RegClass::Int => 0..ni_copy,
+                    RegClass::Float => ni_copy..nregs,
+                };
+                free[class.index()] =
+                    range.filter(|&d| !regs[d].overlaps(span)).collect();
+            }
+            let mut scratch_of: Vec<(Temp, PhysReg)> = Vec::new();
+            let mut pre: Vec<Ins> = Vec::new();
+            let mut post: Vec<Ins> = Vec::new();
+            // Loads for spilled sources.
+            let mut src_temps = Vec::new();
+            ins.inst.for_each_use(|r| {
+                if let Reg::Temp(t) = r {
+                    if !src_temps.contains(&t) {
+                        src_temps.push(t);
+                    }
+                }
+            });
+            for t in src_temps {
+                if spilled[t.index()] {
+                    let class = f.temp_class(t);
+                    let d = free[class.index()].pop().unwrap_or_else(|| {
+                        panic!("no scratch register at instruction {gi} for {t}")
+                    });
+                    let r = phys(d);
+                    f.slot_for(t);
+                    pre.push(Ins::tagged(
+                        Inst::SpillLoad { dst: Reg::Phys(r), temp: t },
+                        SpillTag::EvictLoad,
+                    ));
+                    stats.record_insert(SpillTag::EvictLoad);
+                    scratch_of.push((t, r));
+                }
+            }
+            // Rewrite operands.
+            ins.inst.for_each_use_mut(|r| {
+                if let Reg::Temp(t) = *r {
+                    *r = if spilled[t.index()] {
+                        let (_, p) =
+                            scratch_of.iter().find(|(u, _)| *u == t).expect("scratch mapped");
+                        Reg::Phys(*p)
+                    } else {
+                        Reg::Phys(assigned[t.index()].expect("assigned register"))
+                    };
+                }
+            });
+            let mut def_temp = None;
+            ins.inst.for_each_def(|r| {
+                if let Reg::Temp(t) = r {
+                    def_temp = Some(t);
+                }
+            });
+            if let Some(t) = def_temp {
+                let r = if spilled[t.index()] {
+                    let class = f.temp_class(t);
+                    // Reuse a source scratch of the same class if possible.
+                    let r = scratch_of
+                        .iter()
+                        .find(|(_, p)| p.class == class)
+                        .map(|(_, p)| *p)
+                        .unwrap_or_else(|| {
+                            let d = free[class.index()].pop().unwrap_or_else(|| {
+                                panic!("no scratch register at instruction {gi} for def {t}")
+                            });
+                            phys(d)
+                        });
+                    f.slot_for(t);
+                    // Two-pass binpacking "does not avoid unnecessary
+                    // stores": every definition writes memory immediately.
+                    post.push(Ins::tagged(
+                        Inst::SpillStore { src: Reg::Phys(r), temp: t },
+                        SpillTag::EvictStore,
+                    ));
+                    stats.record_insert(SpillTag::EvictStore);
+                    r
+                } else {
+                    assigned[t.index()].expect("assigned register")
+                };
+                ins.inst.for_each_def_mut(|d| {
+                    if matches!(*d, Reg::Temp(_)) {
+                        *d = Reg::Phys(r);
+                    }
+                });
+            }
+            let is_terminator = ins.inst.is_terminator();
+            out.append(&mut pre);
+            if is_terminator {
+                // A terminator cannot define a temp; post is always empty.
+                debug_assert!(post.is_empty());
+                out.push(ins);
+            } else {
+                out.push(ins);
+                out.append(&mut post);
+            }
+        }
+        f.block_mut(b).insts = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AllocStats;
+    use lsra_ir::{Cond, ExtFn, FunctionBuilder, MachineSpec, RegClass};
+
+    #[test]
+    fn reg_intervals_overlap_queries() {
+        let mut r = RegIntervals::default();
+        r.insert(Segment::new(Point(10), Point(20)), Some(Temp(0)));
+        r.insert(Segment::new(Point(30), Point(40)), None);
+        assert!(r.overlaps(Segment::new(Point(15), Point(18))));
+        assert!(r.overlaps(Segment::new(Point(5), Point(10))));
+        assert!(r.overlaps(Segment::new(Point(20), Point(25))));
+        assert!(!r.overlaps(Segment::new(Point(21), Point(29))));
+        assert_eq!(r.overlapping_owner(Segment::new(Point(35), Point(35))), Some(None));
+        assert_eq!(
+            r.overlapping_owner(Segment::new(Point(12), Point(12))),
+            Some(Some(Temp(0)))
+        );
+        r.remove_owner(Temp(0));
+        assert!(!r.overlaps(Segment::new(Point(15), Point(18))));
+        assert!(r.overlaps(Segment::new(Point(35), Point(35))), "precolored block remains");
+    }
+
+    #[test]
+    fn whole_lifetimes_go_to_register_or_memory() {
+        // Under pressure the two-pass allocator spills whole lifetimes:
+        // every reference of a spilled temp pays a point load/store.
+        let spec = MachineSpec::small(3, 2);
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let ts: Vec<_> = (0..6).map(|i| b.int_temp(&format!("t{i}"))).collect();
+        for (i, &t) in ts.iter().enumerate() {
+            b.movi(t, i as i64);
+        }
+        let acc = b.int_temp("acc");
+        b.movi(acc, 0);
+        for &t in &ts {
+            b.add(acc, acc, t);
+        }
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        let mut stats = AllocStats::default();
+        allocate(&mut f, &spec, &mut stats);
+        assert!(f.validate().is_ok());
+        assert!(!f.has_virtual_operands());
+        assert!(stats.spilled_temps > 0);
+        // A spilled temp with one def and one use costs exactly one store
+        // and one load: loads == uses of spilled temps.
+        assert!(stats.inserted_count(lsra_ir::SpillTag::EvictLoad) >= stats.spilled_temps as u64);
+        assert!(stats.inserted_count(lsra_ir::SpillTag::EvictStore) >= stats.spilled_temps as u64);
+    }
+
+    #[test]
+    fn call_crossers_cannot_use_caller_saved() {
+        let spec = MachineSpec::small(4, 2); // caller r0-r2, callee r3
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let keep = b.int_temp("keep");
+        b.movi(keep, 5);
+        b.call_ext(ExtFn::GetChar, &[], Some(RegClass::Int));
+        let out = b.int_temp("out");
+        b.add(out, keep, keep);
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        let mut stats = AllocStats::default();
+        allocate(&mut f, &spec, &mut stats);
+        f.allocated = true;
+        // keep either got the lone callee-saved register or was spilled;
+        // it must never sit in a caller-saved register across the call.
+        lsra_vm::check_function(&f, &spec).expect("statically valid");
+    }
+
+    #[test]
+    fn loop_spills_repeat_every_iteration() {
+        // The defining property vs. second chance: a spilled temp's loop
+        // references pay memory traffic on every iteration.
+        let spec = MachineSpec::small(3, 2);
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let ts: Vec<_> = (0..4).map(|i| b.int_temp(&format!("t{i}"))).collect();
+        for &t in &ts {
+            b.movi(t, 1);
+        }
+        let n = b.int_temp("n");
+        b.movi(n, 10);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(Cond::Le, n, exit, body);
+        b.switch_to(body);
+        for &t in &ts {
+            b.add(t, t, n);
+        }
+        b.addi(n, n, -1);
+        b.jump(head);
+        b.switch_to(exit);
+        let out = b.int_temp("out");
+        b.movi(out, 0);
+        for &t in &ts {
+            b.add(out, out, t);
+        }
+        b.ret(Some(out.into()));
+        let module = {
+            let mut mb = lsra_ir::ModuleBuilder::new("t", 0);
+            let id = mb.add(b.finish());
+            mb.entry(id);
+            mb.finish()
+        };
+        let mut m = module.clone();
+        let mut stats = AllocStats::default();
+        for id in m.func_ids().collect::<Vec<_>>() {
+            allocate(m.func_mut(id), &spec, &mut stats);
+            m.func_mut(id).allocated = true;
+        }
+        let r = lsra_vm::verify_allocation(
+            &module,
+            &m,
+            &spec,
+            &[],
+            lsra_vm::VmOptions::default(),
+        )
+        .expect("verified");
+        // Dynamic spill count scales with iterations (10 iterations, at
+        // least one spilled temp referenced each time).
+        assert!(r.counts.spill_total() >= 10, "got {}", r.counts.spill_total());
+    }
+}

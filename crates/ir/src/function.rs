@@ -1,0 +1,420 @@
+//! Functions: CFGs of basic blocks plus the temporary table.
+
+use std::fmt;
+
+use crate::block::{Block, BlockId};
+use crate::inst::{Inst, OpCode};
+use crate::reg::{Reg, RegClass, Temp};
+
+/// Per-temporary metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TempInfo {
+    /// Register class the temporary must be allocated in.
+    pub class: RegClass,
+    /// Optional source-level name (for diagnostics and printing).
+    pub name: Option<String>,
+}
+
+/// A spill-slot index within a function's frame.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// Dense index of the slot in the frame.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A function: a list of basic blocks in *linear order* (the order the
+/// linear-scan allocator sweeps, Figure 1b of the paper), a temporary table,
+/// and — after allocation — a spill-slot assignment.
+///
+/// The entry block is always block 0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Basic blocks; vector order is the linear order and `blocks[0]` is the
+    /// entry.
+    pub blocks: Vec<Block>,
+    /// Temporary metadata, indexed by [`Temp`].
+    pub temps: Vec<TempInfo>,
+    /// Parameter temporaries (for documentation/printing; parameter values
+    /// arrive via explicit moves from argument registers in block 0).
+    pub params: Vec<Temp>,
+    /// Spill slot for each temporary that acquired a memory home, indexed by
+    /// [`Temp`]. Filled in by register allocators.
+    pub spill_slots: Vec<Option<SlotId>>,
+    /// Number of spill slots in the frame.
+    pub num_slots: u32,
+    /// True once a register allocator has rewritten the function so that
+    /// every operand is physical.
+    pub allocated: bool,
+}
+
+impl Function {
+    /// Creates an empty function (no blocks yet).
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            blocks: Vec::new(),
+            temps: Vec::new(),
+            params: Vec::new(),
+            spill_slots: Vec::new(),
+            num_slots: 0,
+            allocated: false,
+        }
+    }
+
+    /// The entry block id (always block 0).
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Number of basic blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of temporaries (register candidates).
+    #[inline]
+    pub fn num_temps(&self) -> usize {
+        self.temps.len()
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Creates a fresh temporary of the given class.
+    pub fn new_temp(&mut self, class: RegClass, name: Option<String>) -> Temp {
+        let t = Temp(self.temps.len() as u32);
+        self.temps.push(TempInfo { class, name });
+        self.spill_slots.push(None);
+        t
+    }
+
+    /// The register class of a temporary.
+    #[inline]
+    pub fn temp_class(&self, t: Temp) -> RegClass {
+        self.temps[t.index()].class
+    }
+
+    /// The class of any register operand.
+    pub fn reg_class(&self, r: Reg) -> RegClass {
+        match r {
+            Reg::Temp(t) => self.temp_class(t),
+            Reg::Phys(p) => p.class,
+        }
+    }
+
+    /// Returns (allocating on first request) the spill slot of `t`.
+    pub fn slot_for(&mut self, t: Temp) -> SlotId {
+        if let Some(s) = self.spill_slots[t.index()] {
+            return s;
+        }
+        let s = SlotId(self.num_slots);
+        self.num_slots += 1;
+        self.spill_slots[t.index()] = Some(s);
+        s
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        id
+    }
+
+    /// Shared access to a block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// All block ids in linear order.
+    pub fn block_ids(&self) -> impl DoubleEndedIterator<Item = BlockId> + ExactSizeIterator {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
+        self.block(b).succs()
+    }
+
+    /// Predecessor lists for every block, indexed by block.
+    pub fn compute_preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.succs(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Checks structural and type well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] describing the first violation found:
+    /// malformed blocks, out-of-range block or temporary references, operand
+    /// class mismatches, or leftover virtual operands in an `allocated`
+    /// function.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let err = |b: BlockId, i: usize, msg: String| {
+            Err(ValidateError { func: self.name.clone(), block: b, inst: i, msg })
+        };
+        if self.blocks.is_empty() {
+            return Err(ValidateError {
+                func: self.name.clone(),
+                block: BlockId(0),
+                inst: 0,
+                msg: "function has no blocks".into(),
+            });
+        }
+        for b in self.block_ids() {
+            let blk = self.block(b);
+            if !blk.is_well_formed() {
+                return err(b, blk.insts.len().saturating_sub(1), "malformed block".into());
+            }
+            for (i, ins) in blk.insts.iter().enumerate() {
+                let inst = &ins.inst;
+                // Check temp indices and collect class constraints.
+                let mut bad: Option<String> = None;
+                let mut check = |r: Reg, want: Option<RegClass>| {
+                    if bad.is_some() {
+                        return;
+                    }
+                    if let Reg::Temp(t) = r {
+                        if t.index() >= self.temps.len() {
+                            bad = Some(format!("unknown temp {t}"));
+                            return;
+                        }
+                        if self.allocated {
+                            bad = Some(format!("virtual operand {t} in allocated function"));
+                            return;
+                        }
+                    }
+                    if let Some(w) = want {
+                        if self.reg_class(r) != w {
+                            bad = Some(format!("operand {r} must be class {w}"));
+                        }
+                    }
+                };
+                match inst {
+                    Inst::Op { op, dst, srcs } => {
+                        if srcs.len() != op.arity() {
+                            return err(b, i, format!("{} expects {} sources", op.mnemonic(), op.arity()));
+                        }
+                        let (sc, dc) = op.sig();
+                        for &s in srcs {
+                            check(s, Some(sc));
+                        }
+                        check(*dst, Some(dc));
+                    }
+                    Inst::MovI { dst, .. } => check(*dst, Some(RegClass::Int)),
+                    Inst::MovF { dst, .. } => check(*dst, Some(RegClass::Float)),
+                    Inst::Mov { dst, src } => {
+                        check(*src, None);
+                        check(*dst, None);
+                        if bad.is_none() && self.reg_class(*dst) != self.reg_class(*src) {
+                            bad = Some("move between register classes".into());
+                        }
+                    }
+                    Inst::Load { dst, base, .. } => {
+                        check(*base, Some(RegClass::Int));
+                        check(*dst, None);
+                    }
+                    Inst::Store { src, base, .. } => {
+                        check(*base, Some(RegClass::Int));
+                        check(*src, None);
+                    }
+                    Inst::SpillLoad { dst, temp } => {
+                        if temp.index() >= self.temps.len() {
+                            return err(b, i, format!("unknown spilled temp {temp}"));
+                        }
+                        check(*dst, Some(self.temp_class(*temp)));
+                    }
+                    Inst::SpillStore { src, temp } => {
+                        if temp.index() >= self.temps.len() {
+                            return err(b, i, format!("unknown spilled temp {temp}"));
+                        }
+                        check(*src, Some(self.temp_class(*temp)));
+                    }
+                    Inst::Call { .. } => {}
+                    Inst::Jump { target } => {
+                        if target.index() >= self.blocks.len() {
+                            return err(b, i, format!("jump to unknown block {target}"));
+                        }
+                    }
+                    Inst::Branch { src, then_tgt, else_tgt, .. } => {
+                        check(*src, Some(RegClass::Int));
+                        for t in [then_tgt, else_tgt] {
+                            if t.index() >= self.blocks.len() {
+                                return err(b, i, format!("branch to unknown block {t}"));
+                            }
+                        }
+                    }
+                    Inst::Ret { .. } => {}
+                }
+                if let Some(msg) = bad {
+                    return err(b, i, msg);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts the move instructions sourced from `op` (used by tests and the
+    /// move-optimization statistics).
+    pub fn count_insts(&self, mut pred: impl FnMut(&Inst) -> bool) -> usize {
+        self.blocks.iter().flat_map(|b| &b.insts).filter(|i| pred(&i.inst)).count()
+    }
+
+    /// True if any instruction still references a virtual temporary.
+    pub fn has_virtual_operands(&self) -> bool {
+        for b in &self.blocks {
+            for ins in &b.insts {
+                let mut found = false;
+                ins.inst.for_each_use(|r| found |= r.is_temp());
+                ins.inst.for_each_def(|r| found |= r.is_temp());
+                if found {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Static count of ALU operations using `op` (handy in tests).
+    pub fn count_opcode(&self, op: OpCode) -> usize {
+        self.count_insts(|i| matches!(i, Inst::Op { op: o, .. } if *o == op))
+    }
+}
+
+/// A structural or type error found by [`Function::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Offending function.
+    pub func: String,
+    /// Offending block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in {}, {} inst {}: {}", self.func, self.block, self.inst, self.msg)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Cond;
+
+    fn skeleton() -> Function {
+        let mut f = Function::new("t");
+        let b0 = f.add_block();
+        f.block_mut(b0).insts.push(Inst::Ret { ret_regs: vec![] }.into());
+        f
+    }
+
+    #[test]
+    fn fresh_temps_are_dense() {
+        let mut f = Function::new("t");
+        let a = f.new_temp(RegClass::Int, None);
+        let b = f.new_temp(RegClass::Float, Some("x".into()));
+        assert_eq!(a, Temp(0));
+        assert_eq!(b, Temp(1));
+        assert_eq!(f.temp_class(a), RegClass::Int);
+        assert_eq!(f.temp_class(b), RegClass::Float);
+    }
+
+    #[test]
+    fn slots_are_stable() {
+        let mut f = Function::new("t");
+        let a = f.new_temp(RegClass::Int, None);
+        let b = f.new_temp(RegClass::Int, None);
+        let s1 = f.slot_for(a);
+        let s2 = f.slot_for(b);
+        assert_ne!(s1, s2);
+        assert_eq!(f.slot_for(a), s1, "slot assignment must be idempotent");
+        assert_eq!(f.num_slots, 2);
+    }
+
+    #[test]
+    fn validate_accepts_minimal_function() {
+        assert_eq!(skeleton().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_class_mismatch() {
+        let mut f = skeleton();
+        let t = f.new_temp(RegClass::Float, None);
+        f.block_mut(BlockId(0)).insts.insert(
+            0,
+            Inst::Op { op: OpCode::Add, dst: Reg::Temp(t), srcs: vec![Reg::Temp(t), Reg::Temp(t)] }
+                .into(),
+        );
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_branch_target() {
+        let mut f = skeleton();
+        let t = f.new_temp(RegClass::Int, None);
+        let b1 = f.add_block();
+        f.block_mut(b1).insts.push(
+            Inst::Branch { cond: Cond::Ne, src: Reg::Temp(t), then_tgt: BlockId(9), else_tgt: BlockId(0) }
+                .into(),
+        );
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_virtuals_after_allocation() {
+        let mut f = skeleton();
+        let t = f.new_temp(RegClass::Int, None);
+        f.block_mut(BlockId(0))
+            .insts
+            .insert(0, Inst::MovI { dst: Reg::Temp(t), imm: 1 }.into());
+        assert!(f.validate().is_ok());
+        f.allocated = true;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn preds_are_computed() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let t = f.new_temp(RegClass::Int, None);
+        f.block_mut(b0).insts.push(
+            Inst::Branch { cond: Cond::Ne, src: Reg::Temp(t), then_tgt: b1, else_tgt: b2 }.into(),
+        );
+        f.block_mut(b1).insts.push(Inst::Jump { target: b2 }.into());
+        f.block_mut(b2).insts.push(Inst::Ret { ret_regs: vec![] }.into());
+        let preds = f.compute_preds();
+        assert_eq!(preds[b2.index()], vec![b0, b1]);
+        assert_eq!(preds[b0.index()], Vec::<BlockId>::new());
+    }
+}

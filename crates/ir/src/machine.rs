@@ -1,0 +1,242 @@
+//! Machine descriptions: register counts, register classes, and the
+//! calling-convention register sets that shape register lifetime holes (§2.5
+//! of the paper).
+
+use crate::reg::{PhysReg, RegClass};
+
+/// A description of a target machine's allocatable register files and
+/// calling convention.
+///
+/// The paper targets the Digital Alpha; [`MachineSpec::alpha_like`] models
+/// its essential structure (two files, caller-/callee-saved split, argument
+/// registers). Small configurations (see [`MachineSpec::small`]) are useful
+/// for stress-testing spilling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineSpec {
+    name: String,
+    num_regs: [u8; 2],
+    caller_saved: [Vec<u8>; 2],
+    arg_regs: [Vec<u8>; 2],
+    ret_regs: [Vec<u8>; 2],
+}
+
+impl MachineSpec {
+    /// Creates a machine description.
+    ///
+    /// `num_regs` gives the allocatable register count per class (indexed by
+    /// [`RegClass::index`]); `caller_saved` lists the caller-saved register
+    /// indices per class; `arg_regs` the argument-passing registers; and
+    /// `ret_regs` the return-value registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed register index is out of range, or if argument
+    /// or return registers are not caller-saved (a convention this model
+    /// requires: values arriving in or leaving through those registers are
+    /// not preserved across calls).
+    pub fn new(
+        name: impl Into<String>,
+        num_regs: [u8; 2],
+        caller_saved: [Vec<u8>; 2],
+        arg_regs: [Vec<u8>; 2],
+        ret_regs: [Vec<u8>; 2],
+    ) -> Self {
+        for c in RegClass::ALL {
+            let i = c.index();
+            for &r in caller_saved[i].iter().chain(&arg_regs[i]).chain(&ret_regs[i]) {
+                assert!(r < num_regs[i], "register {c}{r} out of range");
+            }
+            for &r in arg_regs[i].iter().chain(&ret_regs[i]) {
+                assert!(
+                    caller_saved[i].contains(&r),
+                    "argument/return register {c}{r} must be caller-saved"
+                );
+            }
+        }
+        MachineSpec { name: name.into(), num_regs, caller_saved, arg_regs, ret_regs }
+    }
+
+    /// An Alpha-like machine: 25 allocatable integer registers and 28
+    /// floating-point registers. Registers `0..=14` (int) and `0..=15`
+    /// (float) are caller-saved; argument values travel in registers `1..=6`
+    /// of each class and return values in register `0`.
+    ///
+    /// The true Alpha reserves several integer registers (sp, gp, at, zero,
+    /// ra, pv); we model only the allocatable remainder, which is what the
+    /// register allocators compete for.
+    pub fn alpha_like() -> Self {
+        MachineSpec::new(
+            "alpha-like",
+            [25, 28],
+            [(0..=14).collect(), (0..=15).collect()],
+            [(1..=6).collect(), (1..=6).collect()],
+            [vec![0], vec![0]],
+        )
+    }
+
+    /// A small machine with `int` integer and `float` floating-point
+    /// registers, for spill stress tests. Roughly half of each file is
+    /// caller-saved; one argument register per class (two if the file has at
+    /// least four registers); return register `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is less than 2 (a return register plus at
+    /// least one other register are required).
+    pub fn small(int: u8, float: u8) -> Self {
+        assert!(int >= 2 && float >= 2, "need at least 2 registers per class");
+        let args = |n: u8| -> Vec<u8> {
+            if n >= 4 {
+                vec![1, 2]
+            } else {
+                vec![1]
+            }
+        };
+        // Caller-saved: at least half of the file, and always enough to
+        // cover the argument and return registers (which must be
+        // caller-saved).
+        let caller = |n: u8| -> Vec<u8> {
+            let max_arg = *args(n).iter().max().unwrap();
+            (0..n.div_ceil(2).max(max_arg + 1)).collect()
+        };
+        MachineSpec::new(
+            format!("small-{int}i{float}f"),
+            [int, float],
+            [caller(int), caller(float)],
+            [args(int), args(float)],
+            [vec![0], vec![0]],
+        )
+    }
+
+    /// The machine's name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of allocatable registers in `class`.
+    #[inline]
+    pub fn num_regs(&self, class: RegClass) -> u8 {
+        self.num_regs[class.index()]
+    }
+
+    /// Iterates over every allocatable register of `class`.
+    pub fn regs(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
+        (0..self.num_regs(class)).map(move |i| PhysReg::new(class, i))
+    }
+
+    /// Iterates over every allocatable register of both classes.
+    pub fn all_regs(&self) -> impl Iterator<Item = PhysReg> + '_ {
+        RegClass::ALL.into_iter().flat_map(|c| self.regs(c))
+    }
+
+    /// True if `reg` is clobbered by a call (not preserved by callees).
+    #[inline]
+    pub fn is_caller_saved(&self, reg: PhysReg) -> bool {
+        self.caller_saved[reg.class.index()].contains(&reg.index)
+    }
+
+    /// True if `reg` is preserved across calls by the callee.
+    #[inline]
+    pub fn is_callee_saved(&self, reg: PhysReg) -> bool {
+        !self.is_caller_saved(reg)
+    }
+
+    /// The caller-saved registers of `class`.
+    pub fn caller_saved(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
+        self.caller_saved[class.index()].iter().map(move |&i| PhysReg::new(class, i))
+    }
+
+    /// The callee-saved registers of `class`.
+    pub fn callee_saved(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
+        self.regs(class).filter(|&r| self.is_callee_saved(r))
+    }
+
+    /// The argument-passing registers of `class`, in argument order.
+    pub fn arg_regs(&self, class: RegClass) -> &[u8] {
+        &self.arg_regs[class.index()]
+    }
+
+    /// The `i`-th argument register of `class`, if the convention has one.
+    pub fn arg_reg(&self, class: RegClass, i: usize) -> Option<PhysReg> {
+        self.arg_regs[class.index()].get(i).map(|&r| PhysReg::new(class, r))
+    }
+
+    /// The (first) return-value register of `class`.
+    pub fn ret_reg(&self, class: RegClass) -> PhysReg {
+        PhysReg::new(class, self.ret_regs[class.index()][0])
+    }
+
+    /// Total allocatable registers across both classes.
+    pub fn total_regs(&self) -> usize {
+        self.num_regs.iter().map(|&n| n as usize).sum()
+    }
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec::alpha_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_like_register_counts() {
+        let m = MachineSpec::alpha_like();
+        assert_eq!(m.num_regs(RegClass::Int), 25);
+        assert_eq!(m.num_regs(RegClass::Float), 28);
+        assert_eq!(m.total_regs(), 53);
+        assert_eq!(m.regs(RegClass::Int).count(), 25);
+    }
+
+    #[test]
+    fn alpha_like_conventions() {
+        let m = MachineSpec::alpha_like();
+        assert!(m.is_caller_saved(PhysReg::int(0)));
+        assert!(m.is_caller_saved(PhysReg::int(14)));
+        assert!(m.is_callee_saved(PhysReg::int(15)));
+        assert!(m.is_callee_saved(PhysReg::int(24)));
+        assert_eq!(m.arg_reg(RegClass::Int, 0), Some(PhysReg::int(1)));
+        assert_eq!(m.arg_reg(RegClass::Int, 5), Some(PhysReg::int(6)));
+        assert_eq!(m.arg_reg(RegClass::Int, 6), None);
+        assert_eq!(m.ret_reg(RegClass::Float), PhysReg::float(0));
+    }
+
+    #[test]
+    fn caller_callee_partition() {
+        let m = MachineSpec::alpha_like();
+        for c in RegClass::ALL {
+            let caller: Vec<_> = m.caller_saved(c).collect();
+            let callee: Vec<_> = m.callee_saved(c).collect();
+            assert_eq!(caller.len() + callee.len(), m.num_regs(c) as usize);
+            for r in &caller {
+                assert!(!callee.contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn small_machine() {
+        let m = MachineSpec::small(4, 2);
+        assert_eq!(m.num_regs(RegClass::Int), 4);
+        assert_eq!(m.caller_saved(RegClass::Int).count(), 3);
+        assert!(m.is_caller_saved(PhysReg::int(2)), "arg registers are caller-saved");
+        assert!(m.is_callee_saved(PhysReg::int(3)));
+        assert_eq!(m.arg_reg(RegClass::Int, 0), Some(PhysReg::int(1)));
+        assert_eq!(m.arg_reg(RegClass::Float, 0), Some(PhysReg::float(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_registers() {
+        MachineSpec::new("bad", [2, 2], [vec![5], vec![]], [vec![], vec![]], [vec![0], vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be caller-saved")]
+    fn rejects_callee_saved_arg_regs() {
+        MachineSpec::new("bad", [4, 4], [vec![0], vec![0]], [vec![3], vec![]], [vec![0], vec![0]]);
+    }
+}

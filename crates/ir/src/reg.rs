@@ -1,0 +1,231 @@
+//! Register operands: virtual temporaries and physical (machine) registers.
+//!
+//! The paper calls every allocation candidate — program variable or
+//! compiler-generated value — a *temporary* (§2.1). Before allocation,
+//! instructions reference [`Temp`]s (plus a few precolored [`PhysReg`]s at
+//! call boundaries); after allocation every operand is a [`PhysReg`].
+
+use std::fmt;
+
+/// A machine register file. The Digital Alpha, the paper's target, has
+/// separate integer and floating-point files that cannot exchange values
+/// except through memory (§3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// General-purpose (integer/pointer) registers.
+    Int,
+    /// Floating-point registers.
+    Float,
+}
+
+impl RegClass {
+    /// Both classes, in a fixed order usable for indexing per-class tables.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Float];
+
+    /// A dense index (0 or 1) for per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Float => 1,
+        }
+    }
+
+    /// Short mnemonic used by the IR printer (`i` / `f`).
+    pub fn mnemonic(self) -> char {
+        match self {
+            RegClass::Int => 'i',
+            RegClass::Float => 'f',
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A virtual register: an allocation candidate ("temporary" in the paper).
+///
+/// The integer is an index into the owning function's temporary table, which
+/// records the class and optional name of each temporary.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Temp(pub u32);
+
+impl Temp {
+    /// The dense index of this temporary within its function.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Temp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Temp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A physical machine register: a class plus an index within that class's
+/// allocatable register set (`0..MachineSpec::num_regs(class)`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg {
+    /// Which register file this register belongs to.
+    pub class: RegClass,
+    /// Index within the file.
+    pub index: u8,
+}
+
+impl PhysReg {
+    /// Creates a physical register reference.
+    #[inline]
+    pub fn new(class: RegClass, index: u8) -> Self {
+        PhysReg { class, index }
+    }
+
+    /// An integer register.
+    #[inline]
+    pub fn int(index: u8) -> Self {
+        PhysReg::new(RegClass::Int, index)
+    }
+
+    /// A floating-point register.
+    #[inline]
+    pub fn float(index: u8) -> Self {
+        PhysReg::new(RegClass::Float, index)
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Float => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A register operand: either a virtual temporary (pre-allocation) or a
+/// physical register (precolored operand, or post-allocation).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// A virtual temporary awaiting allocation.
+    Temp(Temp),
+    /// A physical machine register.
+    Phys(PhysReg),
+}
+
+impl Reg {
+    /// Returns the temporary if this operand is virtual.
+    #[inline]
+    pub fn as_temp(self) -> Option<Temp> {
+        match self {
+            Reg::Temp(t) => Some(t),
+            Reg::Phys(_) => None,
+        }
+    }
+
+    /// Returns the physical register if this operand is precolored/allocated.
+    #[inline]
+    pub fn as_phys(self) -> Option<PhysReg> {
+        match self {
+            Reg::Phys(p) => Some(p),
+            Reg::Temp(_) => None,
+        }
+    }
+
+    /// True if this operand is a virtual temporary.
+    #[inline]
+    pub fn is_temp(self) -> bool {
+        matches!(self, Reg::Temp(_))
+    }
+
+    /// True if this operand is a physical register.
+    #[inline]
+    pub fn is_phys(self) -> bool {
+        matches!(self, Reg::Phys(_))
+    }
+}
+
+impl From<Temp> for Reg {
+    fn from(t: Temp) -> Reg {
+        Reg::Temp(t)
+    }
+}
+
+impl From<PhysReg> for Reg {
+    fn from(p: PhysReg) -> Reg {
+        Reg::Phys(p)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Temp(t) => write!(f, "{t}"),
+            Reg::Phys(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense() {
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Float.index(), 1);
+        for (i, c) in RegClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn reg_conversions() {
+        let t = Temp(7);
+        let r: Reg = t.into();
+        assert_eq!(r.as_temp(), Some(t));
+        assert_eq!(r.as_phys(), None);
+        assert!(r.is_temp());
+
+        let p = PhysReg::int(3);
+        let r: Reg = p.into();
+        assert_eq!(r.as_phys(), Some(p));
+        assert!(r.is_phys());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Temp(4).to_string(), "t4");
+        assert_eq!(PhysReg::int(2).to_string(), "r2");
+        assert_eq!(PhysReg::float(9).to_string(), "f9");
+        assert_eq!(Reg::Temp(Temp(1)).to_string(), "t1");
+    }
+
+    #[test]
+    fn phys_reg_ordering_groups_by_class() {
+        let a = PhysReg::int(31);
+        let b = PhysReg::float(0);
+        assert!(a < b, "all int registers sort before float registers");
+    }
+}

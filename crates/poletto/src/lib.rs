@@ -1,0 +1,557 @@
+//! **Simple linear scan** in the style of Poletto, Engler & Kaashoek's `tcc`
+//! (§4 of the paper): the related-work comparator.
+//!
+//! The allocator walks a list of whole lifetime intervals sorted by start
+//! point and keeps an *active* set; when too many lifetimes compete, the one
+//! with the furthest end point is spilled to memory for its entire lifetime.
+//! "No attempt is made to take advantage of lifetime holes or to allocate
+//! partial lifetimes."
+//!
+//! Extensions needed for a real calling convention (absent from `tcc`'s
+//! single-register-class setting) are handled conservatively: an interval
+//! may only use a register none of whose precolored-blocked segments (call
+//! clobbers included) overlap the interval — so values live across calls
+//! compete for callee-saved registers only, with no second chance.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsra_core::RegisterAllocator;
+//! use lsra_ir::{FunctionBuilder, MachineSpec, RegClass};
+//! use lsra_poletto::PolettoAllocator;
+//!
+//! let spec = MachineSpec::alpha_like();
+//! let mut b = FunctionBuilder::new(&spec, "f", &[RegClass::Int]);
+//! let x = b.param(0);
+//! let y = b.int_temp("y");
+//! b.add(y, x, x);
+//! b.ret(Some(y.into()));
+//! let mut f = b.finish();
+//!
+//! let stats = PolettoAllocator::default().allocate_function(&mut f, &spec);
+//! assert!(f.allocated);
+//! assert_eq!(stats.inserted_total(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use lsra_analysis::{Lifetimes, Point, Segment};
+use lsra_core::{AllocStats, RegisterAllocator};
+use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
+
+/// Non-overlapping occupied intervals of one register.
+#[derive(Debug, Default)]
+struct RegIntervals {
+    map: BTreeMap<u32, (u32, Option<Temp>)>,
+}
+
+impl RegIntervals {
+    fn overlapping_owner(&self, seg: Segment) -> Option<Option<Temp>> {
+        self.map
+            .range(..=seg.end.0)
+            .next_back()
+            .filter(|(_, (end, _))| *end >= seg.start.0)
+            .map(|(_, (_, owner))| *owner)
+    }
+
+    fn overlaps(&self, seg: Segment) -> bool {
+        self.overlapping_owner(seg).is_some()
+    }
+
+    fn insert(&mut self, seg: Segment, owner: Option<Temp>) {
+        self.map.insert(seg.start.0, (seg.end.0, owner));
+    }
+
+    fn remove_owner(&mut self, t: Temp) {
+        self.map.retain(|_, (_, o)| *o != Some(t));
+    }
+}
+
+/// The `tcc`-style linear-scan allocator.
+#[derive(Clone, Debug, Default)]
+pub struct PolettoAllocator;
+
+impl PolettoAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        PolettoAllocator
+    }
+}
+
+struct State<'a> {
+    f: &'a Function,
+    lt: &'a Lifetimes,
+    ni: usize,
+    regs: Vec<RegIntervals>,
+    assigned: Vec<Option<PhysReg>>,
+    spilled: Vec<bool>,
+}
+
+impl<'a> State<'a> {
+    fn phys(&self, d: usize) -> PhysReg {
+        if d < self.ni {
+            PhysReg::int(d as u8)
+        } else {
+            PhysReg::float((d - self.ni) as u8)
+        }
+    }
+
+    fn dense(&self, p: PhysReg) -> usize {
+        match p.class {
+            RegClass::Int => p.index as usize,
+            RegClass::Float => self.ni + p.index as usize,
+        }
+    }
+
+    fn class_range(&self, class: RegClass) -> std::ops::Range<usize> {
+        match class {
+            RegClass::Int => 0..self.ni,
+            RegClass::Float => self.ni..self.regs.len(),
+        }
+    }
+
+    /// Whole lifetime of `t` as one interval (no holes).
+    fn interval(&self, t: Temp) -> Option<Segment> {
+        self.lt.lifetime(t)
+    }
+
+    fn unassign(&mut self, t: Temp) {
+        if let Some(p) = self.assigned[t.index()].take() {
+            let d = self.dense(p);
+            self.regs[d].remove_owner(t);
+        }
+        self.spilled[t.index()] = true;
+    }
+
+    /// The linear scan over sorted intervals.
+    fn scan(&mut self) {
+        let mut order: Vec<(Segment, Temp)> = (0..self.f.num_temps() as u32)
+            .map(Temp)
+            .filter_map(|t| self.interval(t).map(|s| (s, t)))
+            .collect();
+        order.sort_by_key(|(s, t)| (s.start, t.0));
+        for (iv, t) in order {
+            let class = self.f.temp_class(t);
+            // First fit among registers with no conflicting occupancy over
+            // the whole interval.
+            if let Some(d) = self.class_range(class).find(|&d| !self.regs[d].overlaps(iv)) {
+                self.regs[d].insert(iv, Some(t));
+                self.assigned[t.index()] = Some(self.phys(d));
+                continue;
+            }
+            // Spill the active interval with the furthest end whose register
+            // would become usable for the current interval; if none ends
+            // later than the current interval, spill the current one.
+            let mut victim: Option<(Point, Temp, usize)> = None;
+            for d in self.class_range(class) {
+                let Some(Some(a)) =
+                    self.regs[d].overlapping_owner(Segment::new(iv.start, iv.start))
+                else {
+                    continue;
+                };
+                let a_iv = self.interval(a).expect("active interval exists");
+                // After removing `a`, the register must be free over `iv`
+                // (precolored blocks may still conflict).
+                let conflicts = self
+                    .regs[d]
+                    .map
+                    .iter()
+                    .any(|(s, (e, o))| {
+                        *o != Some(a) && *s <= iv.end.0 && *e >= iv.start.0
+                    });
+                if conflicts {
+                    continue;
+                }
+                if victim.is_none() || a_iv.end > victim.unwrap().0 {
+                    victim = Some((a_iv.end, a, d));
+                }
+            }
+            match victim {
+                Some((end, a, d)) if end > iv.end => {
+                    self.unassign(a);
+                    self.regs[d].insert(iv, Some(t));
+                    self.assigned[t.index()] = Some(self.phys(d));
+                }
+                _ => self.spilled[t.index()] = true,
+            }
+        }
+    }
+
+    fn point_span(gi: u32) -> Segment {
+        Segment::new(Point::before(gi), Point::before(gi + 1))
+    }
+
+    fn free_at(&self, class: RegClass, span: Segment) -> Vec<usize> {
+        self.class_range(class).filter(|&d| !self.regs[d].overlaps(span)).collect()
+    }
+
+    /// Make sure spilled references can always find scratch registers,
+    /// spilling further victims if not (same approach as the two-pass
+    /// binpacking comparator).
+    fn ensure_point_feasibility(&mut self) {
+        loop {
+            let mut changed = false;
+            for b in self.f.block_ids() {
+                let first = self.lt.first_inst(b);
+                for (k, ins) in self.f.block(b).insts.iter().enumerate() {
+                    let gi = first + k as u32;
+                    let span = Self::point_span(gi);
+                    for class in RegClass::ALL {
+                        let mut srcs: Vec<Temp> = Vec::new();
+                        ins.inst.for_each_use(|r| {
+                            if let Reg::Temp(t) = r {
+                                if self.spilled[t.index()]
+                                    && self.f.temp_class(t) == class
+                                    && !srcs.contains(&t)
+                                {
+                                    srcs.push(t);
+                                }
+                            }
+                        });
+                        let mut need = srcs.len();
+                        let mut dst_extra = false;
+                        ins.inst.for_each_def(|r| {
+                            if let Reg::Temp(t) = r {
+                                if self.spilled[t.index()] && self.f.temp_class(t) == class {
+                                    dst_extra = srcs.is_empty();
+                                }
+                            }
+                        });
+                        if dst_extra {
+                            need += 1;
+                        }
+                        if need == 0 {
+                            continue;
+                        }
+                        while self.free_at(class, span).len() < need {
+                            let victim = self
+                                .victim_at(class, span)
+                                .unwrap_or_else(|| panic!("no scratch register at {gi}"));
+                            self.unassign(victim);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    fn victim_at(&self, class: RegClass, span: Segment) -> Option<Temp> {
+        let mut best: Option<(u32, Temp)> = None;
+        for d in self.class_range(class) {
+            if let Some(Some(t)) = self.regs[d].overlapping_owner(span) {
+                let iv = self.interval(t).unwrap();
+                let len = iv.end.0 - iv.start.0;
+                if best.is_none_or(|(l, _)| len > l) {
+                    best = Some((len, t));
+                }
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+}
+
+impl RegisterAllocator for PolettoAllocator {
+    fn name(&self) -> &str {
+        "simple linear scan (Poletto)"
+    }
+
+    fn allocate_function(&self, f: &mut Function, spec: &MachineSpec) -> AllocStats {
+        let start = Instant::now();
+        let mut stats = AllocStats { candidates: f.num_temps(), ..Default::default() };
+        let lt = Lifetimes::of(f, spec);
+        let ni = spec.num_regs(RegClass::Int) as usize;
+        let nregs = spec.total_regs();
+        let mut st = State {
+            f,
+            lt: &lt,
+            ni,
+            regs: (0..nregs).map(|_| RegIntervals::default()).collect(),
+            assigned: vec![None; f.num_temps()],
+            spilled: vec![false; f.num_temps()],
+        };
+        // Precolored blocked segments occupy their registers.
+        for d in 0..nregs {
+            let p = st.phys(d);
+            for &s in lt.blocked(p) {
+                st.regs[d].insert(s, None);
+            }
+        }
+        st.scan();
+        st.ensure_point_feasibility();
+        let assigned = st.assigned;
+        let spilled = st.spilled;
+        let regs = st.regs;
+        stats.spilled_temps = spilled.iter().filter(|&&s| s).count();
+
+        // Rewrite pass.
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let first = lt.first_inst(b);
+            let insts = std::mem::take(&mut f.block_mut(b).insts);
+            let mut out: Vec<Ins> = Vec::with_capacity(insts.len());
+            for (k, mut ins) in insts.into_iter().enumerate() {
+                let gi = first + k as u32;
+                let span = State::point_span(gi);
+                let mut free: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+                for class in RegClass::ALL {
+                    let range = match class {
+                        RegClass::Int => 0..ni,
+                        RegClass::Float => ni..nregs,
+                    };
+                    free[class.index()] = range.filter(|&d| !regs[d].overlaps(span)).collect();
+                }
+                let phys = |d: usize| -> PhysReg {
+                    if d < ni {
+                        PhysReg::int(d as u8)
+                    } else {
+                        PhysReg::float((d - ni) as u8)
+                    }
+                };
+                let mut pre: Vec<Ins> = Vec::new();
+                let mut post: Vec<Ins> = Vec::new();
+                let mut scratch_of: Vec<(Temp, PhysReg)> = Vec::new();
+                let mut src_temps = Vec::new();
+                ins.inst.for_each_use(|r| {
+                    if let Reg::Temp(t) = r {
+                        if !src_temps.contains(&t) {
+                            src_temps.push(t);
+                        }
+                    }
+                });
+                for t in src_temps {
+                    if spilled[t.index()] {
+                        let class = f.temp_class(t);
+                        let d = free[class.index()]
+                            .pop()
+                            .unwrap_or_else(|| panic!("no scratch at {gi} for {t}"));
+                        let r = phys(d);
+                        f.slot_for(t);
+                        pre.push(Ins::tagged(
+                            Inst::SpillLoad { dst: Reg::Phys(r), temp: t },
+                            SpillTag::EvictLoad,
+                        ));
+                        stats.record_insert(SpillTag::EvictLoad);
+                        scratch_of.push((t, r));
+                    }
+                }
+                ins.inst.for_each_use_mut(|r| {
+                    if let Reg::Temp(t) = *r {
+                        *r = if spilled[t.index()] {
+                            Reg::Phys(scratch_of.iter().find(|(u, _)| *u == t).unwrap().1)
+                        } else {
+                            Reg::Phys(assigned[t.index()].expect("assigned"))
+                        };
+                    }
+                });
+                let mut def_temp = None;
+                ins.inst.for_each_def(|r| {
+                    if let Reg::Temp(t) = r {
+                        def_temp = Some(t);
+                    }
+                });
+                if let Some(t) = def_temp {
+                    let r = if spilled[t.index()] {
+                        let class = f.temp_class(t);
+                        let r = scratch_of
+                            .iter()
+                            .find(|(_, p)| p.class == class)
+                            .map(|(_, p)| *p)
+                            .unwrap_or_else(|| {
+                                let d = free[class.index()]
+                                    .pop()
+                                    .unwrap_or_else(|| panic!("no def scratch at {gi}"));
+                                phys(d)
+                            });
+                        f.slot_for(t);
+                        post.push(Ins::tagged(
+                            Inst::SpillStore { src: Reg::Phys(r), temp: t },
+                            SpillTag::EvictStore,
+                        ));
+                        stats.record_insert(SpillTag::EvictStore);
+                        r
+                    } else {
+                        assigned[t.index()].expect("assigned")
+                    };
+                    ins.inst.for_each_def_mut(|d| {
+                        if matches!(*d, Reg::Temp(_)) {
+                            *d = Reg::Phys(r);
+                        }
+                    });
+                }
+                out.append(&mut pre);
+                out.push(ins);
+                out.append(&mut post);
+            }
+            f.block_mut(b).insts = out;
+        }
+        f.allocated = true;
+        stats.alloc_seconds = start.elapsed().as_secs_f64();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_ir::{Cond, ExtFn, FunctionBuilder, Module, ModuleBuilder};
+    use lsra_vm::{run_module, verify_allocation, VmOptions};
+
+    fn verify(module: &Module, spec: &MachineSpec, input: &[u8]) -> AllocStats {
+        let mut allocated = module.clone();
+        let stats = PolettoAllocator.allocate_module(&mut allocated, spec);
+        for id in allocated.func_ids().collect::<Vec<_>>() {
+            allocated.func(id).validate().unwrap_or_else(|e| panic!("invalid output: {e}"));
+        }
+        verify_allocation(module, &allocated, spec, input, VmOptions::default())
+            .unwrap_or_else(|m| panic!("poletto broke {}: {m}\n{allocated}", module.name));
+        stats
+    }
+
+    fn single(f: lsra_ir::Function) -> Module {
+        let mut mb = ModuleBuilder::new("t", 0);
+        let id = mb.add(f);
+        mb.entry(id);
+        mb.finish()
+    }
+
+    #[test]
+    fn simple_function() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let x = b.int_temp("x");
+        let y = b.int_temp("y");
+        b.movi(x, 20);
+        b.addi(y, x, 22);
+        b.ret(Some(y.into()));
+        let m = single(b.finish());
+        verify(&m, &spec, &[]);
+        assert_eq!(run_module(&m, &spec, &[]).unwrap().ret, Some(42));
+    }
+
+    #[test]
+    fn spills_longest_interval_under_pressure() {
+        let spec = MachineSpec::small(3, 2);
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let long = b.int_temp("long");
+        b.movi(long, 100);
+        let temps: Vec<_> = (0..6).map(|i| b.int_temp(&format!("v{i}"))).collect();
+        for (i, &t) in temps.iter().enumerate() {
+            b.movi(t, i as i64);
+        }
+        let acc = b.int_temp("acc");
+        b.movi(acc, 0);
+        for &t in &temps {
+            b.add(acc, acc, t);
+        }
+        b.add(acc, acc, long); // long lives through everything
+        b.ret(Some(acc.into()));
+        let m = single(b.finish());
+        let stats = verify(&m, &spec, &[]);
+        assert!(stats.spilled_temps > 0);
+        assert_eq!(run_module(&m, &spec, &[]).unwrap().ret, Some(115));
+    }
+
+    #[test]
+    fn call_crossing_values_avoid_caller_saved() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let keep = b.int_temp("keep");
+        b.movi(keep, 5);
+        b.call_ext(ExtFn::GetChar, &[], Some(RegClass::Int));
+        let out = b.int_temp("out");
+        b.add(out, keep, keep);
+        b.ret(Some(out.into()));
+        let m = single(b.finish());
+        verify(&m, &spec, &[]);
+        let mut allocated = m.clone();
+        PolettoAllocator.allocate_module(&mut allocated, &spec);
+        assert_eq!(run_module(&allocated, &spec, &[]).unwrap().ret, Some(10));
+    }
+
+    #[test]
+    fn no_lifetime_holes_are_exploited() {
+        // Two values with perfectly interleaving holes: second-chance
+        // binpacking fits both in one register; Poletto's whole intervals
+        // overlap and need two (or spill). With exactly 2 registers plus
+        // pressure, Poletto spills where binpacking wouldn't — the defining
+        // difference called out in §4.
+        let spec = MachineSpec::small(2, 2);
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let a = b.int_temp("a");
+        let c = b.int_temp("c");
+        let d = b.int_temp("d");
+        b.movi(a, 1);
+        let u1 = b.int_temp("u1");
+        b.add(u1, a, a); // a's first segment ends
+        b.movi(c, 2); // c lives inside a's hole
+        let u2 = b.int_temp("u2");
+        b.add(u2, c, c);
+        b.movi(a, 3); // a returns
+        b.add(d, a, u1);
+        b.add(d, d, u2);
+        b.ret(Some(d.into()));
+        let m = single(b.finish());
+        let stats = verify(&m, &spec, &[]);
+        // Poletto treats a's lifetime as one interval covering c entirely;
+        // combined with u1/u2 pressure it must spill on 2 registers.
+        assert!(stats.spilled_temps > 0, "whole-interval model must spill here");
+        assert_eq!(run_module(&m, &spec, &[]).unwrap().ret, Some(3 + 2 + 4));
+    }
+
+    #[test]
+    fn furthest_end_heuristic_spills_long_intervals() {
+        let spec = MachineSpec::small(3, 2);
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        // One long value and a stream of short pairs.
+        let long = b.int_temp("long");
+        b.movi(long, 50);
+        let mut acc = b.int_temp("acc0");
+        b.movi(acc, 0);
+        for i in 0..5 {
+            let s = b.int_temp(&format!("s{i}"));
+            b.movi(s, i);
+            let t = b.int_temp(&format!("t{i}"));
+            b.movi(t, i + 1);
+            let n = b.int_temp(&format!("n{i}"));
+            b.add(n, s, t);
+            b.add(acc, acc, n);
+        }
+        b.add(acc, acc, long);
+        b.ret(Some(acc.into()));
+        let m = single(b.finish());
+        let stats = verify(&m, &spec, &[]);
+        // The long interval is the canonical victim; the short ones fit.
+        assert!(stats.spilled_temps >= 1);
+        let expected: i64 = (0..5).map(|i| 2 * i + 1).sum::<i64>() + 50;
+        assert_eq!(run_module(&m, &spec, &[]).unwrap().ret, Some(expected));
+    }
+
+    #[test]
+    fn loop_works() {
+        let spec = MachineSpec::small(4, 2);
+        let mut b = FunctionBuilder::new(&spec, "main", &[]);
+        let n = b.int_temp("n");
+        let acc = b.int_temp("acc");
+        b.movi(n, 10);
+        b.movi(acc, 0);
+        let head = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        b.add(acc, acc, n);
+        b.addi(n, n, -1);
+        b.branch(Cond::Gt, n, head, exit);
+        b.switch_to(exit);
+        b.ret(Some(acc.into()));
+        let m = single(b.finish());
+        verify(&m, &spec, &[]);
+        assert_eq!(run_module(&m, &spec, &[]).unwrap().ret, Some(55));
+    }
+}

@@ -1,0 +1,101 @@
+//! Dynamic instruction counters — the reproduction's substitute for the
+//! paper's HALT instrumentation tool.
+
+use lsra_ir::SpillTag;
+
+/// Dynamic instruction counts for one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynCounts {
+    /// Total executed instructions.
+    pub total: u64,
+    /// Executed instructions per spill category; index with
+    /// [`DynCounts::spill`] or the helpers below. Index 0 is `SpillTag::None`
+    /// (original program instructions).
+    pub by_tag: [u64; 7],
+    /// Executed call instructions (intra-module and external).
+    pub calls: u64,
+    /// Executed memory operations (program loads/stores plus spill code).
+    pub memory_ops: u64,
+    /// Executed register-to-register moves.
+    pub moves: u64,
+}
+
+fn tag_index(tag: SpillTag) -> usize {
+    match tag {
+        SpillTag::None => 0,
+        SpillTag::EvictLoad => 1,
+        SpillTag::EvictStore => 2,
+        SpillTag::EvictMove => 3,
+        SpillTag::ResolveLoad => 4,
+        SpillTag::ResolveStore => 5,
+        SpillTag::ResolveMove => 6,
+    }
+}
+
+impl DynCounts {
+    /// Records one executed instruction with the given provenance.
+    #[inline]
+    pub fn record(&mut self, tag: SpillTag) {
+        self.total += 1;
+        self.by_tag[tag_index(tag)] += 1;
+    }
+
+    /// Executed count for one spill category.
+    pub fn spill(&self, tag: SpillTag) -> u64 {
+        self.by_tag[tag_index(tag)]
+    }
+
+    /// Total allocator-inserted (spill) instructions executed.
+    pub fn spill_total(&self) -> u64 {
+        self.by_tag[1..].iter().sum()
+    }
+
+    /// Fraction of all executed instructions that is spill code — the
+    /// statistic of the paper's Table 2.
+    pub fn spill_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.spill_total() as f64 / self.total as f64
+        }
+    }
+
+    /// Spill code inserted during the linear scan / coloring rewrite
+    /// (loads, stores, moves) — the "evict" bars of Figure 3.
+    pub fn evict(&self) -> (u64, u64, u64) {
+        (self.by_tag[1], self.by_tag[2], self.by_tag[3])
+    }
+
+    /// Spill code inserted during resolution — the "resolve" bars of
+    /// Figure 3.
+    pub fn resolve(&self) -> (u64, u64, u64) {
+        (self.by_tag[4], self.by_tag[5], self.by_tag[6])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summarize() {
+        let mut c = DynCounts::default();
+        c.record(SpillTag::None);
+        c.record(SpillTag::None);
+        c.record(SpillTag::EvictLoad);
+        c.record(SpillTag::ResolveStore);
+        assert_eq!(c.total, 4);
+        assert_eq!(c.spill_total(), 2);
+        assert_eq!(c.spill_fraction(), 0.5);
+        assert_eq!(c.evict(), (1, 0, 0));
+        assert_eq!(c.resolve(), (0, 1, 0));
+        assert_eq!(c.spill(SpillTag::EvictLoad), 1);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let c = DynCounts::default();
+        assert_eq!(c.spill_fraction(), 0.0);
+        assert_eq!(c.spill_total(), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! A static verifier for register-allocated code.
+//!
+//! Complements differential execution: instead of running the program, it
+//! propagates the set of *valid* physical registers (and written spill
+//! slots) forward through the CFG — calls invalidate caller-saved
+//! registers, definitions validate their destinations, joins intersect —
+//! and reports any instruction that can read a register whose value may
+//! have been destroyed on some path. Because it covers *all* paths, it can
+//! catch allocation bugs that a particular test input never executes.
+
+use lsra_analysis::{BitSet, Order};
+use lsra_ir::{BlockId, Function, Inst, MachineSpec, Module, PhysReg, Reg, RegClass};
+
+/// A potential invalid read found by [`check_function`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticCheckError {
+    /// Function name.
+    pub func: String,
+    /// Block containing the offending instruction.
+    pub block: BlockId,
+    /// Index of the instruction within the block.
+    pub inst: usize,
+    /// What may be read invalid.
+    pub what: String,
+}
+
+impl std::fmt::Display for StaticCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "in {}, {} inst {}: {} may be read without a valid value on some path",
+            self.func, self.block, self.inst, self.what
+        )
+    }
+}
+
+impl std::error::Error for StaticCheckError {}
+
+struct Universe {
+    ni: usize,
+    nregs: usize,
+    nslots: usize,
+}
+
+impl Universe {
+    fn reg(&self, p: PhysReg) -> usize {
+        match p.class {
+            RegClass::Int => p.index as usize,
+            RegClass::Float => self.ni + p.index as usize,
+        }
+    }
+
+    fn slot(&self, s: lsra_ir::SlotId) -> usize {
+        self.nregs + s.index()
+    }
+
+    fn size(&self) -> usize {
+        self.nregs + self.nslots
+    }
+}
+
+/// Checks one allocated function.
+///
+/// # Examples
+///
+/// ```
+/// use lsra_core::{BinpackAllocator, RegisterAllocator};
+/// use lsra_ir::{FunctionBuilder, MachineSpec, RegClass};
+///
+/// let spec = MachineSpec::small(3, 2);
+/// let mut b = FunctionBuilder::new(&spec, "f", &[RegClass::Int]);
+/// let x = b.param(0);
+/// let y = b.int_temp("y");
+/// b.add(y, x, x);
+/// b.ret(Some(y.into()));
+/// let mut f = b.finish();
+/// BinpackAllocator::default().allocate_function(&mut f, &spec);
+/// assert!(lsra_vm::check_function(&f, &spec).is_ok());
+/// ```
+///
+/// # Errors
+///
+/// Returns the first potentially-invalid read found.
+///
+/// # Panics
+///
+/// Panics if the function is not allocated.
+pub fn check_function(f: &Function, spec: &MachineSpec) -> Result<(), StaticCheckError> {
+    assert!(f.allocated, "static check requires an allocated function");
+    let uni = Universe {
+        ni: spec.num_regs(RegClass::Int) as usize,
+        nregs: spec.total_regs(),
+        nslots: f.num_slots as usize,
+    };
+    let nb = f.num_blocks();
+    let preds = f.compute_preds();
+    // Unreachable blocks never execute (and the allocators, like the
+    // paper's, see empty liveness there): skip them.
+    let order = Order::compute(f);
+
+    // Optimistic initialization: unvisited blocks start at TOP (everything
+    // valid) so the intersection meet converges downwards.
+    let mut valid_in: Vec<BitSet> = (0..nb)
+        .map(|_| {
+            let mut s = BitSet::new(uni.size());
+            s.fill();
+            s
+        })
+        .collect();
+    // Entry: argument registers only (the VM marks exactly the caller-set
+    // args valid; assuming all arg registers is the conservative upper
+    // bound a checker without call-site knowledge can use).
+    valid_in[0].clear();
+    for class in RegClass::ALL {
+        for &i in spec.arg_regs(class) {
+            valid_in[0].insert(uni.reg(PhysReg::new(class, i)));
+        }
+    }
+
+    let transfer = |b: BlockId, valid: &mut BitSet| -> Result<(), StaticCheckError> {
+        for (i, ins) in f.block(b).insts.iter().enumerate() {
+            let mut bad: Option<String> = None;
+            let mut require = |idx: usize, what: String| {
+                if bad.is_none() && !valid.contains(idx) {
+                    bad = Some(what);
+                }
+            };
+            match &ins.inst {
+                Inst::SpillLoad { temp, .. } => {
+                    let slot = f.spill_slots[temp.index()].expect("slot");
+                    require(uni.slot(slot), format!("spill slot {} ({temp})", slot.0));
+                }
+                other => other.for_each_use(|r| {
+                    if let Reg::Phys(p) = r {
+                        require(uni.reg(p), p.to_string());
+                    }
+                }),
+            }
+            if let Some(what) = bad {
+                return Err(StaticCheckError { func: f.name.clone(), block: b, inst: i, what });
+            }
+            // Effects.
+            if let Inst::Call { ret_regs, .. } = &ins.inst {
+                for class in RegClass::ALL {
+                    for p in spec.caller_saved(class) {
+                        valid.remove(uni.reg(p));
+                    }
+                }
+                for &p in ret_regs {
+                    valid.insert(uni.reg(p));
+                }
+            }
+            ins.inst.for_each_def(|r| {
+                if let Reg::Phys(p) = r {
+                    valid.insert(uni.reg(p));
+                }
+            });
+            if let Inst::SpillStore { temp, .. } = &ins.inst {
+                let slot = f.spill_slots[temp.index()].expect("slot");
+                valid.insert(uni.slot(slot));
+            }
+        }
+        Ok(())
+    };
+
+    // Iterate to the fixed point (errors are only reported once stable,
+    // since optimistic starts can show spurious validity, never spurious
+    // invalidity — so we first run to convergence ignoring reads, then do
+    // one reporting pass).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in f.block_ids() {
+            if !order.is_reachable(b) {
+                continue;
+            }
+            let mut valid = if b == f.entry() {
+                valid_in[0].clone()
+            } else {
+                let mut v: Option<BitSet> = None;
+                for &p in preds[b.index()].iter().filter(|p| order.is_reachable(**p)) {
+                    // Use the predecessor's OUT = transfer(IN); recompute.
+                    let mut pv = valid_in[p.index()].clone();
+                    let _ = run_effects_only(f, spec, &uni, p, &mut pv);
+                    v = Some(match v {
+                        None => pv,
+                        Some(mut acc) => {
+                            acc.intersect_with(&pv);
+                            acc
+                        }
+                    });
+                }
+                v.unwrap_or_else(|| valid_in[b.index()].clone())
+            };
+            if b != f.entry() {
+                // Meet result becomes the block's IN.
+                if valid != valid_in[b.index()] {
+                    valid_in[b.index()] = valid.clone();
+                    changed = true;
+                }
+            }
+            let _ = &mut valid;
+        }
+    }
+    // Reporting pass.
+    for b in f.block_ids() {
+        if !order.is_reachable(b) {
+            continue;
+        }
+        let mut valid = valid_in[b.index()].clone();
+        transfer(b, &mut valid)?;
+    }
+    Ok(())
+}
+
+fn run_effects_only(
+    f: &Function,
+    spec: &MachineSpec,
+    uni: &Universe,
+    b: BlockId,
+    valid: &mut BitSet,
+) -> Result<(), StaticCheckError> {
+    for ins in &f.block(b).insts {
+        if let Inst::Call { ret_regs, .. } = &ins.inst {
+            for class in RegClass::ALL {
+                for p in spec.caller_saved(class) {
+                    valid.remove(uni.reg(p));
+                }
+            }
+            for &p in ret_regs {
+                valid.insert(uni.reg(p));
+            }
+        }
+        ins.inst.for_each_def(|r| {
+            if let Reg::Phys(p) = r {
+                valid.insert(uni.reg(p));
+            }
+        });
+        if let Inst::SpillStore { temp, .. } = &ins.inst {
+            let slot = f.spill_slots[temp.index()].expect("slot");
+            valid.insert(uni.slot(slot));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every allocated function of a module.
+///
+/// Run this *before* deleting coalesced identity moves: an `rX = rX` move
+/// both requires `rX` valid and re-establishes it for the checker, so it
+/// proves the deletion safe — checking after the deletion can report
+/// spurious errors at points the vanished move used to cover.
+///
+/// # Errors
+///
+/// Returns the first potentially-invalid read found.
+pub fn check_module(m: &Module, spec: &MachineSpec) -> Result<(), StaticCheckError> {
+    for f in &m.funcs {
+        check_function(f, spec)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_ir::{Callee, ExtFn, Ins};
+
+    fn spec() -> MachineSpec {
+        MachineSpec::alpha_like()
+    }
+
+    #[test]
+    fn accepts_straight_line_code() {
+        let mut f = Function::new("ok");
+        let b0 = f.add_block();
+        let r1: Reg = PhysReg::int(1).into();
+        let r2: Reg = PhysReg::int(2).into();
+        f.block_mut(b0).insts.extend([
+            Ins::new(Inst::MovI { dst: r1, imm: 1 }),
+            Ins::new(Inst::Mov { dst: r2, src: r1 }),
+            Ins::new(Inst::Ret { ret_regs: vec![] }),
+        ]);
+        f.allocated = true;
+        assert_eq!(check_function(&f, &spec()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_value_kept_across_call_in_caller_saved() {
+        let s = spec();
+        let mut f = Function::new("bad");
+        let b0 = f.add_block();
+        let cs: Reg = PhysReg::int(10).into(); // caller-saved
+        f.block_mut(b0).insts.extend([
+            Ins::new(Inst::MovI { dst: cs, imm: 1 }),
+            Ins::new(Inst::Call {
+                callee: Callee::Ext(ExtFn::GetChar),
+                arg_regs: vec![],
+                ret_regs: vec![s.ret_reg(RegClass::Int)],
+            }),
+            Ins::new(Inst::Mov { dst: PhysReg::int(20).into(), src: cs }),
+            Ins::new(Inst::Ret { ret_regs: vec![] }),
+        ]);
+        f.allocated = true;
+        let e = check_function(&f, &s).unwrap_err();
+        assert_eq!(e.inst, 2);
+        assert!(e.what.contains("r10"), "{e}");
+    }
+
+    #[test]
+    fn accepts_callee_saved_across_call() {
+        let s = spec();
+        let mut f = Function::new("ok");
+        let b0 = f.add_block();
+        let callee: Reg = PhysReg::int(20).into();
+        f.block_mut(b0).insts.extend([
+            Ins::new(Inst::MovI { dst: callee, imm: 1 }),
+            Ins::new(Inst::Call {
+                callee: Callee::Ext(ExtFn::GetChar),
+                arg_regs: vec![],
+                ret_regs: vec![s.ret_reg(RegClass::Int)],
+            }),
+            Ins::new(Inst::Mov { dst: PhysReg::int(21).into(), src: callee }),
+            Ins::new(Inst::Ret { ret_regs: vec![] }),
+        ]);
+        f.allocated = true;
+        assert_eq!(check_function(&f, &s), Ok(()));
+    }
+
+    #[test]
+    fn rejects_read_valid_on_one_path_only() {
+        // Diamond: r5 defined on the left path only; the join reads it.
+        let s = spec();
+        let mut f = Function::new("onepath");
+        let t = f.new_temp(RegClass::Int, None);
+        let _ = t;
+        let b0 = f.add_block();
+        let l = f.add_block();
+        let r = f.add_block();
+        let j = f.add_block();
+        // r8/r9 are not argument registers (those are valid at entry).
+        let r5: Reg = PhysReg::int(8).into();
+        let r6: Reg = PhysReg::int(9).into();
+        f.block_mut(b0).insts.extend([
+            Ins::new(Inst::MovI { dst: r6, imm: 0 }),
+            Ins::new(Inst::Branch {
+                cond: lsra_ir::Cond::Ne,
+                src: r6,
+                then_tgt: l,
+                else_tgt: r,
+            }),
+        ]);
+        f.block_mut(l).insts.extend([
+            Ins::new(Inst::MovI { dst: r5, imm: 1 }),
+            Ins::new(Inst::Jump { target: j }),
+        ]);
+        f.block_mut(r).insts.push(Ins::new(Inst::Jump { target: j }));
+        f.block_mut(j).insts.extend([
+            Ins::new(Inst::Mov { dst: r6, src: r5 }),
+            Ins::new(Inst::Ret { ret_regs: vec![] }),
+        ]);
+        f.allocated = true;
+        let e = check_function(&f, &s).unwrap_err();
+        assert_eq!(e.block, j);
+        assert!(e.what.contains("r8"), "{e}");
+    }
+
+    #[test]
+    fn tracks_spill_slots() {
+        let s = spec();
+        let mut f = Function::new("slots");
+        let t = f.new_temp(RegClass::Int, None);
+        f.slot_for(t);
+        let b0 = f.add_block();
+        let r1: Reg = PhysReg::int(1).into();
+        f.block_mut(b0).insts.extend([
+            Ins::new(Inst::SpillLoad { dst: r1, temp: t }), // never stored!
+            Ins::new(Inst::Ret { ret_regs: vec![] }),
+        ]);
+        f.allocated = true;
+        let e = check_function(&f, &s).unwrap_err();
+        assert!(e.what.contains("spill slot"), "{e}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Differential verification of register allocations.
+//!
+//! A register allocation is correct iff the allocated program is
+//! observationally equivalent to the original: same return value, same
+//! external-output trace, same final memory. The VM's caller-saved poisoning
+//! additionally catches values wrongly kept in clobbered registers even when
+//! the observable outputs would happen to agree.
+
+use lsra_ir::{MachineSpec, Module};
+
+use crate::error::VmError;
+use crate::interp::{RunResult, Vm, VmOptions};
+
+/// Why two runs were not equivalent.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mismatch {
+    /// The allocated run faulted.
+    Fault(VmError),
+    /// Return values differ.
+    Ret {
+        /// Reference (pre-allocation) return value.
+        before: Option<i64>,
+        /// Allocated-program return value.
+        after: Option<i64>,
+    },
+    /// Output traces differ (first divergent index).
+    Output(usize),
+    /// Final memory differs.
+    Memory,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mismatch::Fault(e) => write!(f, "allocated program faulted: {e}"),
+            Mismatch::Ret { before, after } => {
+                write!(f, "return value changed: {before:?} -> {after:?}")
+            }
+            Mismatch::Output(i) => write!(f, "output traces diverge at event {i}"),
+            Mismatch::Memory => write!(f, "final memory differs"),
+        }
+    }
+}
+
+/// Compares two run results for observational equivalence.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+pub fn compare_runs(before: &RunResult, after: &RunResult) -> Result<(), Mismatch> {
+    if before.ret != after.ret {
+        return Err(Mismatch::Ret { before: before.ret, after: after.ret });
+    }
+    if before.output != after.output {
+        let i = before
+            .output
+            .iter()
+            .zip(&after.output)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| before.output.len().min(after.output.len()));
+        return Err(Mismatch::Output(i));
+    }
+    if before.memory_checksum != after.memory_checksum {
+        return Err(Mismatch::Memory);
+    }
+    Ok(())
+}
+
+/// Runs `allocated` and checks it against a reference run of `original`.
+/// Returns the allocated run's [`RunResult`] (for its counters) on success.
+///
+/// # Errors
+///
+/// Returns a [`Mismatch`] if the reference run and the allocated run
+/// disagree, or if the allocated run faults.
+///
+/// # Panics
+///
+/// Panics if the *reference* run itself faults — that indicates a broken
+/// workload, not a broken allocator.
+pub fn verify_allocation(
+    original: &Module,
+    allocated: &Module,
+    spec: &MachineSpec,
+    input: &[u8],
+    options: VmOptions,
+) -> Result<RunResult, Mismatch> {
+    let before = Vm::new(original, spec, input, options.clone())
+        .run()
+        .unwrap_or_else(|e| panic!("reference program faulted: {e}"));
+    let after = Vm::new(allocated, spec, input, options).run().map_err(Mismatch::Fault)?;
+    compare_runs(&before, &after)?;
+    Ok(after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::DynCounts;
+    use crate::interp::OutputEvent;
+
+    fn result(ret: Option<i64>, out: Vec<OutputEvent>, mem: u64) -> RunResult {
+        RunResult { ret, output: out, counts: DynCounts::default(), memory_checksum: mem }
+    }
+
+    #[test]
+    fn equivalent_runs_pass() {
+        let a = result(Some(1), vec![OutputEvent::Int(3)], 42);
+        let b = result(Some(1), vec![OutputEvent::Int(3)], 42);
+        assert_eq!(compare_runs(&a, &b), Ok(()));
+    }
+
+    #[test]
+    fn detects_each_mismatch_kind() {
+        let base = result(Some(1), vec![OutputEvent::Int(3)], 42);
+        let r = result(Some(2), vec![OutputEvent::Int(3)], 42);
+        assert!(matches!(compare_runs(&base, &r), Err(Mismatch::Ret { .. })));
+        let o = result(Some(1), vec![OutputEvent::Int(4)], 42);
+        assert_eq!(compare_runs(&base, &o), Err(Mismatch::Output(0)));
+        let short = result(Some(1), vec![], 42);
+        assert_eq!(compare_runs(&base, &short), Err(Mismatch::Output(0)));
+        let m = result(Some(1), vec![OutputEvent::Int(3)], 43);
+        assert_eq!(compare_runs(&base, &m), Err(Mismatch::Memory));
+    }
+}

@@ -1,0 +1,172 @@
+//! Benchmark programs for the register-allocation evaluation.
+//!
+//! The paper evaluates on SPEC92 programs (alvinn, doduc, eqntott, espresso,
+//! fpppp, li, tomcatv), SPEC95 programs (compress, m88ksim), and UNIX
+//! utilities (sort, wc). We cannot run the originals on an interpreter at
+//! their native scale, so this crate provides **synthetic IR programs with
+//! the structural properties the paper attributes to each benchmark** —
+//! register pressure, call density, floating-point/integer mix, loop
+//! nesting, temporaries live across calls — at sizes an interpreter
+//! finishes in milliseconds-to-seconds. The evaluation's *shape* (which
+//! benchmarks spill, where binpacking wins or loses, how allocation time
+//! scales) is what these programs reproduce.
+//!
+//! The crate also provides:
+//!
+//! * [`random::RandomProgram`] — a seeded random-CFG generator for
+//!   property-based differential testing of allocators;
+//! * [`scaling`] — the large-candidate-count modules behind the paper's
+//!   Table 3 (245 / 6218 / 6697 register candidates per procedure).
+//!
+//! # Examples
+//!
+//! ```
+//! use lsra_ir::MachineSpec;
+//! use lsra_vm::run_module;
+//!
+//! let w = lsra_workloads::by_name("wc").unwrap();
+//! let module = (w.build)();
+//! let input = (w.input)();
+//! let result = run_module(&module, &MachineSpec::alpha_like(), &input)?;
+//! assert!(result.ret.is_some());
+//! # Ok::<(), lsra_vm::VmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod random;
+pub mod scaling;
+mod spec;
+
+use lsra_ir::Module;
+
+/// One benchmark: a module builder plus its input.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The benchmark's name (matching the paper's Table 1).
+    pub name: &'static str,
+    /// Builds the (unallocated) module. Deterministic.
+    pub build: fn() -> Module,
+    /// Produces the program input fed to `getchar`. Deterministic.
+    pub input: fn() -> Vec<u8>,
+    /// What the benchmark is shaped like and why.
+    pub description: &'static str,
+    /// Whether the paper's Table 2 reports spill code for this benchmark
+    /// (used by the harness to group Figure 3's bars).
+    pub spills_in_paper: bool,
+}
+
+/// All 11 benchmarks, in the paper's Table 1 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        spec::alvinn::workload(),
+        spec::doduc::workload(),
+        spec::eqntott::workload(),
+        spec::espresso::workload(),
+        spec::fpppp::workload(),
+        spec::li::workload(),
+        spec::tomcatv::workload(),
+        spec::compress::workload(),
+        spec::m88ksim::workload(),
+        spec::sort::workload(),
+        spec::wc::workload(),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// A tiny deterministic pseudo-random generator used by workload builders
+/// to fill data arrays (no external entropy; builds are reproducible).
+#[derive(Clone, Debug)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 17
+    }
+
+    /// Uniform value in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// A float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() % (1 << 24)) as f64 / (1 << 24) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_ir::MachineSpec;
+    use lsra_vm::{run_module, VmOptions};
+
+    #[test]
+    fn registry_has_eleven_benchmarks() {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 11);
+        assert!(names.contains(&"wc"));
+        assert!(names.contains(&"fpppp"));
+        assert!(by_name("compress").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for w in all() {
+            let a = (w.build)();
+            let b = (w.build)();
+            assert_eq!(a.num_insts(), b.num_insts(), "{} build not deterministic", w.name);
+            assert_eq!((w.input)(), (w.input)());
+        }
+    }
+
+    #[test]
+    fn every_workload_validates_and_runs() {
+        let spec = MachineSpec::alpha_like();
+        for w in all() {
+            let m = (w.build)();
+            m.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", w.name));
+            let r = lsra_vm::Vm::new(&m, &spec, &(w.input)(), VmOptions::default())
+                .run()
+                .unwrap_or_else(|e| panic!("{} faulted: {e}", w.name));
+            assert!(r.counts.total > 10_000, "{} too small: {}", w.name, r.counts.total);
+        }
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_bounded() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            assert!(a.below(10) < 10);
+            let u = b.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn workloads_run_identically_twice() {
+        let spec = MachineSpec::alpha_like();
+        let w = by_name("eqntott").unwrap();
+        let m = (w.build)();
+        let r1 = run_module(&m, &spec, &(w.input)()).unwrap();
+        let r2 = run_module(&m, &spec, &(w.input)()).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

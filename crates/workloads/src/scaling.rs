@@ -1,0 +1,190 @@
+//! Large-candidate-count modules for the paper's Table 3.
+//!
+//! Table 3 times allocation on three source modules whose procedures have
+//! very different register-candidate counts:
+//!
+//! | module    | avg candidates | avg interference edges |
+//! |-----------|---------------:|-----------------------:|
+//! | cvrin.c   |            245 |                  1,061 |
+//! | twldrv.f  |          6,218 |                 51,796 |
+//! | fpppp.f   |          6,697 |                116,926 |
+//!
+//! The generators here produce procedures with a requested number of
+//! candidates and a controllable *overlap width* (how many temporaries are
+//! simultaneously live), which governs the interference-edge count — and
+//! therefore how badly the coloring allocator's graph construction scales.
+
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode, RegClass, Temp};
+
+use crate::Lcg;
+
+/// Builds one procedure with roughly `candidates` temporaries, where about
+/// `overlap` temporaries are simultaneously live (int and float mixed
+/// roughly 50/50), wrapped in a small loop so weights are non-trivial.
+pub fn procedure(
+    spec: &MachineSpec,
+    name: &str,
+    candidates: usize,
+    overlap: usize,
+    seed: u64,
+) -> lsra_ir::Function {
+    let mut rng = Lcg::new(seed);
+    let mut b = FunctionBuilder::new(spec, name, &[RegClass::Int]);
+    let reps = b.param(0);
+
+    let loop_head = b.block();
+    let body = b.block();
+    let exit = b.block();
+    b.jump(loop_head);
+    b.switch_to(loop_head);
+    b.branch(Cond::Le, reps, exit, body);
+    b.switch_to(body);
+
+    // Seed values.
+    let seed_i = b.int_temp("seed_i");
+    b.movi(seed_i, 17);
+    let seed_f = b.float_temp("seed_f");
+    b.movf(seed_f, 1.25);
+
+    // A sliding window of live temporaries: each new temporary is computed
+    // from values inside the window; every `overlap`-th temporary is also
+    // kept for a final fold, extending its lifetime to the end of the body.
+    let mut window_i: Vec<Temp> = vec![seed_i];
+    let mut window_f: Vec<Temp> = vec![seed_f];
+    let mut keep_i: Vec<Temp> = Vec::new();
+    let mut keep_f: Vec<Temp> = Vec::new();
+    let budget = candidates.saturating_sub(16).max(8);
+    for k in 0..budget {
+        if k % 2 == 0 {
+            let t = b.int_temp("wi");
+            let a = window_i[rng.below(window_i.len() as u64) as usize];
+            let c = window_i[rng.below(window_i.len() as u64) as usize];
+            let op = match rng.below(4) {
+                0 => OpCode::Add,
+                1 => OpCode::Sub,
+                2 => OpCode::Xor,
+                _ => OpCode::Or,
+            };
+            b.op2(op, t, a, c);
+            window_i.push(t);
+            if window_i.len() > overlap / 2 {
+                window_i.remove(0);
+            }
+            if k % overlap == 0 {
+                keep_i.push(t);
+            }
+        } else {
+            let t = b.float_temp("wf");
+            let a = window_f[rng.below(window_f.len() as u64) as usize];
+            let c = window_f[rng.below(window_f.len() as u64) as usize];
+            let op = match rng.below(3) {
+                0 => OpCode::FAdd,
+                1 => OpCode::FSub,
+                _ => OpCode::FMul,
+            };
+            b.op2(op, t, a, c);
+            window_f.push(t);
+            if window_f.len() > overlap / 2 {
+                window_f.remove(0);
+            }
+            if k % overlap == 0 {
+                keep_f.push(t);
+            }
+        }
+    }
+    // Fold the kept values (their lifetimes span the whole body).
+    let acc_i = b.int_temp("acc_i");
+    b.movi(acc_i, 0);
+    for &t in &keep_i {
+        b.op2(OpCode::Xor, acc_i, acc_i, t);
+    }
+    let acc_f = b.float_temp("acc_f");
+    b.movf(acc_f, 0.0);
+    for &t in &keep_f {
+        b.op2(OpCode::FAdd, acc_f, acc_f, t);
+    }
+    b.addi(reps, reps, -1);
+    b.jump(loop_head);
+
+    b.switch_to(exit);
+    let z = b.int_temp("z");
+    b.movi(z, 0);
+    b.ret(Some(z.into()));
+    b.finish()
+}
+
+/// A module whose functions average `candidates` register candidates.
+pub fn module_with_candidates(
+    name: &str,
+    candidates: usize,
+    overlap: usize,
+    procedures: usize,
+) -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut mb = ModuleBuilder::new(name, 64);
+    let mut main = FunctionBuilder::new(&spec, "main", &[]);
+    let mut ids = Vec::new();
+    for p in 0..procedures {
+        let f = procedure(&spec, &format!("proc{p}"), candidates, overlap, p as u64 + 1);
+        ids.push(mb.add(f));
+    }
+    let one = main.int_temp("one");
+    main.movi(one, 1);
+    for id in ids {
+        main.call_func(id, &[one.into()], Some(RegClass::Int));
+    }
+    main.ret(Some(one.into()));
+    let m = mb.add(main.finish());
+    mb.entry(m);
+    mb.finish()
+}
+
+/// Like `cvrin.c` from espresso: ~245 candidates per procedure.
+pub fn cvrin_like() -> Module {
+    module_with_candidates("cvrin-like", 245, 24, 6)
+}
+
+/// Like `twldrv.f` from fpppp: ~6218 candidates, moderate overlap.
+pub fn twldrv_like() -> Module {
+    module_with_candidates("twldrv-like", 6218, 26, 1)
+}
+
+/// Like `fpppp.f` from fpppp: ~6697 candidates, heavy overlap (twice the
+/// interference density of twldrv).
+pub fn fpppp_like() -> Module {
+    module_with_candidates("fpppp-like", 6697, 52, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_counts_are_close() {
+        let m = module_with_candidates("t", 245, 24, 2);
+        for f in &m.funcs {
+            if f.name.starts_with("proc") {
+                let n = f.num_temps();
+                assert!(
+                    (235..=260).contains(&n),
+                    "expected ~245 candidates, got {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_modules_validate() {
+        assert!(cvrin_like().validate().is_ok());
+        let tw = module_with_candidates("t", 700, 26, 1);
+        assert!(tw.validate().is_ok());
+    }
+
+    #[test]
+    fn scaling_modules_execute() {
+        let spec = MachineSpec::alpha_like();
+        let m = module_with_candidates("t", 120, 16, 2);
+        let r = lsra_vm::run_module(&m, &spec, &[]).unwrap();
+        assert_eq!(r.ret, Some(1));
+    }
+}

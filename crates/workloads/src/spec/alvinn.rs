@@ -1,0 +1,184 @@
+//! `alvinn` — neural-network training for autonomous driving.
+//!
+//! Dense matrix-vector products with a soft activation: long regular
+//! floating-point loops with very low register pressure (no spill code in
+//! the paper's Table 2).
+
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode};
+
+use crate::{Lcg, Workload};
+
+const INPUT: i64 = 96;
+const HIDDEN: i64 = 30;
+const OUTPUT: i64 = 8;
+const EPOCHS: i64 = 36;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "alvinn",
+        build,
+        input: Vec::new,
+        description: "feed-forward net: dot-product loops, low fp pressure, no calls in hot path",
+        spills_in_paper: false,
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_0005);
+    let w1_len = (INPUT * HIDDEN) as usize;
+    let w2_len = (HIDDEN * OUTPUT) as usize;
+    let mut mb = ModuleBuilder::new(
+        "alvinn",
+        w1_len + w2_len + INPUT as usize + HIDDEN as usize + OUTPUT as usize + 16,
+    );
+    let randf = |rng: &mut Lcg| (rng.unit_f64() - 0.5).to_bits() as i64;
+    let w1_init: Vec<i64> = (0..w1_len).map(|_| randf(&mut rng)).collect();
+    let w1 = mb.reserve(w1_len, &w1_init);
+    let w2_init: Vec<i64> = (0..w2_len).map(|_| randf(&mut rng)).collect();
+    let w2 = mb.reserve(w2_len, &w2_init);
+    let x_init: Vec<i64> = (0..INPUT as usize).map(|_| randf(&mut rng)).collect();
+    let xv = mb.reserve(INPUT as usize, &x_init);
+    let hv = mb.reserve(HIDDEN as usize, &[]);
+    let ov = mb.reserve(OUTPUT as usize, &[]);
+
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let w1b = b.int_temp("w1b");
+    b.movi(w1b, w1);
+    let w2b = b.int_temp("w2b");
+    b.movi(w2b, w2);
+    let xb = b.int_temp("xb");
+    b.movi(xb, xv);
+    let hb = b.int_temp("hb");
+    b.movi(hb, hv);
+    let ob = b.int_temp("ob");
+    b.movi(ob, ov);
+    let one = b.float_temp("one");
+    b.movf(one, 1.0);
+    let epochs = b.int_temp("epochs");
+    b.movi(epochs, EPOCHS);
+
+    // layer(wb, inb, outb, nin, nout): out[o] = act(sum_i w[o*nin+i]*in[i])
+    // Written inline twice (hidden and output layers) inside the epoch loop.
+    let e_head = b.block();
+    let e_body = b.block();
+    let done = b.block();
+    b.jump(e_head);
+    b.switch_to(e_head);
+    b.branch(Cond::Le, epochs, done, e_body);
+    b.switch_to(e_body);
+
+    let layer = |b: &mut FunctionBuilder,
+                     wbase: lsra_ir::Temp,
+                     inbase: lsra_ir::Temp,
+                     outbase: lsra_ir::Temp,
+                     nin: i64,
+                     nout: i64,
+                     next_block: lsra_ir::BlockId| {
+        let o = b.int_temp("o");
+        b.movi(o, 0);
+        let o_head = b.block();
+        let o_body = b.block();
+        let i_head = b.block();
+        let i_body = b.block();
+        let i_done = b.block();
+        let nin_t = b.int_temp("nin");
+        b.movi(nin_t, nin);
+        let nout_t = b.int_temp("nout");
+        b.movi(nout_t, nout);
+        b.jump(o_head);
+        b.switch_to(o_head);
+        let orem = b.int_temp("orem");
+        b.sub(orem, o, nout_t);
+        b.branch(Cond::Ge, orem, next_block, o_body);
+        b.switch_to(o_body);
+        let acc = b.float_temp("acc");
+        b.movf(acc, 0.0);
+        let i = b.int_temp("i");
+        b.movi(i, 0);
+        let wrow = b.int_temp("wrow");
+        b.mul(wrow, o, nin_t);
+        b.add(wrow, wrow, wbase);
+        b.jump(i_head);
+        b.switch_to(i_head);
+        let irem = b.int_temp("irem");
+        b.sub(irem, i, nin_t);
+        b.branch(Cond::Ge, irem, i_done, i_body);
+        b.switch_to(i_body);
+        let wa = b.int_temp("wa");
+        b.add(wa, wrow, i);
+        let wv = b.float_temp("wv");
+        b.load(wv, wa, 0);
+        let xa = b.int_temp("xa");
+        b.add(xa, inbase, i);
+        let xvv = b.float_temp("xvv");
+        b.load(xvv, xa, 0);
+        let prod = b.float_temp("prod");
+        b.op2(OpCode::FMul, prod, wv, xvv);
+        b.op2(OpCode::FAdd, acc, acc, prod);
+        b.addi(i, i, 1);
+        b.jump(i_head);
+        b.switch_to(i_done);
+        // activation: acc / (1 + |acc|)
+        let mag = b.float_temp("mag");
+        b.op1(OpCode::FAbs, mag, acc);
+        let den = b.float_temp("den");
+        b.op2(OpCode::FAdd, den, mag, one);
+        let act = b.float_temp("act");
+        b.op2(OpCode::FDiv, act, acc, den);
+        let oa = b.int_temp("oa");
+        b.add(oa, outbase, o);
+        b.store(act, oa, 0);
+        b.addi(o, o, 1);
+        b.jump(o_head);
+    };
+
+    let layer2_entry = b.block();
+    layer(&mut b, w1b, xb, hb, INPUT, HIDDEN, layer2_entry);
+    b.switch_to(layer2_entry);
+    let epoch_end = b.block();
+    layer(&mut b, w2b, hb, ob, HIDDEN, OUTPUT, epoch_end);
+    b.switch_to(epoch_end);
+    // Feed one output back into the input so epochs depend on each other.
+    let fv = b.float_temp("fv");
+    b.load(fv, ob, 0);
+    b.store(fv, xb, 0);
+    b.addi(epochs, epochs, -1);
+    b.jump(e_head);
+
+    b.switch_to(done);
+    let s = b.float_temp("s");
+    b.movf(s, 0.0);
+    let k = b.int_temp("k");
+    b.movi(k, 0);
+    let s_head = b.block();
+    let s_body = b.block();
+    let s_done = b.block();
+    let kout = b.int_temp("kout");
+    b.movi(kout, OUTPUT);
+    b.jump(s_head);
+    b.switch_to(s_head);
+    let srem = b.int_temp("srem");
+    b.sub(srem, k, kout);
+    b.branch(Cond::Ge, srem, s_done, s_body);
+    b.switch_to(s_body);
+    let oa2 = b.int_temp("oa2");
+    b.add(oa2, ob, k);
+    let ovv = b.float_temp("ovv");
+    b.load(ovv, oa2, 0);
+    b.op2(OpCode::FAdd, s, s, ovv);
+    b.addi(k, k, 1);
+    b.jump(s_head);
+    b.switch_to(s_done);
+    let scale = b.float_temp("scale");
+    b.movf(scale, 1_000_000.0);
+    let scaled = b.float_temp("scaled");
+    b.op2(OpCode::FMul, scaled, s, scale);
+    let ret = b.int_temp("ret");
+    b.op1(OpCode::FloatToInt, ret, scaled);
+    b.ret(Some(ret.into()));
+
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

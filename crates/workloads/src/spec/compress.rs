@@ -1,0 +1,177 @@
+//! `compress` — LZW compression (SPEC95 129.compress).
+//!
+//! A byte-at-a-time loop building an LZW code table with open-address
+//! hashing: integer-only, branchy, table loads and stores, but modest
+//! register pressure (no spill code in the paper's Table 2).
+
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode};
+
+use crate::{Lcg, Workload};
+
+const BUF: i64 = 48 * 1024;
+const TABLE: i64 = 4096;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "compress",
+        build,
+        input: Vec::new,
+        description: "LZW: hash probing over a code table, integer-only, branch heavy",
+        spills_in_paper: false,
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_0006);
+    let mut mb =
+        ModuleBuilder::new("compress", (BUF + 2 * TABLE) as usize + 16);
+    // Compressible input: runs and repeated motifs.
+    let mut data = Vec::with_capacity(BUF as usize);
+    let motif: Vec<i64> = (0..32).map(|_| rng.below(16) as i64).collect();
+    while (data.len() as i64) < BUF {
+        if rng.below(4) == 0 {
+            let c = rng.below(16) as i64;
+            for _ in 0..rng.below(12) + 2 {
+                data.push(c);
+            }
+        } else {
+            data.extend_from_slice(&motif[..(2 + rng.below(30) as usize)]);
+        }
+    }
+    data.truncate(BUF as usize);
+    let buf = mb.reserve(BUF as usize, &data);
+    let codes_init: Vec<i64> = vec![-1; TABLE as usize];
+    let tab_code = mb.reserve(TABLE as usize, &codes_init);
+    let tab_val = mb.reserve(TABLE as usize, &[]);
+
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let bufb = b.int_temp("bufb");
+    b.movi(bufb, buf);
+    let tcb = b.int_temp("tcb");
+    b.movi(tcb, tab_code);
+    let tvb = b.int_temp("tvb");
+    b.movi(tvb, tab_val);
+    let n = b.int_temp("n");
+    b.movi(n, BUF);
+    let mask = b.int_temp("mask");
+    b.movi(mask, TABLE - 1);
+    let pos = b.int_temp("pos");
+    b.movi(pos, 1);
+    let free_code = b.int_temp("free_code");
+    b.movi(free_code, 256);
+    let out_count = b.int_temp("out_count");
+    b.movi(out_count, 0);
+    let out_sum = b.int_temp("out_sum");
+    b.movi(out_sum, 0);
+    // ent = first byte
+    let ent = b.int_temp("ent");
+    b.load(ent, bufb, 0);
+
+    let head = b.block();
+    let body = b.block();
+    let probe = b.block();
+    let probe_chk = b.block();
+    let hit = b.block();
+    let miss_chk = b.block();
+    let insert = b.block();
+    let reprobe = b.block();
+    let emit = b.block();
+    let next = b.block();
+    let done = b.block();
+
+    let c = b.int_temp("c");
+    let h = b.int_temp("h");
+    let fcode = b.int_temp("fcode");
+
+    b.jump(head);
+    b.switch_to(head);
+    let rem = b.int_temp("rem");
+    b.sub(rem, pos, n);
+    b.branch(Cond::Ge, rem, done, body);
+
+    b.switch_to(body);
+    let pa = b.int_temp("pa");
+    b.add(pa, bufb, pos);
+    b.load(c, pa, 0);
+    // fcode = (c << 12) + ent ; h = (c << 4) ^ ent, masked
+    let sh12 = b.int_temp("sh12");
+    b.movi(sh12, 12);
+    let chi = b.int_temp("chi");
+    b.op2(OpCode::Shl, chi, c, sh12);
+    b.add(fcode, chi, ent);
+    let sh4 = b.int_temp("sh4");
+    b.movi(sh4, 4);
+    let clo = b.int_temp("clo");
+    b.op2(OpCode::Shl, clo, c, sh4);
+    let hx = b.int_temp("hx");
+    b.op2(OpCode::Xor, hx, clo, ent);
+    b.op2(OpCode::And, h, hx, mask);
+    b.jump(probe);
+
+    b.switch_to(probe);
+    let ta = b.int_temp("ta");
+    b.add(ta, tcb, h);
+    let stored = b.int_temp("stored");
+    b.load(stored, ta, 0);
+    let dmatch = b.int_temp("dmatch");
+    b.sub(dmatch, stored, fcode);
+    b.branch(Cond::Eq, dmatch, hit, probe_chk);
+
+    b.switch_to(probe_chk);
+    // empty slot? stored < 0
+    b.branch(Cond::Lt, stored, miss_chk, reprobe);
+
+    b.switch_to(hit);
+    // ent = tab_val[h]
+    let va = b.int_temp("va");
+    b.add(va, tvb, h);
+    b.load(ent, va, 0);
+    b.jump(next);
+
+    b.switch_to(miss_chk);
+    // table full? then just emit
+    let cap = b.int_temp("cap");
+    b.movi(cap, TABLE - 64);
+    let crem = b.int_temp("crem");
+    b.sub(crem, free_code, cap);
+    b.branch(Cond::Ge, crem, emit, insert);
+
+    b.switch_to(insert);
+    b.store(fcode, ta, 0);
+    let va2 = b.int_temp("va2");
+    b.add(va2, tvb, h);
+    b.store(free_code, va2, 0);
+    b.addi(free_code, free_code, 1);
+    b.jump(emit);
+
+    b.switch_to(emit);
+    // output ent, restart chain at c
+    b.addi(out_count, out_count, 1);
+    b.add(out_sum, out_sum, ent);
+    b.mov(ent, c);
+    b.jump(next);
+
+    b.switch_to(reprobe);
+    // h = (h + 97) & mask (fixed secondary probe)
+    b.addi(h, h, 97);
+    b.op2(OpCode::And, h, h, mask);
+    b.jump(probe);
+
+    b.switch_to(next);
+    b.addi(pos, pos, 1);
+    b.jump(head);
+
+    b.switch_to(done);
+    let sh8 = b.int_temp("sh8");
+    b.movi(sh8, 8);
+    let hiout = b.int_temp("hiout");
+    b.op2(OpCode::Shl, hiout, out_count, sh8);
+    let ret = b.int_temp("ret");
+    b.op2(OpCode::Xor, ret, hiout, out_sum);
+    b.ret(Some(ret.into()));
+
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

@@ -1,0 +1,231 @@
+//! `doduc` — Monte-Carlo simulation of a nuclear reactor component.
+//!
+//! A mixed integer/floating-point loop: a pseudo-random draw, a call to a
+//! table-interpolation helper, and a battery of floating-point statistics
+//! live across the call. Table 2 reports small spill percentages (0.46% /
+//! 0.49%) with binpacking slightly *better* — the second-chance eviction
+//! around the call is the mechanism.
+
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode, RegClass};
+
+use crate::{Lcg, Workload};
+
+const TABLE: i64 = 256;
+const DRAWS: i64 = 35_000;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "doduc",
+        build,
+        input: Vec::new,
+        description: "Monte-Carlo loop: interpolation helper call with ~14 fp statistics live across it",
+        spills_in_paper: true,
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let _rng = Lcg::new(0x5eed_000b);
+    let mut mb = ModuleBuilder::new("doduc", TABLE as usize + 16);
+    let tab_init: Vec<i64> =
+        (0..TABLE).map(|k| ((k as f64 / TABLE as f64).sin().abs()).to_bits() as i64).collect();
+    let table = mb.reserve(TABLE as usize, &tab_init);
+
+    // interp(x in [0,1)) -> lerp into the table
+    let mut ib = FunctionBuilder::new(&spec, "interp", &[RegClass::Float, RegClass::Int]);
+    let x = ib.param(0);
+    let tb = ib.param(1);
+    let scale = ib.float_temp("scale");
+    ib.movf(scale, (TABLE - 1) as f64);
+    let pos = ib.float_temp("pos");
+    ib.op2(OpCode::FMul, pos, x, scale);
+    let idx = ib.int_temp("idx");
+    ib.op1(OpCode::FloatToInt, idx, pos);
+    let fi = ib.float_temp("fi");
+    ib.op1(OpCode::IntToFloat, fi, idx);
+    let frac = ib.float_temp("frac");
+    ib.op2(OpCode::FSub, frac, pos, fi);
+    let a0 = ib.int_temp("a0");
+    ib.add(a0, tb, idx);
+    let y0 = ib.float_temp("y0");
+    ib.load(y0, a0, 0);
+    let y1 = ib.float_temp("y1");
+    ib.load(y1, a0, 1);
+    let dy = ib.float_temp("dy");
+    ib.op2(OpCode::FSub, dy, y1, y0);
+    let step = ib.float_temp("step");
+    ib.op2(OpCode::FMul, step, dy, frac);
+    let y = ib.float_temp("y");
+    ib.op2(OpCode::FAdd, y, y0, step);
+    ib.ret(Some(y.into()));
+    let interp = mb.add(ib.finish());
+
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let tb2 = b.int_temp("tb");
+    b.movi(tb2, table);
+    let draws = b.int_temp("draws");
+    b.movi(draws, DRAWS);
+    let seed = b.int_temp("seed");
+    b.movi(seed, 0x12345);
+    let mul = b.int_temp("mul");
+    b.movi(mul, 6364136223846793005);
+    let inc = b.int_temp("inc");
+    b.movi(inc, 1442695040888963407);
+    let shift = b.int_temp("shift");
+    b.movi(shift, 40);
+    let fscale = b.float_temp("fscale");
+    b.movf(fscale, 1.0 / (1u64 << 24) as f64);
+    let half = b.float_temp("half");
+    b.movf(half, 0.5);
+
+    // The statistics battery: floats live across the interp call.
+    let mut fstats = Vec::new();
+    for name in [
+        "sum", "sumsq", "sumcube", "wmax", "wmin", "above", "below", "ema", "vol", "last",
+        "even_sum", "odd_sum", "first_q", "last_q",
+    ] {
+        let t = b.float_temp(name);
+        b.movf(t, 0.0);
+        fstats.push(t);
+    }
+    let (sum, sumsq, sumcube, wmax, wmin, above, below, ema, vol, last) = (
+        fstats[0], fstats[1], fstats[2], fstats[3], fstats[4], fstats[5], fstats[6], fstats[7],
+        fstats[8], fstats[9],
+    );
+    let (even_sum, odd_sum, first_q, last_q) = (fstats[10], fstats[11], fstats[12], fstats[13]);
+    let parity = b.int_temp("parity");
+    b.movi(parity, 0);
+
+    let head = b.block();
+    let body = b.block();
+    let done = b.block();
+    b.jump(head);
+    b.switch_to(head);
+    b.branch(Cond::Le, draws, done, body);
+
+    b.switch_to(body);
+    // LCG draw -> x in [0, 1)
+    b.mul(seed, seed, mul);
+    b.add(seed, seed, inc);
+    let bits = b.int_temp("bits");
+    b.op2(OpCode::Shr, bits, seed, shift);
+    let mask = b.int_temp("mask");
+    b.movi(mask, (1 << 24) - 1);
+    b.op2(OpCode::And, bits, bits, mask);
+    let xf = b.float_temp("xf");
+    b.op1(OpCode::IntToFloat, xf, bits);
+    let x = b.float_temp("x");
+    b.op2(OpCode::FMul, x, xf, fscale);
+
+    let y = b.call_func(interp, &[x.into(), tb2.into()], Some(RegClass::Float)).unwrap();
+
+    // Update the battery (everything above stays live across the call).
+    b.op2(OpCode::FAdd, sum, sum, y);
+    let ysq = b.float_temp("ysq");
+    b.op2(OpCode::FMul, ysq, y, y);
+    b.op2(OpCode::FAdd, sumsq, sumsq, ysq);
+    let ycb = b.float_temp("ycb");
+    b.op2(OpCode::FMul, ycb, ysq, y);
+    b.op2(OpCode::FAdd, sumcube, sumcube, ycb);
+    // max/min via select arithmetic
+    let isgt = b.int_temp("isgt");
+    b.op2(OpCode::FCmpLt, isgt, wmax, y);
+    let fgt = b.float_temp("fgt");
+    b.op1(OpCode::IntToFloat, fgt, isgt);
+    let dmax = b.float_temp("dmax");
+    b.op2(OpCode::FSub, dmax, y, wmax);
+    let gmax = b.float_temp("gmax");
+    b.op2(OpCode::FMul, gmax, fgt, dmax);
+    b.op2(OpCode::FAdd, wmax, wmax, gmax);
+    let islt = b.int_temp("islt");
+    b.op2(OpCode::FCmpLt, islt, y, wmin);
+    let flt = b.float_temp("flt");
+    b.op1(OpCode::IntToFloat, flt, islt);
+    let dmin = b.float_temp("dmin");
+    b.op2(OpCode::FSub, dmin, y, wmin);
+    let gmin = b.float_temp("gmin");
+    b.op2(OpCode::FMul, gmin, flt, dmin);
+    b.op2(OpCode::FAdd, wmin, wmin, gmin);
+    // above/below the half threshold
+    let isab = b.int_temp("isab");
+    b.op2(OpCode::FCmpLt, isab, half, y);
+    let fab = b.float_temp("fab");
+    b.op1(OpCode::IntToFloat, fab, isab);
+    b.op2(OpCode::FAdd, above, above, fab);
+    let one = b.float_temp("one");
+    b.movf(one, 1.0);
+    let fbe = b.float_temp("fbe");
+    b.op2(OpCode::FSub, fbe, one, fab);
+    b.op2(OpCode::FAdd, below, below, fbe);
+    // exponential moving average + volatility
+    let dema = b.float_temp("dema");
+    b.op2(OpCode::FSub, dema, y, ema);
+    let alpha = b.float_temp("alpha");
+    b.movf(alpha, 0.05);
+    let step2 = b.float_temp("step2");
+    b.op2(OpCode::FMul, step2, dema, alpha);
+    b.op2(OpCode::FAdd, ema, ema, step2);
+    let dvol = b.float_temp("dvol");
+    b.op2(OpCode::FSub, dvol, y, last);
+    let dvol2 = b.float_temp("dvol2");
+    b.op2(OpCode::FMul, dvol2, dvol, dvol);
+    b.op2(OpCode::FAdd, vol, vol, dvol2);
+    b.mov(last, y);
+    // parity split
+    let even_blk = b.block();
+    let odd_blk = b.block();
+    let merge = b.block();
+    let pbit = b.int_temp("pbit");
+    let one_i = b.int_temp("one_i");
+    b.movi(one_i, 1);
+    b.op2(OpCode::And, pbit, parity, one_i);
+    b.branch(Cond::Eq, pbit, even_blk, odd_blk);
+    b.switch_to(even_blk);
+    b.op2(OpCode::FAdd, even_sum, even_sum, y);
+    b.jump(merge);
+    b.switch_to(odd_blk);
+    b.op2(OpCode::FAdd, odd_sum, odd_sum, y);
+    b.jump(merge);
+    b.switch_to(merge);
+    b.addi(parity, parity, 1);
+    // quartile accumulators
+    let qtr = b.float_temp("qtr");
+    b.movf(qtr, 0.25);
+    let isq1 = b.int_temp("isq1");
+    b.op2(OpCode::FCmpLt, isq1, x, qtr);
+    let fq1 = b.float_temp("fq1");
+    b.op1(OpCode::IntToFloat, fq1, isq1);
+    let q1c = b.float_temp("q1c");
+    b.op2(OpCode::FMul, q1c, fq1, y);
+    b.op2(OpCode::FAdd, first_q, first_q, q1c);
+    let threeq = b.float_temp("threeq");
+    b.movf(threeq, 0.75);
+    let isq4 = b.int_temp("isq4");
+    b.op2(OpCode::FCmpLt, isq4, threeq, x);
+    let fq4 = b.float_temp("fq4");
+    b.op1(OpCode::IntToFloat, fq4, isq4);
+    let q4c = b.float_temp("q4c");
+    b.op2(OpCode::FMul, q4c, fq4, y);
+    b.op2(OpCode::FAdd, last_q, last_q, q4c);
+
+    b.addi(draws, draws, -1);
+    b.jump(head);
+
+    b.switch_to(done);
+    let facc = b.float_temp("facc");
+    b.movf(facc, 0.0);
+    for &s in &fstats {
+        b.op2(OpCode::FAdd, facc, facc, s);
+    }
+    let sc = b.float_temp("sc");
+    b.movf(sc, 1000.0);
+    let scaled = b.float_temp("scaled");
+    b.op2(OpCode::FMul, scaled, facc, sc);
+    let ret = b.int_temp("ret");
+    b.op1(OpCode::FloatToInt, ret, scaled);
+    b.ret(Some(ret.into()));
+
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

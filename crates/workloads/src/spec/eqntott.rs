@@ -1,0 +1,204 @@
+//! `eqntott` — truth-table generation from boolean equations.
+//!
+//! The paper notes (§3.1) that eqntott "spends a vast majority of its time
+//! in the procedure cmppt(), which contains a very small number of
+//! temporaries and therefore requires no spilling". We reproduce that: the
+//! hot function lexicographically compares two product-term vectors, and
+//! the driver insertion-sorts a table of terms by repeated `cmppt` calls.
+
+use lsra_ir::{
+    Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, RegClass,
+};
+
+use crate::{Lcg, Workload};
+
+const N_TERMS: i64 = 260;
+const WIDTH: i64 = 24;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "eqntott",
+        build,
+        input: Vec::new,
+        description: "insertion sort of product terms dominated by cmppt(), a tiny hot comparison function",
+        spills_in_paper: true, // Table 2 reports 0.001% / 0.000%
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_0002);
+    let mut mb = ModuleBuilder::new("eqntott", (N_TERMS * WIDTH + N_TERMS + 16) as usize);
+
+    // Product terms: N_TERMS rows of WIDTH small values (0, 1, 2 = don't
+    // care), deliberately sharing long prefixes so cmppt loops run deep.
+    let mut terms = Vec::with_capacity((N_TERMS * WIDTH) as usize);
+    for _ in 0..N_TERMS {
+        for j in 0..WIDTH {
+            let v = if j < WIDTH - 6 {
+                j % 3 // shared prefix
+            } else {
+                rng.below(3) as i64
+            };
+            terms.push(v);
+        }
+    }
+    let terms_base = mb.reserve((N_TERMS * WIDTH) as usize, &terms);
+    let idx_init: Vec<i64> = (0..N_TERMS).collect();
+    let idx_base = mb.reserve(N_TERMS as usize, &idx_init);
+
+    // cmppt(pa, pb) -> -1 | 0 | 1
+    let mut cb = FunctionBuilder::new(&spec, "cmppt", &[RegClass::Int, RegClass::Int]);
+    let pa = cb.param(0);
+    let pb = cb.param(1);
+    let i = cb.int_temp("i");
+    cb.movi(i, 0);
+    let head = cb.block();
+    let bodyb = cb.block();
+    let lt = cb.block();
+    let gt_chk = cb.block();
+    let gt = cb.block();
+    let cont = cb.block();
+    let eq = cb.block();
+    cb.jump(head);
+    cb.switch_to(head);
+    let w = cb.int_temp("w");
+    cb.movi(w, WIDTH);
+    let rem = cb.int_temp("rem");
+    cb.sub(rem, i, w);
+    cb.branch(Cond::Ge, rem, eq, bodyb);
+    cb.switch_to(bodyb);
+    let aa = cb.int_temp("aa");
+    let ai = cb.int_temp("ai");
+    cb.add(ai, pa, i);
+    cb.load(aa, ai, 0);
+    let bb = cb.int_temp("bb");
+    let bi = cb.int_temp("bi");
+    cb.add(bi, pb, i);
+    cb.load(bb, bi, 0);
+    let d = cb.int_temp("d");
+    cb.sub(d, aa, bb);
+    cb.branch(Cond::Lt, d, lt, gt_chk);
+    cb.switch_to(gt_chk);
+    cb.branch(Cond::Gt, d, gt, cont);
+    cb.switch_to(cont);
+    cb.addi(i, i, 1);
+    cb.jump(head);
+    cb.switch_to(lt);
+    let m1 = cb.int_temp("m1");
+    cb.movi(m1, -1);
+    cb.ret(Some(m1.into()));
+    cb.switch_to(gt);
+    let p1 = cb.int_temp("p1");
+    cb.movi(p1, 1);
+    cb.ret(Some(p1.into()));
+    cb.switch_to(eq);
+    let z = cb.int_temp("z");
+    cb.movi(z, 0);
+    cb.ret(Some(z.into()));
+    let cmppt = mb.add(cb.finish());
+
+    // main: insertion sort of idx[] ordered by cmppt on the terms.
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let tbase = b.int_temp("tbase");
+    b.movi(tbase, terms_base);
+    let ibase = b.int_temp("ibase");
+    b.movi(ibase, idx_base);
+    let width = b.int_temp("width");
+    b.movi(width, WIDTH);
+    let n = b.int_temp("n");
+    b.movi(n, N_TERMS);
+    let j = b.int_temp("j");
+    b.movi(j, 1);
+
+    let outer = b.block();
+    let outer_body = b.block();
+    let inner = b.block();
+    let inner_body = b.block();
+    let do_shift = b.block();
+    let place = b.block();
+    let done = b.block();
+
+    b.jump(outer);
+    b.switch_to(outer);
+    let jrem = b.int_temp("jrem");
+    b.sub(jrem, j, n);
+    b.branch(Cond::Ge, jrem, done, outer_body);
+
+    b.switch_to(outer_body);
+    // key = idx[j]
+    let jaddr = b.int_temp("jaddr");
+    b.add(jaddr, ibase, j);
+    let key = b.int_temp("key");
+    b.load(key, jaddr, 0);
+    let keyptr = b.int_temp("keyptr");
+    b.mul(keyptr, key, width);
+    b.add(keyptr, keyptr, tbase);
+    let i2 = b.int_temp("i2");
+    b.addi(i2, j, -1);
+    b.jump(inner);
+
+    b.switch_to(inner);
+    b.branch(Cond::Lt, i2, place, inner_body);
+
+    b.switch_to(inner_body);
+    // cur = idx[i2]; if cmppt(term(cur), term(key)) > 0 shift, else place
+    let iaddr = b.int_temp("iaddr");
+    b.add(iaddr, ibase, i2);
+    let cur = b.int_temp("cur");
+    b.load(cur, iaddr, 0);
+    let curptr = b.int_temp("curptr");
+    b.mul(curptr, cur, width);
+    b.add(curptr, curptr, tbase);
+    let cmp = b.call_func(cmppt, &[curptr.into(), keyptr.into()], Some(RegClass::Int)).unwrap();
+    b.branch(Cond::Gt, cmp, do_shift, place);
+
+    b.switch_to(do_shift);
+    // idx[i2+1] = cur; i2--
+    let dst = b.int_temp("dst");
+    b.addi(dst, i2, 1);
+    b.add(dst, dst, ibase);
+    b.store(cur, dst, 0);
+    b.addi(i2, i2, -1);
+    b.jump(inner);
+
+    b.switch_to(place);
+    // idx[i2+1] = key; j++
+    let pdst = b.int_temp("pdst");
+    b.addi(pdst, i2, 1);
+    b.add(pdst, pdst, ibase);
+    b.store(key, pdst, 0);
+    b.addi(j, j, 1);
+    b.jump(outer);
+
+    b.switch_to(done);
+    // Checksum: sum of idx[k] * k.
+    let k = b.int_temp("k");
+    b.movi(k, 0);
+    let acc = b.int_temp("acc");
+    b.movi(acc, 0);
+    let chead = b.block();
+    let cbody = b.block();
+    let cdone = b.block();
+    b.jump(chead);
+    b.switch_to(chead);
+    let krem = b.int_temp("krem");
+    b.sub(krem, k, n);
+    b.branch(Cond::Ge, krem, cdone, cbody);
+    b.switch_to(cbody);
+    let ka = b.int_temp("ka");
+    b.add(ka, ibase, k);
+    let kv = b.int_temp("kv");
+    b.load(kv, ka, 0);
+    let kp = b.int_temp("kp");
+    b.mul(kp, kv, k);
+    b.add(acc, acc, kp);
+    b.addi(k, k, 1);
+    b.jump(chead);
+    b.switch_to(cdone);
+    b.ret(Some(acc.into()));
+
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

@@ -1,0 +1,228 @@
+//! `espresso` — boolean function minimization.
+//!
+//! Loops over pairs of "cubes" (bit-vector encoded product terms) computing
+//! intersections and distances through a helper function, while a battery
+//! of statistics stays live across the calls. Table 2 reports 0.78% /
+//! 0.15% spill code — one of the benchmarks where binpacking inserts more
+//! spill code than coloring, largely resolution stores/loads.
+
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode, RegClass};
+
+use crate::{Lcg, Workload};
+
+const NCUBES: i64 = 230;
+const CW: i64 = 8;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "espresso",
+        build,
+        input: Vec::new,
+        description: "cube-pair set operations behind helper calls with ~12 statistics live across them",
+        spills_in_paper: true,
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_000a);
+    let mut mb = ModuleBuilder::new("espresso", (NCUBES * CW) as usize + 16);
+    let init: Vec<i64> = (0..NCUBES * CW).map(|_| rng.next_u64() as i64).collect();
+    let cubes = mb.reserve((NCUBES * CW) as usize, &init);
+
+    // cube_and_weight(pa, pb): sum over words of a nibble-popcount of a&b.
+    let mut cb =
+        FunctionBuilder::new(&spec, "cube_and_weight", &[RegClass::Int, RegClass::Int]);
+    let pa = cb.param(0);
+    let pb = cb.param(1);
+    let i = cb.int_temp("i");
+    cb.movi(i, 0);
+    let total = cb.int_temp("total");
+    cb.movi(total, 0);
+    let w = cb.int_temp("w");
+    cb.movi(w, CW);
+    let head = cb.block();
+    let body = cb.block();
+    let done = cb.block();
+    cb.jump(head);
+    cb.switch_to(head);
+    let rem = cb.int_temp("rem");
+    cb.sub(rem, i, w);
+    cb.branch(Cond::Ge, rem, done, body);
+    cb.switch_to(body);
+    let aa = cb.int_temp("aa");
+    let ai = cb.int_temp("ai");
+    cb.add(ai, pa, i);
+    cb.load(aa, ai, 0);
+    let bb = cb.int_temp("bb");
+    let bi = cb.int_temp("bi");
+    cb.add(bi, pb, i);
+    cb.load(bb, bi, 0);
+    let both = cb.int_temp("both");
+    cb.op2(OpCode::And, both, aa, bb);
+    // crude weight: fold the word into 8 bytes and sum their low bits
+    let mut word = both;
+    let mut partial = cb.int_temp("partial");
+    cb.movi(partial, 0);
+    for _ in 0..4 {
+        let one = cb.int_temp("one");
+        cb.movi(one, 1);
+        let bit = cb.int_temp("bit");
+        cb.op2(OpCode::And, bit, word, one);
+        let np = cb.int_temp("np");
+        cb.add(np, partial, bit);
+        partial = np;
+        let sh = cb.int_temp("sh");
+        cb.movi(sh, 16);
+        let nw = cb.int_temp("nw");
+        cb.op2(OpCode::Shr, nw, word, sh);
+        word = nw;
+    }
+    cb.add(total, total, partial);
+    cb.addi(i, i, 1);
+    cb.jump(head);
+    cb.switch_to(done);
+    cb.ret(Some(total.into()));
+    let weight_fn = mb.add(cb.finish());
+
+    // main: pairwise loop with many live statistics across the call.
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let base = b.int_temp("base");
+    b.movi(base, cubes);
+    let n = b.int_temp("n");
+    b.movi(n, NCUBES);
+    let cw = b.int_temp("cw");
+    b.movi(cw, CW);
+    // statistics battery (live through both loops and across the call)
+    let s_total = b.int_temp("s_total");
+    let s_max = b.int_temp("s_max");
+    let s_min = b.int_temp("s_min");
+    let s_zero = b.int_temp("s_zero");
+    let s_odd = b.int_temp("s_odd");
+    let s_heavy = b.int_temp("s_heavy");
+    let s_xor = b.int_temp("s_xor");
+    let s_count = b.int_temp("s_count");
+    let s_span = b.int_temp("s_span");
+    let s_runs = b.int_temp("s_runs");
+    let s_prev = b.int_temp("s_prev");
+    let s_big = b.int_temp("s_big");
+    let stats = [
+        s_total, s_max, s_min, s_zero, s_odd, s_heavy, s_xor, s_count, s_span, s_runs, s_prev,
+        s_big,
+    ];
+    for &s in &stats {
+        b.movi(s, 0);
+    }
+    b.movi(s_min, 1 << 30);
+
+    let i = b.int_temp("i");
+    b.movi(i, 0);
+    let j = b.int_temp("j");
+    let i_head = b.block();
+    let i_body = b.block();
+    let j_head = b.block();
+    let j_body = b.block();
+    let j_done = b.block();
+    let done = b.block();
+    b.jump(i_head);
+    b.switch_to(i_head);
+    let irem = b.int_temp("irem");
+    b.sub(irem, i, n);
+    b.branch(Cond::Ge, irem, done, i_body);
+    b.switch_to(i_body);
+    b.addi(j, i, 1);
+    b.jump(j_head);
+    b.switch_to(j_head);
+    let jrem = b.int_temp("jrem");
+    b.sub(jrem, j, n);
+    b.branch(Cond::Ge, jrem, j_done, j_body);
+
+    b.switch_to(j_body);
+    let ipa = b.int_temp("ipa");
+    b.mul(ipa, i, cw);
+    b.add(ipa, ipa, base);
+    let jpa = b.int_temp("jpa");
+    b.mul(jpa, j, cw);
+    b.add(jpa, jpa, base);
+    let wv = b.call_func(weight_fn, &[ipa.into(), jpa.into()], Some(RegClass::Int)).unwrap();
+    // Update every statistic (all live across the call above).
+    b.add(s_total, s_total, wv);
+    b.addi(s_count, s_count, 1);
+    b.op2(OpCode::Xor, s_xor, s_xor, wv);
+    // max
+    let gtm = b.int_temp("gtm");
+    b.op2(OpCode::CmpLt, gtm, s_max, wv);
+    let dm = b.int_temp("dm");
+    b.sub(dm, wv, s_max);
+    let gm = b.int_temp("gm");
+    b.mul(gm, gtm, dm);
+    b.add(s_max, s_max, gm);
+    // min
+    let ltm = b.int_temp("ltm");
+    b.op2(OpCode::CmpLt, ltm, wv, s_min);
+    let dmin = b.int_temp("dmin");
+    b.sub(dmin, wv, s_min);
+    let gmin = b.int_temp("gmin");
+    b.mul(gmin, ltm, dmin);
+    b.add(s_min, s_min, gmin);
+    // zero / odd / heavy
+    let one = b.int_temp("one");
+    b.movi(one, 1);
+    let isz = b.int_temp("isz");
+    b.op2(OpCode::CmpEq, isz, wv, s_zero); // compare against 0-ish value
+    // fix: compare against literal zero
+    let z = b.int_temp("z");
+    b.movi(z, 0);
+    b.op2(OpCode::CmpEq, isz, wv, z);
+    b.add(s_zero, s_zero, isz);
+    let odd = b.int_temp("odd");
+    b.op2(OpCode::And, odd, wv, one);
+    b.add(s_odd, s_odd, odd);
+    let thr = b.int_temp("thr");
+    b.movi(thr, 20);
+    let hvy = b.int_temp("hvy");
+    b.op2(OpCode::CmpLt, hvy, thr, wv);
+    b.add(s_heavy, s_heavy, hvy);
+    // span and runs (depend on previous value)
+    let dspan = b.int_temp("dspan");
+    b.sub(dspan, wv, s_prev);
+    let ads = b.int_temp("ads");
+    let neg = b.int_temp("neg");
+    b.op1(OpCode::Neg, neg, dspan);
+    let isneg = b.int_temp("isneg");
+    b.op2(OpCode::CmpLt, isneg, dspan, z);
+    let twice = b.int_temp("twice");
+    b.mul(twice, isneg, neg);
+    let pos_part = b.int_temp("pos_part");
+    b.mul(pos_part, isneg, dspan);
+    b.sub(ads, dspan, pos_part);
+    b.add(ads, ads, twice);
+    // (ads = |dspan| via branch-free trick; keep both variants live)
+    b.add(s_span, s_span, ads);
+    let same = b.int_temp("same");
+    b.op2(OpCode::CmpEq, same, wv, s_prev);
+    b.add(s_runs, s_runs, same);
+    b.mov(s_prev, wv);
+    // big pairs contribute quadratically
+    let sq = b.int_temp("sq");
+    b.mul(sq, wv, wv);
+    b.add(s_big, s_big, sq);
+    b.addi(j, j, 1);
+    b.jump(j_head);
+
+    b.switch_to(j_done);
+    b.addi(i, i, 1);
+    b.jump(i_head);
+
+    b.switch_to(done);
+    let ret = b.int_temp("ret");
+    b.movi(ret, 0);
+    for &s in &stats {
+        b.op2(OpCode::Xor, ret, ret, s);
+    }
+    b.add(ret, ret, s_total);
+    b.ret(Some(ret.into()));
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

@@ -1,0 +1,154 @@
+//! `fpppp` — quantum chemistry two-electron integral derivatives.
+//!
+//! The real fpppp is infamous for enormous straight-line basic blocks with
+//! hundreds of simultaneously live floating-point values; it is the paper's
+//! heaviest spiller (18.6% / 13.4% of dynamic instructions in Table 2) and
+//! the module whose interference graphs blow up coloring's allocation time
+//! in Table 3. This version computes a long unrolled "integral block": a
+//! front of ~56 floating-point intermediates is produced first and consumed
+//! in reverse much later, so far more values are live at once than the 28
+//! floating-point registers can hold.
+
+use lsra_ir::{
+    Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode, RegClass, Temp,
+};
+
+use crate::{Lcg, Workload};
+
+const INPUTS: usize = 24;
+const FRONT: usize = 56;
+const OUTER: i64 = 4200;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "fpppp",
+        build,
+        input: Vec::new,
+        description: "huge fp blocks with ~56 simultaneously live values (28 fp registers) and conditional scaling",
+        spills_in_paper: true, // the heaviest spiller in Table 2
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_0003);
+    let mut mb = ModuleBuilder::new("fpppp", INPUTS + 8);
+    let init: Vec<i64> =
+        (0..INPUTS).map(|_| (0.5 + rng.unit_f64()).to_bits() as i64).collect();
+    let in_base = mb.reserve(INPUTS, &init);
+
+    // integral_block(base) -> f64 folded to int at the end by main.
+    let mut cb = FunctionBuilder::new(&spec, "integral_block", &[RegClass::Int]);
+    let base = cb.param(0);
+    // Load the inputs.
+    let mut ins: Vec<Temp> = Vec::new();
+    for i in 0..INPUTS {
+        let t = cb.float_temp(&format!("in{i}"));
+        cb.load(t, base, i as i32);
+        ins.push(t);
+    }
+    // Front phase: produce FRONT intermediates, each from two earlier
+    // values; all stay live until the fold phase.
+    let mut front: Vec<Temp> = Vec::new();
+    let mut gen = Lcg::new(0x0ddba11);
+    for i in 0..FRONT {
+        let t = cb.float_temp(&format!("v{i}"));
+        let a = if front.is_empty() || gen.below(3) == 0 {
+            ins[gen.below(INPUTS as u64) as usize]
+        } else {
+            front[gen.below(front.len() as u64) as usize]
+        };
+        let bsrc = ins[gen.below(INPUTS as u64) as usize];
+        let op = match gen.below(3) {
+            0 => OpCode::FAdd,
+            1 => OpCode::FMul,
+            _ => OpCode::FSub,
+        };
+        cb.op2(op, t, a, bsrc);
+        front.push(t);
+    }
+    // Fold phase: consume the front in reverse pairs, so every front value
+    // is live from its definition until here. Every eighth step branches on
+    // the running sign (the real fpppp's integral blocks are sprinkled with
+    // conditional scaling), which forces the linear allocator to reconcile
+    // its per-path register assumptions at the joins while all the front
+    // values are still live.
+    let mut acc = cb.float_temp("acc");
+    cb.movf(acc, 1.0);
+    for i in 0..FRONT / 2 {
+        let x = front[i];
+        let y = front[FRONT - 1 - i];
+        let p = cb.float_temp(&format!("p{i}"));
+        cb.op2(OpCode::FMul, p, x, y);
+        let na = cb.float_temp(&format!("a{i}"));
+        cb.op2(OpCode::FAdd, na, acc, p);
+        acc = na;
+        if i % 8 == 7 {
+            let sign = cb.int_temp(&format!("sg{i}"));
+            cb.op1(OpCode::FloatToInt, sign, acc);
+            let neg = cb.block();
+            let pos = cb.block();
+            let join = cb.block();
+            cb.branch(Cond::Lt, sign, neg, pos);
+            cb.switch_to(neg);
+            let sc = cb.float_temp(&format!("sn{i}"));
+            cb.movf(sc, -0.5);
+            let scaled = cb.float_temp(&format!("sv{i}"));
+            cb.op2(OpCode::FMul, scaled, acc, sc);
+            cb.mov(acc, scaled);
+            cb.jump(join);
+            cb.switch_to(pos);
+            let sc = cb.float_temp(&format!("sp{i}"));
+            cb.movf(sc, 0.5);
+            let scaled = cb.float_temp(&format!("sw{i}"));
+            cb.op2(OpCode::FMul, scaled, acc, sc);
+            cb.mov(acc, scaled);
+            cb.jump(join);
+            cb.switch_to(join);
+        }
+    }
+    // Normalise to keep values bounded across iterations.
+    let one = cb.float_temp("one");
+    cb.movf(one, 1.0);
+    let mag = cb.float_temp("mag");
+    cb.op1(OpCode::FAbs, mag, acc);
+    let den = cb.float_temp("den");
+    cb.op2(OpCode::FAdd, den, mag, one);
+    let out = cb.float_temp("out");
+    cb.op2(OpCode::FDiv, out, acc, den);
+    cb.ret(Some(out.into()));
+    let block_fn = mb.add(cb.finish());
+
+    // main: run the block OUTER times, feeding the result back into the
+    // input array so iterations are not dead.
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let baset = b.int_temp("base");
+    b.movi(baset, in_base);
+    let n = b.int_temp("n");
+    b.movi(n, OUTER);
+    let fsum = b.float_temp("fsum");
+    b.movf(fsum, 0.0);
+    let head = b.block();
+    let body = b.block();
+    let exit = b.block();
+    b.jump(head);
+    b.switch_to(head);
+    b.branch(Cond::Le, n, exit, body);
+    b.switch_to(body);
+    let r = b.call_func(block_fn, &[baset.into()], Some(RegClass::Float)).unwrap();
+    b.op2(OpCode::FAdd, fsum, fsum, r);
+    b.store(r, baset, 0); // feedback
+    b.addi(n, n, -1);
+    b.jump(head);
+    b.switch_to(exit);
+    let scale = b.float_temp("scale");
+    b.movf(scale, 1_000_000.0);
+    let scaled = b.float_temp("scaled");
+    b.op2(OpCode::FMul, scaled, fsum, scale);
+    let ret = b.int_temp("ret");
+    b.op1(OpCode::FloatToInt, ret, scaled);
+    b.ret(Some(ret.into()));
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

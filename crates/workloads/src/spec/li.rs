@@ -1,0 +1,286 @@
+//! `li` — xlisp interpreter.
+//!
+//! The interpreter is call-intensive: many small functions, much of the
+//! dynamic instruction count in call/return sequences and parameter moves —
+//! the paper notes the difference between binpacking and coloring on li is
+//! "entirely due to the lack of move coalescing". This version walks a cons
+//! cell arena with small recursive list functions behind a dispatcher.
+
+use lsra_ir::{Cond, FuncId, FunctionBuilder, MachineSpec, Module, ModuleBuilder, RegClass};
+
+use crate::{Lcg, Workload};
+
+const CELLS: i64 = 4096;
+const LISTS: i64 = 24;
+const ROUNDS: i64 = 260;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "li",
+        build,
+        input: Vec::new,
+        description: "lisp-style interpreter: recursive walks of a cons arena behind a dispatcher; call-intensive",
+        spills_in_paper: false,
+    }
+}
+
+/// car at `cell*2`, cdr at `cell*2 + 1`; nil is -1.
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_0009);
+    let mut mb = ModuleBuilder::new("li", (2 * CELLS + LISTS) as usize + 16);
+
+    // Build LISTS lists of random length 20..60 from the arena.
+    let mut cars = vec![0i64; CELLS as usize];
+    let mut cdrs = vec![-1i64; CELLS as usize];
+    let mut heads = Vec::new();
+    let mut next_cell = 0i64;
+    for _ in 0..LISTS {
+        let len = 20 + rng.below(41) as i64;
+        let mut head = -1i64;
+        for _ in 0..len {
+            let c = next_cell;
+            next_cell += 1;
+            cars[c as usize] = rng.below(1000) as i64;
+            cdrs[c as usize] = head;
+            head = c;
+        }
+        heads.push(head);
+    }
+    let mut arena = vec![0i64; (2 * CELLS) as usize];
+    for c in 0..CELLS as usize {
+        arena[2 * c] = cars[c];
+        arena[2 * c + 1] = cdrs[c];
+    }
+    let arena_base = mb.reserve((2 * CELLS) as usize, &arena);
+    let heads_base = mb.reserve(LISTS as usize, &heads);
+
+    // list_sum(arena, p) = if p < 0 { 0 } else { car(p) + list_sum(cdr(p)) }
+    let list_sum = mb.declare();
+    {
+        let mut f = FunctionBuilder::new(&spec, "list_sum", &[RegClass::Int, RegClass::Int]);
+        let arena = f.param(0);
+        let p = f.param(1);
+        let body = f.block();
+        let nil = f.block();
+        f.branch(Cond::Lt, p, nil, body);
+        f.switch_to(body);
+        let two = f.int_temp("two");
+        f.movi(two, 2);
+        let pa = f.int_temp("pa");
+        f.mul(pa, p, two);
+        f.add(pa, pa, arena);
+        let car = f.int_temp("car");
+        f.load(car, pa, 0);
+        let cdr = f.int_temp("cdr");
+        f.load(cdr, pa, 1);
+        let rest = f.call_func(list_sum, &[arena.into(), cdr.into()], Some(RegClass::Int)).unwrap();
+        let total = f.int_temp("total");
+        f.add(total, car, rest);
+        f.ret(Some(total.into()));
+        f.switch_to(nil);
+        let z = f.int_temp("z");
+        f.movi(z, 0);
+        f.ret(Some(z.into()));
+        mb.define(list_sum, f.finish());
+    }
+
+    // list_length(arena, p)
+    let list_length = mb.declare();
+    {
+        let mut f = FunctionBuilder::new(&spec, "list_length", &[RegClass::Int, RegClass::Int]);
+        let arena = f.param(0);
+        let p = f.param(1);
+        let body = f.block();
+        let nil = f.block();
+        f.branch(Cond::Lt, p, nil, body);
+        f.switch_to(body);
+        let two = f.int_temp("two");
+        f.movi(two, 2);
+        let pa = f.int_temp("pa");
+        f.mul(pa, p, two);
+        f.add(pa, pa, arena);
+        let cdr = f.int_temp("cdr");
+        f.load(cdr, pa, 1);
+        let rest =
+            f.call_func(list_length, &[arena.into(), cdr.into()], Some(RegClass::Int)).unwrap();
+        let total = f.int_temp("total");
+        f.addi(total, rest, 1);
+        f.ret(Some(total.into()));
+        f.switch_to(nil);
+        let z = f.int_temp("z");
+        f.movi(z, 0);
+        f.ret(Some(z.into()));
+        mb.define(list_length, f.finish());
+    }
+
+    // list_max(arena, p)
+    let list_max = mb.declare();
+    {
+        let mut f = FunctionBuilder::new(&spec, "list_max", &[RegClass::Int, RegClass::Int]);
+        let arena = f.param(0);
+        let p = f.param(1);
+        let body = f.block();
+        let nil = f.block();
+        f.branch(Cond::Lt, p, nil, body);
+        f.switch_to(body);
+        let two = f.int_temp("two");
+        f.movi(two, 2);
+        let pa = f.int_temp("pa");
+        f.mul(pa, p, two);
+        f.add(pa, pa, arena);
+        let car = f.int_temp("car");
+        f.load(car, pa, 0);
+        let cdr = f.int_temp("cdr");
+        f.load(cdr, pa, 1);
+        let rest = f.call_func(list_max, &[arena.into(), cdr.into()], Some(RegClass::Int)).unwrap();
+        let take_rest = f.block();
+        let take_car = f.block();
+        let d = f.int_temp("d");
+        f.sub(d, car, rest);
+        f.branch(Cond::Lt, d, take_rest, take_car);
+        f.switch_to(take_rest);
+        f.ret(Some(rest.into()));
+        f.switch_to(take_car);
+        f.ret(Some(car.into()));
+        f.switch_to(nil);
+        let z = f.int_temp("z");
+        f.movi(z, -1);
+        f.ret(Some(z.into()));
+        mb.define(list_max, f.finish());
+    }
+
+    // map_scale(arena, p, k): destructive car(p) = car(p) * k % 1000
+    let map_scale = mb.declare();
+    {
+        let mut f = FunctionBuilder::new(
+            &spec,
+            "map_scale",
+            &[RegClass::Int, RegClass::Int, RegClass::Int],
+        );
+        let arena = f.param(0);
+        let p = f.param(1);
+        let k = f.param(2);
+        let body = f.block();
+        let nil = f.block();
+        f.branch(Cond::Lt, p, nil, body);
+        f.switch_to(body);
+        let two = f.int_temp("two");
+        f.movi(two, 2);
+        let pa = f.int_temp("pa");
+        f.mul(pa, p, two);
+        f.add(pa, pa, arena);
+        let car = f.int_temp("car");
+        f.load(car, pa, 0);
+        let scaled = f.int_temp("scaled");
+        f.mul(scaled, car, k);
+        let m = f.int_temp("m");
+        f.movi(m, 1000);
+        let red = f.int_temp("red");
+        f.op2(lsra_ir::OpCode::Rem, red, scaled, m);
+        f.store(red, pa, 0);
+        let cdr = f.int_temp("cdr");
+        f.load(cdr, pa, 1);
+        f.call_func(map_scale, &[arena.into(), cdr.into(), k.into()], None);
+        f.ret(None);
+        f.switch_to(nil);
+        f.ret(None);
+        mb.define(map_scale, f.finish());
+    }
+
+    // apply(arena, op, p) — the "eval" dispatcher.
+    let apply = mb.declare();
+    {
+        let mut f =
+            FunctionBuilder::new(&spec, "apply", &[RegClass::Int, RegClass::Int, RegClass::Int]);
+        let arena = f.param(0);
+        let op = f.param(1);
+        let p = f.param(2);
+        let case_sum = f.block();
+        let not0 = f.block();
+        let case_len = f.block();
+        let not1 = f.block();
+        let case_max = f.block();
+        let case_map = f.block();
+        f.branch(Cond::Eq, op, case_sum, not0);
+        f.switch_to(not0);
+        let o1 = f.int_temp("o1");
+        f.addi(o1, op, -1);
+        f.branch(Cond::Eq, o1, case_len, not1);
+        f.switch_to(not1);
+        let o2 = f.int_temp("o2");
+        f.addi(o2, op, -2);
+        f.branch(Cond::Eq, o2, case_max, case_map);
+        f.switch_to(case_sum);
+        let r0 = f.call_func(list_sum, &[arena.into(), p.into()], Some(RegClass::Int)).unwrap();
+        f.ret(Some(r0.into()));
+        f.switch_to(case_len);
+        let r1 = f.call_func(list_length, &[arena.into(), p.into()], Some(RegClass::Int)).unwrap();
+        f.ret(Some(r1.into()));
+        f.switch_to(case_max);
+        let r2 = f.call_func(list_max, &[arena.into(), p.into()], Some(RegClass::Int)).unwrap();
+        f.ret(Some(r2.into()));
+        f.switch_to(case_map);
+        let three = f.int_temp("three");
+        f.movi(three, 3);
+        f.call_func(map_scale, &[arena.into(), p.into(), three.into()], None);
+        let r3 = f.call_func(list_sum, &[arena.into(), p.into()], Some(RegClass::Int)).unwrap();
+        f.ret(Some(r3.into()));
+        mb.define(apply, f.finish());
+    }
+
+    // main: rounds of applying each op to each list.
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let ar = b.int_temp("ar");
+    b.movi(ar, arena_base);
+    let hb = b.int_temp("hb");
+    b.movi(hb, heads_base);
+    let nl = b.int_temp("nl");
+    b.movi(nl, LISTS);
+    let rounds = b.int_temp("rounds");
+    b.movi(rounds, ROUNDS);
+    let acc = b.int_temp("acc");
+    b.movi(acc, 0);
+    let r_head = b.block();
+    let r_body = b.block();
+    let l_head = b.block();
+    let l_body = b.block();
+    let l_done = b.block();
+    let done = b.block();
+    let li = b.int_temp("li");
+    b.jump(r_head);
+    b.switch_to(r_head);
+    b.branch(Cond::Le, rounds, done, r_body);
+    b.switch_to(r_body);
+    b.movi(li, 0);
+    b.jump(l_head);
+    b.switch_to(l_head);
+    let lrem = b.int_temp("lrem");
+    b.sub(lrem, li, nl);
+    b.branch(Cond::Ge, lrem, l_done, l_body);
+    b.switch_to(l_body);
+    let ha = b.int_temp("ha");
+    b.add(ha, hb, li);
+    let head = b.int_temp("head");
+    b.load(head, ha, 0);
+    // op = (round + list) % 4
+    let opsum = b.int_temp("opsum");
+    b.add(opsum, rounds, li);
+    let four = b.int_temp("four");
+    b.movi(four, 4);
+    let op = b.int_temp("op");
+    b.op2(lsra_ir::OpCode::Rem, op, opsum, four);
+    let r = b.call_func(apply, &[ar.into(), op.into(), head.into()], Some(RegClass::Int)).unwrap();
+    b.add(acc, acc, r);
+    b.addi(li, li, 1);
+    b.jump(l_head);
+    b.switch_to(l_done);
+    b.addi(rounds, rounds, -1);
+    b.jump(r_head);
+    b.switch_to(done);
+    b.ret(Some(acc.into()));
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    let _ = FuncId(0);
+    mb.finish()
+}

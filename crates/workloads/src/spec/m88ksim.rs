@@ -1,0 +1,281 @@
+//! `m88ksim` — Motorola 88100 processor simulator (SPEC95).
+//!
+//! A fetch–decode–execute loop over a synthetic instruction memory: bitfield
+//! extraction, a branchy opcode dispatch, a memory-resident register file,
+//! and occasional helper calls. Small spill percentages in the paper's
+//! Table 2 (0.030% / 0.045%, binpacking slightly better).
+
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode, RegClass};
+
+use crate::{Lcg, Workload};
+
+const IMEM: i64 = 4096;
+const DMEM: i64 = 1024;
+const STEPS: i64 = 55_000;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "m88ksim",
+        build,
+        input: Vec::new,
+        description: "CPU simulator: fetch/decode/dispatch loop with memory register file and rare helper calls",
+        spills_in_paper: true,
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_0007);
+    let mut mb = ModuleBuilder::new("m88ksim", (IMEM + DMEM + 32) as usize + 16);
+    // Encoded instructions: op(4) rd(5) rs1(5) rs2(5) imm(13)
+    let imem_init: Vec<i64> = (0..IMEM)
+        .map(|_| {
+            let op = rng.below(16) as i64;
+            let rd = rng.below(32) as i64;
+            let rs1 = rng.below(32) as i64;
+            let rs2 = rng.below(32) as i64;
+            let imm = rng.below(8192) as i64;
+            (op << 28) | (rd << 23) | (rs1 << 18) | (rs2 << 13) | imm
+        })
+        .collect();
+    let imem = mb.reserve(IMEM as usize, &imem_init);
+    let dmem = mb.reserve(DMEM as usize, &[]);
+    let rfile = mb.reserve(32, &(0..32).collect::<Vec<i64>>());
+
+    // trap helper: rarely-taken operations go through a call.
+    let mut tb = FunctionBuilder::new(&spec, "trap", &[RegClass::Int, RegClass::Int]);
+    let top = tb.param(0);
+    let tval = tb.param(1);
+    let r = tb.int_temp("r");
+    tb.mul(r, top, tval);
+    let seven = tb.int_temp("seven");
+    tb.movi(seven, 7);
+    tb.op2(OpCode::Xor, r, r, seven);
+    tb.ret(Some(r.into()));
+    let trap = mb.add(tb.finish());
+
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let imb = b.int_temp("imb");
+    b.movi(imb, imem);
+    let dmb = b.int_temp("dmb");
+    b.movi(dmb, dmem);
+    let rfb = b.int_temp("rfb");
+    b.movi(rfb, rfile);
+    let pc = b.int_temp("pc");
+    b.movi(pc, 0);
+    let steps = b.int_temp("steps");
+    b.movi(steps, STEPS);
+    let cycles = b.int_temp("cycles");
+    b.movi(cycles, 0);
+    let imask = b.int_temp("imask");
+    b.movi(imask, IMEM - 1);
+    let dmask = b.int_temp("dmask");
+    b.movi(dmask, DMEM - 1);
+
+    let head = b.block();
+    let body = b.block();
+    let done = b.block();
+    b.jump(head);
+    b.switch_to(head);
+    b.branch(Cond::Le, steps, done, body);
+
+    b.switch_to(body);
+    // fetch
+    let fa = b.int_temp("fa");
+    b.op2(OpCode::And, fa, pc, imask);
+    b.add(fa, fa, imb);
+    let w = b.int_temp("w");
+    b.load(w, fa, 0);
+    // decode
+    let field = |b: &mut FunctionBuilder, w: lsra_ir::Temp, shift: i64, bits: i64| {
+        let s = b.int_temp("s");
+        b.movi(s, shift);
+        let sh = b.int_temp("sh");
+        b.op2(OpCode::Shr, sh, w, s);
+        let m = b.int_temp("m");
+        b.movi(m, (1 << bits) - 1);
+        let out = b.int_temp("fld");
+        b.op2(OpCode::And, out, sh, m);
+        out
+    };
+    let op = field(&mut b, w, 28, 4);
+    let rd = field(&mut b, w, 23, 5);
+    let rs1 = field(&mut b, w, 18, 5);
+    let rs2 = field(&mut b, w, 13, 5);
+    let imm = field(&mut b, w, 0, 13);
+    // read registers
+    let a1 = b.int_temp("a1");
+    b.add(a1, rfb, rs1);
+    let v1 = b.int_temp("v1");
+    b.load(v1, a1, 0);
+    let a2 = b.int_temp("a2");
+    b.add(a2, rfb, rs2);
+    let v2 = b.int_temp("v2");
+    b.load(v2, a2, 0);
+
+    // dispatch tree on op: 0-2 alu, 3-4 logic, 5 shift, 6 load, 7 store,
+    // 8 branch, 9-13 alu-imm, 14-15 trap call.
+    let wb = b.int_temp("wb"); // writeback value
+    let alu = b.block();
+    let logic = b.block();
+    let shift_b = b.block();
+    let ld = b.block();
+    let st = b.block();
+    let br = b.block();
+    let alui = b.block();
+    let trp = b.block();
+    let writeback = b.block();
+    let next = b.block();
+
+    let c3 = b.int_temp("c3");
+    b.addi(c3, op, -3);
+    let ge3 = b.block();
+    b.branch(Cond::Lt, c3, alu, ge3);
+    b.switch_to(ge3);
+    let c5 = b.int_temp("c5");
+    b.addi(c5, op, -5);
+    let ge5 = b.block();
+    b.branch(Cond::Lt, c5, logic, ge5);
+    b.switch_to(ge5);
+    let c6 = b.int_temp("c6");
+    b.addi(c6, op, -6);
+    let ge6 = b.block();
+    b.branch(Cond::Lt, c6, shift_b, ge6);
+    b.switch_to(ge6);
+    let c7 = b.int_temp("c7");
+    b.addi(c7, op, -7);
+    let ge7 = b.block();
+    b.branch(Cond::Lt, c7, ld, ge7);
+    b.switch_to(ge7);
+    let c8 = b.int_temp("c8");
+    b.addi(c8, op, -8);
+    let ge8 = b.block();
+    b.branch(Cond::Lt, c8, st, ge8);
+    b.switch_to(ge8);
+    let c9 = b.int_temp("c9");
+    b.addi(c9, op, -9);
+    let ge9 = b.block();
+    b.branch(Cond::Lt, c9, br, ge9);
+    b.switch_to(ge9);
+    let c14 = b.int_temp("c14");
+    b.addi(c14, op, -14);
+    b.branch(Cond::Lt, c14, alui, trp);
+
+    b.switch_to(alu);
+    let s0 = b.int_temp("s0");
+    b.add(s0, v1, v2);
+    let s1 = b.int_temp("s1");
+    b.sub(s1, s0, op);
+    b.mov(wb, s1);
+    b.jump(writeback);
+
+    b.switch_to(logic);
+    let l0 = b.int_temp("l0");
+    b.op2(OpCode::Xor, l0, v1, v2);
+    let l1 = b.int_temp("l1");
+    b.op2(OpCode::Or, l1, l0, imm);
+    b.mov(wb, l1);
+    b.jump(writeback);
+
+    b.switch_to(shift_b);
+    let five = b.int_temp("five");
+    b.movi(five, 31);
+    let amt = b.int_temp("amt");
+    b.op2(OpCode::And, amt, v2, five);
+    let sh2 = b.int_temp("sh2");
+    b.op2(OpCode::Shr, sh2, v1, amt);
+    b.mov(wb, sh2);
+    b.jump(writeback);
+
+    b.switch_to(ld);
+    let la = b.int_temp("la");
+    b.add(la, v1, imm);
+    b.op2(OpCode::And, la, la, dmask);
+    b.add(la, la, dmb);
+    let lv = b.int_temp("lv");
+    b.load(lv, la, 0);
+    b.mov(wb, lv);
+    b.jump(writeback);
+
+    b.switch_to(st);
+    let sa = b.int_temp("sa");
+    b.add(sa, v1, imm);
+    b.op2(OpCode::And, sa, sa, dmask);
+    b.add(sa, sa, dmb);
+    b.store(v2, sa, 0);
+    b.movi(wb, 0);
+    b.jump(next); // stores do not write back
+
+    b.switch_to(br);
+    // taken if v1 < v2: pc += imm (mod handled at fetch)
+    let cmp = b.int_temp("cmp");
+    b.op2(OpCode::CmpLt, cmp, v1, v2);
+    let disp = b.int_temp("disp");
+    b.mul(disp, cmp, imm);
+    b.add(pc, pc, disp);
+    b.movi(wb, 0);
+    b.jump(next);
+
+    b.switch_to(alui);
+    let ai = b.int_temp("ai");
+    b.add(ai, v1, imm);
+    b.mov(wb, ai);
+    b.jump(writeback);
+
+    b.switch_to(trp);
+    let tr = b.call_func(trap, &[op.into(), v1.into()], Some(RegClass::Int)).unwrap();
+    b.mov(wb, tr);
+    b.jump(writeback);
+
+    b.switch_to(writeback);
+    // rd == 0 is hardwired to zero: skip writeback.
+    let skip = b.block();
+    let dowb = b.block();
+    b.branch(Cond::Eq, rd, skip, dowb);
+    b.switch_to(dowb);
+    let wa = b.int_temp("wa");
+    b.add(wa, rfb, rd);
+    b.store(wb, wa, 0);
+    b.jump(next);
+    b.switch_to(skip);
+    b.jump(next);
+
+    b.switch_to(next);
+    b.addi(pc, pc, 1);
+    b.addi(cycles, cycles, 1);
+    b.addi(steps, steps, -1);
+    b.jump(head);
+
+    b.switch_to(done);
+    // checksum: cycles ^ sum(rfile)
+    let k = b.int_temp("k");
+    b.movi(k, 0);
+    let acc = b.int_temp("acc");
+    b.movi(acc, 0);
+    let k32 = b.int_temp("k32");
+    b.movi(k32, 32);
+    let ch = b.block();
+    let cb2 = b.block();
+    let cd = b.block();
+    b.jump(ch);
+    b.switch_to(ch);
+    let krem = b.int_temp("krem");
+    b.sub(krem, k, k32);
+    b.branch(Cond::Ge, krem, cd, cb2);
+    b.switch_to(cb2);
+    let ka = b.int_temp("ka");
+    b.add(ka, rfb, k);
+    let kv = b.int_temp("kv");
+    b.load(kv, ka, 0);
+    b.op2(OpCode::Xor, acc, acc, kv);
+    b.addi(k, k, 1);
+    b.jump(ch);
+    b.switch_to(cd);
+    let ret = b.int_temp("ret");
+    b.op2(OpCode::Xor, ret, acc, cycles);
+    b.ret(Some(ret.into()));
+
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

@@ -1,0 +1,13 @@
+//! The 11 benchmark programs of the paper's Table 1.
+
+pub(crate) mod alvinn;
+pub(crate) mod compress;
+pub(crate) mod doduc;
+pub(crate) mod eqntott;
+pub(crate) mod espresso;
+pub(crate) mod fpppp;
+pub(crate) mod li;
+pub(crate) mod m88ksim;
+pub(crate) mod sort;
+pub(crate) mod tomcatv;
+pub(crate) mod wc;

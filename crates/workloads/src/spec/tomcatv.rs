@@ -1,0 +1,222 @@
+//! `tomcatv` — vectorized mesh generation.
+//!
+//! A floating-point 2-D stencil relaxation over a mesh: moderate
+//! floating-point pressure inside doubly nested loops, no calls in the hot
+//! path, and no spill code in the paper's Table 2.
+
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode};
+
+use crate::{Lcg, Workload};
+
+const N: i64 = 48;
+const SWEEPS: i64 = 14;
+
+pub(crate) fn workload() -> Workload {
+    Workload {
+        name: "tomcatv",
+        build,
+        input: Vec::new,
+        description: "2-D fp stencil relaxation: nested loops, moderate fp pressure, no calls",
+        spills_in_paper: false,
+    }
+}
+
+fn build() -> Module {
+    let spec = MachineSpec::alpha_like();
+    let mut rng = Lcg::new(0x5eed_0004);
+    let cells = (N * N) as usize;
+    let mut mb = ModuleBuilder::new("tomcatv", 2 * cells + 16);
+    let init: Vec<i64> = (0..cells).map(|_| rng.unit_f64().to_bits() as i64).collect();
+    let x_base = mb.reserve(cells, &init);
+    let y_base = mb.reserve(cells, &[]);
+
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let xb = b.int_temp("xb");
+    b.movi(xb, x_base);
+    let yb = b.int_temp("yb");
+    b.movi(yb, y_base);
+    let nn = b.int_temp("nn");
+    b.movi(nn, N);
+    let sweeps = b.int_temp("sweeps");
+    b.movi(sweeps, SWEEPS);
+    let quarter = b.float_temp("quarter");
+    b.movf(quarter, 0.25);
+    let relax = b.float_temp("relax");
+    b.movf(relax, 0.9);
+
+    let t_head = b.block();
+    let t_body = b.block();
+    let i_head = b.block();
+    let i_body = b.block();
+    let j_head = b.block();
+    let j_body = b.block();
+    let j_done = b.block();
+    let i_done = b.block();
+    let copy_head = b.block();
+    let copy_body = b.block();
+    let t_done = b.block();
+    let done = b.block();
+
+    let i = b.int_temp("i");
+    let j = b.int_temp("j");
+    let ci = b.int_temp("ci"); // copy index
+
+    b.jump(t_head);
+    b.switch_to(t_head);
+    b.branch(Cond::Le, sweeps, done, t_body);
+    b.switch_to(t_body);
+    b.movi(i, 1);
+    b.jump(i_head);
+
+    b.switch_to(i_head);
+    let ilim = b.int_temp("ilim");
+    b.addi(ilim, nn, -1);
+    let irem = b.int_temp("irem");
+    b.sub(irem, i, ilim);
+    b.branch(Cond::Ge, irem, i_done, i_body);
+    b.switch_to(i_body);
+    b.movi(j, 1);
+    b.jump(j_head);
+
+    b.switch_to(j_head);
+    let jrem = b.int_temp("jrem");
+    b.sub(jrem, j, ilim);
+    b.branch(Cond::Ge, jrem, j_done, j_body);
+
+    b.switch_to(j_body);
+    // addr = i*N + j
+    let row = b.int_temp("row");
+    b.mul(row, i, nn);
+    let cell = b.int_temp("cell");
+    b.add(cell, row, j);
+    let xaddr = b.int_temp("xaddr");
+    b.add(xaddr, xb, cell);
+    // neighbours
+    let up = b.float_temp("up");
+    let down = b.float_temp("down");
+    let left = b.float_temp("left");
+    let right = b.float_temp("right");
+    let center = b.float_temp("center");
+    b.load(center, xaddr, 0);
+    b.load(left, xaddr, -1);
+    b.load(right, xaddr, 1);
+    b.load(up, xaddr, -(N as i32));
+    b.load(down, xaddr, N as i32);
+    // avg = 0.25 * (up + down + left + right)
+    let s1 = b.float_temp("s1");
+    b.op2(OpCode::FAdd, s1, up, down);
+    let s2 = b.float_temp("s2");
+    b.op2(OpCode::FAdd, s2, left, right);
+    let s3 = b.float_temp("s3");
+    b.op2(OpCode::FAdd, s3, s1, s2);
+    let avg = b.float_temp("avg");
+    b.op2(OpCode::FMul, avg, s3, quarter);
+    // residual and relaxed update
+    let res = b.float_temp("res");
+    b.op2(OpCode::FSub, res, avg, center);
+    let step = b.float_temp("step");
+    b.op2(OpCode::FMul, step, res, relax);
+    let newv = b.float_temp("newv");
+    b.op2(OpCode::FAdd, newv, center, step);
+    let yaddr = b.int_temp("yaddr");
+    b.add(yaddr, yb, cell);
+    b.store(newv, yaddr, 0);
+    b.addi(j, j, 1);
+    b.jump(j_head);
+
+    b.switch_to(j_done);
+    b.addi(i, i, 1);
+    b.jump(i_head);
+
+    // copy interior Y back to X
+    b.switch_to(i_done);
+    b.movi(ci, 0);
+    b.jump(copy_head);
+    b.switch_to(copy_head);
+    let total = b.int_temp("total");
+    b.mul(total, nn, nn);
+    let crem = b.int_temp("crem");
+    b.sub(crem, ci, total);
+    b.branch(Cond::Ge, crem, t_done, copy_body);
+    b.switch_to(copy_body);
+    let ya = b.int_temp("ya");
+    b.add(ya, yb, ci);
+    let v = b.float_temp("v");
+    b.load(v, ya, 0);
+    let xa = b.int_temp("xa");
+    b.add(xa, xb, ci);
+    // Interior cells only were written to Y; copying stale borders from Y
+    // would clobber X's borders, so write X <- Y only where Y was updated.
+    // Simpler: Y was zero-initialised; only copy non-border cells by
+    // checking the cell coordinates.
+    let rown = b.int_temp("rown");
+    b.op2(OpCode::Div, rown, ci, nn);
+    let coln = b.int_temp("coln");
+    b.op2(OpCode::Rem, coln, ci, nn);
+    let skip = b.block();
+    let do_copy = b.block();
+    let next = b.block();
+    b.branch(Cond::Eq, rown, skip, do_copy);
+    b.switch_to(do_copy);
+    let r2 = b.int_temp("r2");
+    b.sub(r2, rown, ilim);
+    let cchk = b.block();
+    b.branch(Cond::Ge, r2, skip, cchk);
+    b.switch_to(cchk);
+    let c2 = b.int_temp("c2");
+    b.sub(c2, coln, ilim);
+    let cchk2 = b.block();
+    b.branch(Cond::Ge, c2, skip, cchk2);
+    b.switch_to(cchk2);
+    let store_blk = b.block();
+    b.branch(Cond::Eq, coln, skip, store_blk);
+    b.switch_to(store_blk);
+    b.store(v, xa, 0);
+    b.jump(next);
+    b.switch_to(skip);
+    b.jump(next);
+    b.switch_to(next);
+    b.addi(ci, ci, 1);
+    b.jump(copy_head);
+
+    b.switch_to(t_done);
+    b.addi(sweeps, sweeps, -1);
+    b.jump(t_head);
+
+    b.switch_to(done);
+    // checksum of the mesh
+    let k = b.int_temp("k");
+    b.movi(k, 0);
+    let facc = b.float_temp("facc");
+    b.movf(facc, 0.0);
+    let s_head = b.block();
+    let s_body = b.block();
+    let s_done = b.block();
+    b.jump(s_head);
+    b.switch_to(s_head);
+    let tot2 = b.int_temp("tot2");
+    b.mul(tot2, nn, nn);
+    let srem = b.int_temp("srem");
+    b.sub(srem, k, tot2);
+    b.branch(Cond::Ge, srem, s_done, s_body);
+    b.switch_to(s_body);
+    let ka = b.int_temp("ka");
+    b.add(ka, xb, k);
+    let kv = b.float_temp("kv");
+    b.load(kv, ka, 0);
+    b.op2(OpCode::FAdd, facc, facc, kv);
+    b.addi(k, k, 1);
+    b.jump(s_head);
+    b.switch_to(s_done);
+    let scale = b.float_temp("scale");
+    b.movf(scale, 1000.0);
+    let scaled = b.float_temp("scaled");
+    b.op2(OpCode::FMul, scaled, facc, scale);
+    let ret = b.int_temp("ret");
+    b.op1(OpCode::FloatToInt, ret, scaled);
+    b.ret(Some(ret.into()));
+
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    mb.finish()
+}

@@ -1,0 +1,54 @@
+//! The dynamic-code-generation scenario motivating linear scan (§1, §4):
+//! a "JIT" compiling many small functions where allocation *speed* is the
+//! budget. Times second-chance binpacking against graph coloring over a
+//! stream of procedures of growing size — the crossover the paper's Table 3
+//! reports (coloring is faster on small inputs, then slows superlinearly).
+//!
+//! ```sh
+//! cargo run --release --example jit_pipeline
+//! ```
+
+use std::time::Instant;
+
+use second_chance_regalloc::prelude::*;
+use second_chance_regalloc::workloads::scaling;
+
+fn best_of<F: FnMut() -> f64>(runs: usize, mut f: F) -> f64 {
+    (0..runs).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let spec = MachineSpec::alpha_like();
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>8}",
+        "candidates", "insts", "binpack (ms)", "coloring (ms)", "ratio"
+    );
+    for &candidates in &[60, 120, 245, 500, 1000, 2000, 4000, 6500] {
+        let overlap = (candidates / 12).clamp(16, 56);
+        let module = scaling::module_with_candidates("jit", candidates, overlap, 1);
+        let insts = module.num_insts();
+
+        let bp = best_of(3, || {
+            let mut m = module.clone();
+            let t = Instant::now();
+            BinpackAllocator::default().allocate_module(&mut m, &spec);
+            t.elapsed().as_secs_f64()
+        });
+        let gc = best_of(3, || {
+            let mut m = module.clone();
+            let t = Instant::now();
+            ColoringAllocator.allocate_module(&mut m, &spec);
+            t.elapsed().as_secs_f64()
+        });
+        println!(
+            "{:>10} {:>12} {:>14.3} {:>14.3} {:>8.2}",
+            candidates,
+            insts,
+            bp * 1e3,
+            gc * 1e3,
+            gc / bp
+        );
+    }
+    println!();
+    println!("ratio > 1 means coloring is slower; watch it grow with candidate count.");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a small function, allocate registers with
+//! second-chance binpacking, and run it before and after.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use second_chance_regalloc::allocate_and_cleanup;
+use second_chance_regalloc::prelude::*;
+
+fn main() {
+    let spec = MachineSpec::alpha_like();
+
+    // sum of squares 1..=n
+    let mut mb = ModuleBuilder::new("quickstart", 0);
+    let mut b = FunctionBuilder::new(&spec, "main", &[]);
+    let n = b.int_temp("n");
+    let i = b.int_temp("i");
+    let acc = b.int_temp("acc");
+    b.movi(n, 10);
+    b.movi(i, 1);
+    b.movi(acc, 0);
+    let head = b.block();
+    let body = b.block();
+    let exit = b.block();
+    b.jump(head);
+    b.switch_to(head);
+    let d = b.int_temp("d");
+    b.sub(d, i, n);
+    b.branch(Cond::Gt, d, exit, body);
+    b.switch_to(body);
+    let sq = b.int_temp("sq");
+    b.mul(sq, i, i);
+    b.add(acc, acc, sq);
+    b.addi(i, i, 1);
+    b.jump(head);
+    b.switch_to(exit);
+    b.ret(Some(acc.into()));
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    let module = mb.finish();
+
+    println!("== before allocation ==\n{}", module.func(module.entry));
+    let before = run_module(&module, &spec, &[]).expect("reference run");
+
+    let mut allocated = module.clone();
+    let stats = allocate_and_cleanup(&mut allocated, &BinpackAllocator::default(), &spec);
+    println!("== after second-chance binpacking ==\n{}", allocated.func(allocated.entry));
+    println!(
+        "candidates: {}, spill instructions inserted: {}, moves coalesced: {}",
+        stats.candidates,
+        stats.inserted_total(),
+        stats.moves_coalesced
+    );
+
+    let after = verify_allocation(&module, &allocated, &spec, &[], VmOptions::default())
+        .expect("allocation preserves behaviour");
+    println!(
+        "result: {:?} (both runs), {} vs {} dynamic instructions",
+        before.ret, before.counts.total, after.counts.total
+    );
+}

@@ -1,0 +1,207 @@
+//! `lsra` — command-line driver for the register-allocation toolkit.
+//!
+//! ```text
+//! lsra print <file.lsra>                      parse, validate, pretty-print
+//! lsra run <file.lsra> [--input FILE] [--machine SPEC]
+//! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--run]
+//! lsra workloads                              list the built-in benchmarks
+//! lsra bench <workload> [--allocator NAME]    allocate+verify+count a benchmark
+//! ```
+//!
+//! `SPEC` is `alpha` (default) or `small:I,F` (e.g. `small:4,2`).
+//! `NAME` is `binpack` (default), `two-pass`, `coloring`, or `poletto`.
+
+use std::process::ExitCode;
+
+use second_chance_regalloc::allocate_and_cleanup;
+use second_chance_regalloc::binpack::optimize_spill_code;
+use second_chance_regalloc::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  lsra print <file.lsra>\n  lsra run <file.lsra> [--input FILE] [--machine SPEC]\n  \
+         lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--run]\n  \
+         lsra workloads\n  lsra bench <workload> [--allocator NAME]\n\n\
+         SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_machine(s: &str) -> Result<MachineSpec, String> {
+    if s == "alpha" {
+        return Ok(MachineSpec::alpha_like());
+    }
+    if let Some(rest) = s.strip_prefix("small:") {
+        let (i, f) = rest.split_once(',').ok_or("expected small:I,F")?;
+        let i: u8 = i.parse().map_err(|_| "bad int register count")?;
+        let f: u8 = f.parse().map_err(|_| "bad float register count")?;
+        return Ok(MachineSpec::small(i, f));
+    }
+    Err(format!("unknown machine `{s}`"))
+}
+
+fn make_allocator(name: &str) -> Result<Box<dyn RegisterAllocator>, String> {
+    Ok(match name {
+        "binpack" => Box::new(BinpackAllocator::default()),
+        "two-pass" => Box::new(BinpackAllocator::two_pass()),
+        "coloring" => Box::new(ColoringAllocator),
+        "poletto" => Box::new(PolettoAllocator),
+        _ => return Err(format!("unknown allocator `{name}`")),
+    })
+}
+
+struct Opts {
+    positional: Vec<String>,
+    machine: MachineSpec,
+    allocator: String,
+    input: Vec<u8>,
+    cleanup: bool,
+    run: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        machine: MachineSpec::alpha_like(),
+        allocator: "binpack".to_string(),
+        input: Vec::new(),
+        cleanup: false,
+        run: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                let v = it.next().ok_or("--machine needs a value")?;
+                o.machine = parse_machine(v)?;
+            }
+            "--allocator" => {
+                o.allocator = it.next().ok_or("--allocator needs a value")?.clone();
+            }
+            "--input" => {
+                let path = it.next().ok_or("--input needs a file")?;
+                o.input = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            }
+            "--cleanup" => o.cleanup = true,
+            "--run" => o.run = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn load_module(path: &str) -> Result<Module, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let m = lsra_ir::parse_module(&text).map_err(|e| format!("{path}:{e}"))?;
+    Ok(m)
+}
+
+fn cmd_print(o: &Opts) -> Result<(), String> {
+    let m = load_module(o.positional.first().ok_or("missing file")?)?;
+    print!("{m}");
+    Ok(())
+}
+
+fn cmd_run(o: &Opts) -> Result<(), String> {
+    let m = load_module(o.positional.first().ok_or("missing file")?)?;
+    let r = run_module(&m, &o.machine, &o.input).map_err(|e| e.to_string())?;
+    for ev in &r.output {
+        match ev {
+            lsra_vm::OutputEvent::Int(v) => println!("out: {v}"),
+            lsra_vm::OutputEvent::Char(c) => println!("out: {:?}", *c as char),
+            lsra_vm::OutputEvent::Float(bits) => println!("out: {}", f64::from_bits(*bits)),
+        }
+    }
+    println!("return: {:?}", r.ret);
+    println!("dynamic instructions: {}", r.counts.total);
+    Ok(())
+}
+
+fn cmd_alloc(o: &Opts) -> Result<(), String> {
+    let original = load_module(o.positional.first().ok_or("missing file")?)?;
+    let alloc = make_allocator(&o.allocator)?;
+    let mut m = original.clone();
+    let stats = allocate_and_cleanup(&mut m, alloc.as_ref(), &o.machine);
+    if o.cleanup {
+        for id in m.func_ids().collect::<Vec<_>>() {
+            optimize_spill_code(m.func_mut(id), &o.machine);
+            lsra_analysis::remove_identity_moves(m.func_mut(id));
+        }
+    }
+    print!("{m}");
+    eprintln!(
+        "; {}: candidates={} spilled={} inserted={} coalesced={} ({:.2} ms)",
+        alloc.name(),
+        stats.candidates,
+        stats.spilled_temps,
+        stats.inserted_total(),
+        stats.moves_coalesced,
+        stats.alloc_seconds * 1e3,
+    );
+    if o.run {
+        let r = verify_allocation(&original, &m, &o.machine, &o.input, VmOptions::default())
+            .map_err(|e| e.to_string())?;
+        eprintln!("; verified: return {:?}, {} dynamic instructions", r.ret, r.counts.total);
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    for w in lsra_workloads::all() {
+        println!("{:<10} {}", w.name, w.description);
+    }
+    Ok(())
+}
+
+fn cmd_bench(o: &Opts) -> Result<(), String> {
+    let name = o.positional.first().ok_or("missing workload name")?;
+    let w = lsra_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let alloc = make_allocator(&o.allocator)?;
+    let original = (w.build)();
+    let input = (w.input)();
+    let mut m = original.clone();
+    let stats = allocate_and_cleanup(&mut m, alloc.as_ref(), &o.machine);
+    let r = verify_allocation(&original, &m, &o.machine, &input, VmOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("workload:   {name}");
+    println!("allocator:  {}", alloc.name());
+    println!("candidates: {}", stats.candidates);
+    println!("alloc time: {:.3} ms", stats.alloc_seconds * 1e3);
+    println!("dyn insts:  {}", r.counts.total);
+    println!(
+        "spill:      {} ({:.3}%), evict(l/s/m)={:?}, resolve(l/s/m)={:?}",
+        r.counts.spill_total(),
+        100.0 * r.counts.spill_fraction(),
+        r.counts.evict(),
+        r.counts.resolve(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { return usage() };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "print" => cmd_print(&opts),
+        "run" => cmd_run(&opts),
+        "alloc" => cmd_alloc(&opts),
+        "workloads" => cmd_workloads(),
+        "bench" => cmd_bench(&opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

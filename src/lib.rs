@@ -1,0 +1,87 @@
+//! # Second-chance binpacking register allocation
+//!
+//! A reproduction of Omri Traub, Glenn Holloway & Michael D. Smith,
+//! *Quality and Speed in Linear-scan Register Allocation* (PLDI 1998),
+//! as a Rust workspace:
+//!
+//! * [`ir`] — the Alpha-flavoured load/store IR and machine description;
+//! * [`analysis`] — liveness, loops, lifetimes and lifetime holes, DCE;
+//! * [`binpack`] — **the paper's contribution**: the second-chance
+//!   binpacking allocator (plus its two-pass ancestor);
+//! * [`coloring`] — the George–Appel iterated-register-coalescing baseline;
+//! * [`poletto`] — the `tcc`-style simple linear scan of the related work;
+//! * [`vm`] — the execution substrate: dynamic instruction counting and
+//!   differential verification of allocations;
+//! * [`workloads`] — synthetic benchmarks shaped like the paper's SPEC
+//!   programs, plus random-program and scaling generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use second_chance_regalloc::prelude::*;
+//!
+//! let spec = MachineSpec::alpha_like();
+//! let mut b = FunctionBuilder::new(&spec, "f", &[RegClass::Int]);
+//! let x = b.param(0);
+//! let y = b.int_temp("y");
+//! b.add(y, x, x);
+//! b.ret(Some(y.into()));
+//! let mut f = b.finish();
+//!
+//! let stats = BinpackAllocator::default().allocate_function(&mut f, &spec);
+//! assert!(f.allocated);
+//! assert_eq!(stats.inserted_total(), 0);
+//! ```
+
+pub use lsra_analysis as analysis;
+pub use lsra_coloring as coloring;
+pub use lsra_core as binpack;
+pub use lsra_ir as ir;
+pub use lsra_poletto as poletto;
+pub use lsra_vm as vm;
+pub use lsra_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use lsra_analysis::{eliminate_dead_code, remove_identity_moves, Lifetimes, Liveness};
+    pub use lsra_coloring::ColoringAllocator;
+    pub use lsra_core::{AllocStats, BinpackAllocator, BinpackConfig, RegisterAllocator};
+    pub use lsra_ir::{
+        Callee, Cond, ExtFn, FuncId, Function, FunctionBuilder, Inst, MachineSpec, Module,
+        ModuleBuilder, OpCode, PhysReg, Reg, RegClass, SpillTag, Temp,
+    };
+    pub use lsra_poletto::PolettoAllocator;
+    pub use lsra_vm::{run_module, verify_allocation, DynCounts, RunResult, Vm, VmOptions};
+}
+
+/// Allocates every function of `module` with `alloc`, removes identity
+/// moves (the paper's post-allocation peephole pass), and returns the
+/// merged statistics.
+pub fn allocate_and_cleanup(
+    module: &mut ir::Module,
+    alloc: &dyn binpack::RegisterAllocator,
+    spec: &ir::MachineSpec,
+) -> binpack::AllocStats {
+    let stats = alloc.allocate_module(module, spec);
+    for id in module.func_ids().collect::<Vec<_>>() {
+        analysis::remove_identity_moves(module.func_mut(id));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "t", &[]);
+        let x = b.int_temp("x");
+        b.movi(x, 7);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        BinpackAllocator::default().allocate_function(&mut f, &spec);
+        assert!(f.allocated);
+    }
+}

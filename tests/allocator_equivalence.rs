@@ -1,0 +1,139 @@
+//! The central correctness property: for every benchmark workload and every
+//! allocator, the allocated program is observationally equivalent to the
+//! original (same return value, output trace, and final memory), and the
+//! VM's caller-saved poisoning finds no value wrongly kept live across a
+//! call.
+
+use second_chance_regalloc::prelude::*;
+
+fn verify_workload(name: &str, alloc: &dyn RegisterAllocator) -> (RunResult, AllocStats) {
+    let spec = MachineSpec::alpha_like();
+    let w = lsra_workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let original = (w.build)();
+    let input = (w.input)();
+    let mut allocated = original.clone();
+    let stats = alloc.allocate_module(&mut allocated, &spec);
+    for id in allocated.func_ids().collect::<Vec<_>>() {
+        allocated
+            .func(id)
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}/{}: invalid output: {e}", alloc.name()));
+        assert!(
+            !allocated.func(id).has_virtual_operands(),
+            "{name}/{}: leftover virtual operands",
+            alloc.name()
+        );
+    }
+    // First oracle: static all-paths validity (before the peephole pass).
+    lsra_vm::check_module(&allocated, &spec)
+        .unwrap_or_else(|e| panic!("{name}/{}: static: {e}", alloc.name()));
+    for id in allocated.func_ids().collect::<Vec<_>>() {
+        lsra_analysis::remove_identity_moves(allocated.func_mut(id));
+    }
+    // Second oracle: differential execution.
+    let result = verify_allocation(&original, &allocated, &spec, &input, VmOptions::default())
+        .unwrap_or_else(|m| panic!("{name}/{}: {m}", alloc.name()));
+    (result, stats)
+}
+
+fn allocators() -> Vec<Box<dyn RegisterAllocator>> {
+    vec![
+        Box::new(BinpackAllocator::default()),
+        Box::new(BinpackAllocator::two_pass()),
+        Box::new(ColoringAllocator),
+        Box::new(PolettoAllocator),
+        Box::new(BinpackAllocator::new(BinpackConfig {
+            consistency: lsra_core::ConsistencyMode::Conservative,
+            ..Default::default()
+        })),
+    ]
+}
+
+macro_rules! equivalence_tests {
+    ($($name:ident),*) => {
+        $(
+            #[test]
+            fn $name() {
+                for alloc in allocators() {
+                    verify_workload(stringify!($name), alloc.as_ref());
+                }
+            }
+        )*
+    };
+}
+
+equivalence_tests!(
+    alvinn, doduc, eqntott, espresso, fpppp, li, tomcatv, compress, m88ksim, sort, wc
+);
+
+#[test]
+fn second_chance_beats_two_pass_on_wc() {
+    // The §3.1 experiment: wc runs substantially slower under two-pass
+    // binpacking (38% in the paper; we require at least 10%).
+    let (full, _) = verify_workload("wc", &BinpackAllocator::default());
+    let (two_pass, _) = verify_workload("wc", &BinpackAllocator::two_pass());
+    let ratio = two_pass.counts.total as f64 / full.counts.total as f64;
+    assert!(
+        ratio > 1.10,
+        "two-pass/second-chance instruction ratio only {ratio:.3} \
+         ({} vs {})",
+        two_pass.counts.total,
+        full.counts.total
+    );
+}
+
+#[test]
+fn second_chance_roughly_matches_two_pass_on_eqntott() {
+    // §3.1's other class: eqntott performs almost identically under both
+    // binpacking variants (its hot function needs no spilling).
+    let (full, _) = verify_workload("eqntott", &BinpackAllocator::default());
+    let (two_pass, _) = verify_workload("eqntott", &BinpackAllocator::two_pass());
+    let ratio = two_pass.counts.total as f64 / full.counts.total as f64;
+    assert!(
+        (0.98..1.05).contains(&ratio),
+        "expected near-identical counts, got ratio {ratio:.4}"
+    );
+}
+
+#[test]
+fn fpppp_spills_under_every_allocator() {
+    for alloc in allocators() {
+        let (result, stats) = verify_workload("fpppp", alloc.as_ref());
+        assert!(
+            stats.inserted_total() > 0,
+            "{} did not spill on fpppp",
+            alloc.name()
+        );
+        assert!(
+            result.counts.spill_fraction() > 0.01,
+            "{}: fpppp spill fraction suspiciously low: {}",
+            alloc.name(),
+            result.counts.spill_fraction()
+        );
+    }
+}
+
+#[test]
+fn low_pressure_benchmarks_barely_spill_with_binpack_or_coloring() {
+    // The paper's Table 2 reports "0%" for these benchmarks under both
+    // allocators (the paper rounds tiny percentages down); we require the
+    // dynamic spill fraction to be far below one percent.
+    for name in ["alvinn", "li", "tomcatv", "compress"] {
+        for alloc in [
+            Box::new(BinpackAllocator::default()) as Box<dyn RegisterAllocator>,
+            Box::new(ColoringAllocator),
+        ] {
+            let (result, _) = verify_workload(name, alloc.as_ref());
+            assert!(
+                result.counts.spill_fraction() < 0.005,
+                "{name}/{}: spill fraction {:.4}",
+                alloc.name(),
+                result.counts.spill_fraction()
+            );
+        }
+    }
+    // Coloring additionally keeps wc spill-free by spilling only the cold
+    // setup values.
+    let (result, _) = verify_workload("wc", &ColoringAllocator);
+    assert!(result.counts.spill_fraction() < 0.001);
+}

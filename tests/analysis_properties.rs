@@ -1,0 +1,163 @@
+//! Property tests over the analysis layer: lifetime/hole invariants and
+//! parallel-move sequencing on random inputs.
+
+use proptest::prelude::*;
+use second_chance_regalloc::analysis::{Lifetimes, Liveness, Point};
+use second_chance_regalloc::binpack::{sequentialize, EdgeOp};
+use second_chance_regalloc::prelude::*;
+use second_chance_regalloc::workloads::random::{RandomConfig, RandomProgram};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Lifetime segments are sorted, disjoint, and cover every reference;
+    /// refs are sorted; lifetime = hull of segments.
+    #[test]
+    fn lifetime_invariants(seed in 0u64..1_000_000) {
+        let spec = MachineSpec::alpha_like();
+        let module = RandomProgram::new(seed, RandomConfig::default()).build(&spec);
+        for f in &module.funcs {
+            let lt = Lifetimes::of(f, &spec);
+            for t in 0..f.num_temps() as u32 {
+                let t = Temp(t);
+                let segs = lt.segments(t);
+                for w in segs.windows(2) {
+                    prop_assert!(w[0].end < w[1].start,
+                        "{t}: segments overlap or touch: {:?}", segs);
+                }
+                for s in segs {
+                    prop_assert!(s.start <= s.end);
+                }
+                let refs = lt.refs(t);
+                for w in refs.windows(2) {
+                    prop_assert!(w[0].point <= w[1].point);
+                }
+                // Every reference lies inside the lifetime hull.
+                if let Some(hull) = lt.lifetime(t) {
+                    for r in refs {
+                        prop_assert!(hull.start <= r.point && r.point <= hull.end,
+                            "{t}: ref {:?} outside hull {:?}", r.point, hull);
+                    }
+                    // Every use (not def) lies inside some segment.
+                    for r in refs.iter().filter(|r| !r.is_def) {
+                        prop_assert!(segs.iter().any(|s| s.contains(r.point)),
+                            "{t}: use at {:?} not covered by segments {:?}", r.point, segs);
+                    }
+                } else {
+                    prop_assert!(refs.is_empty());
+                }
+            }
+        }
+    }
+
+    /// Live-in at a block implies a live segment covering the block's top
+    /// boundary.
+    #[test]
+    fn liveness_agrees_with_segments(seed in 0u64..1_000_000) {
+        let spec = MachineSpec::alpha_like();
+        let module = RandomProgram::new(seed, RandomConfig::default()).build(&spec);
+        for f in &module.funcs {
+            let live = Liveness::compute(f);
+            let lt = Lifetimes::of(f, &spec);
+            for b in f.block_ids() {
+                let top = lt.top(b);
+                for t in live.live_in_temps(b) {
+                    prop_assert!(lt.live_at(t, top),
+                        "{t} live-in at {b} but no segment covers {top}");
+                }
+            }
+        }
+    }
+
+    /// Parallel-move sequencing computes the parallel semantics for random
+    /// permutations mixed with loads and stores.
+    #[test]
+    fn parallel_moves_match_parallel_semantics(
+        perm in proptest::sample::subsequence((0u8..10).collect::<Vec<_>>(), 0..10)
+            .prop_flat_map(|regs| {
+                let n = regs.len();
+                (Just(regs), proptest::sample::select(
+                    // a few shuffles derived from a seed
+                    (0..24u64).collect::<Vec<_>>()
+                )).prop_map(move |(regs, seed)| {
+                    let mut order = regs.clone();
+                    // simple deterministic shuffle
+                    let mut s = seed.wrapping_add(n as u64);
+                    for i in (1..order.len()).rev() {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        order.swap(i, (s % (i as u64 + 1)) as usize);
+                    }
+                    (regs, order)
+                })
+            }),
+        loads in 0usize..3,
+        stores in 0usize..3,
+    ) {
+        let (srcs, dsts) = perm;
+        let mut ops: Vec<EdgeOp> = srcs
+            .iter()
+            .zip(&dsts)
+            .enumerate()
+            .map(|(i, (&s, &d))| EdgeOp::Move {
+                temp: Temp(i as u32),
+                src: PhysReg::int(s),
+                dst: PhysReg::int(d),
+            })
+            .collect();
+        for k in 0..loads {
+            // Load into a register not used as a move destination.
+            let dst = 10 + k as u8;
+            ops.push(EdgeOp::Load { temp: Temp(100 + k as u32), dst: PhysReg::int(dst) });
+        }
+        for k in 0..stores {
+            ops.push(EdgeOp::Store { temp: Temp(200 + k as u32), src: PhysReg::int(k as u8) });
+        }
+        let seq = sequentialize(&ops, |_| {});
+
+        // Simulate.
+        use std::collections::HashMap;
+        let mut regs: HashMap<PhysReg, i64> = (0..16).map(|k| (PhysReg::int(k), 1000 + k as i64)).collect();
+        let mut mem: HashMap<Temp, i64> = (0..400).map(|i| (Temp(i), 2000 + i as i64)).collect();
+        let mut expect_reg: Vec<(PhysReg, i64)> = Vec::new();
+        let mut expect_mem: Vec<(Temp, i64)> = Vec::new();
+        for op in &ops {
+            match *op {
+                EdgeOp::Move { src, dst, .. } => expect_reg.push((dst, regs[&src])),
+                EdgeOp::Load { temp, dst } => expect_reg.push((dst, mem[&temp])),
+                EdgeOp::Store { temp, src } => expect_mem.push((temp, regs[&src])),
+            }
+        }
+        for (inst, _) in &seq {
+            match inst {
+                Inst::Mov { dst, src } => {
+                    let v = regs[&src.as_phys().unwrap()];
+                    regs.insert(dst.as_phys().unwrap(), v);
+                }
+                Inst::SpillStore { src, temp } => {
+                    let v = regs[&src.as_phys().unwrap()];
+                    mem.insert(*temp, v);
+                }
+                Inst::SpillLoad { dst, temp } => {
+                    regs.insert(dst.as_phys().unwrap(), mem[temp]);
+                }
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        for (r, v) in expect_reg {
+            prop_assert_eq!(regs[&r], v, "register {} wrong", r);
+        }
+        for (t, v) in expect_mem {
+            prop_assert_eq!(mem[&t], v, "memory {} wrong", t);
+        }
+    }
+}
+
+#[test]
+fn point_scale_is_coherent() {
+    // Read < write within an instruction; boundary between instructions.
+    for i in 0..100u32 {
+        assert!(Point::read(i) < Point::write(i));
+        assert!(Point::write(i) < Point::before(i + 1));
+        assert!(Point::before(i) < Point::read(i));
+    }
+}

@@ -1,0 +1,216 @@
+//! Spill stress: machine-independent programs compiled onto progressively
+//! starved register files. Every allocator must stay correct when almost
+//! everything spills.
+
+use second_chance_regalloc::allocate_and_cleanup;
+use second_chance_regalloc::prelude::*;
+
+/// Dense 8x8 integer matrix multiply with an unrolled inner body — far more
+/// live values than a small machine has registers.
+fn matmul(spec: &MachineSpec) -> Module {
+    let n = 8usize;
+    let mut mb = ModuleBuilder::new("matmul", 3 * n * n + 8);
+    let a0: Vec<i64> = (0..n * n).map(|i| (i as i64 * 7 + 3) % 23).collect();
+    let b0: Vec<i64> = (0..n * n).map(|i| (i as i64 * 5 + 1) % 19).collect();
+    let a_base = mb.reserve(n * n, &a0);
+    let b_base = mb.reserve(n * n, &b0);
+    let c_base = mb.reserve(n * n, &[]);
+
+    let mut f = FunctionBuilder::new(spec, "main", &[]);
+    let ab = f.int_temp("ab");
+    f.movi(ab, a_base);
+    let bb = f.int_temp("bb");
+    f.movi(bb, b_base);
+    let cb = f.int_temp("cb");
+    f.movi(cb, c_base);
+    let i = f.int_temp("i");
+    let j = f.int_temp("j");
+    let nn = f.int_temp("nn");
+    f.movi(nn, n as i64);
+    f.movi(i, 0);
+
+    let i_head = f.block();
+    let i_body = f.block();
+    let j_head = f.block();
+    let j_body = f.block();
+    let j_done = f.block();
+    let done = f.block();
+    f.jump(i_head);
+    f.switch_to(i_head);
+    let irem = f.int_temp("irem");
+    f.sub(irem, i, nn);
+    f.branch(Cond::Ge, irem, done, i_body);
+    f.switch_to(i_body);
+    f.movi(j, 0);
+    f.jump(j_head);
+    f.switch_to(j_head);
+    let jrem = f.int_temp("jrem");
+    f.sub(jrem, j, nn);
+    f.branch(Cond::Ge, jrem, j_done, j_body);
+    f.switch_to(j_body);
+    // Unrolled dot product: all 8 partial products live simultaneously.
+    let arow = f.int_temp("arow");
+    f.mul(arow, i, nn);
+    f.add(arow, arow, ab);
+    let mut prods = Vec::new();
+    for k in 0..n {
+        let av = f.int_temp("av");
+        f.load(av, arow, k as i32);
+        let baddr = f.int_temp("baddr");
+        f.movi(baddr, (k * n) as i64);
+        f.add(baddr, baddr, bb);
+        f.add(baddr, baddr, j);
+        let bv = f.int_temp("bv");
+        f.load(bv, baddr, 0);
+        let p = f.int_temp("p");
+        f.mul(p, av, bv);
+        prods.push(p);
+    }
+    let mut acc = prods[0];
+    for &p in &prods[1..] {
+        let s = f.int_temp("s");
+        f.add(s, acc, p);
+        acc = s;
+    }
+    let caddr = f.int_temp("caddr");
+    f.mul(caddr, i, nn);
+    f.add(caddr, caddr, cb);
+    f.add(caddr, caddr, j);
+    f.store(acc, caddr, 0);
+    f.addi(j, j, 1);
+    f.jump(j_head);
+    f.switch_to(j_done);
+    f.addi(i, i, 1);
+    f.jump(i_head);
+    f.switch_to(done);
+    // checksum C
+    let k = f.int_temp("k");
+    f.movi(k, 0);
+    let total = f.int_temp("total");
+    f.movi(total, 0);
+    let lim = f.int_temp("lim");
+    f.movi(lim, (n * n) as i64);
+    let ch = f.block();
+    let cbod = f.block();
+    let cd = f.block();
+    f.jump(ch);
+    f.switch_to(ch);
+    let krem = f.int_temp("krem");
+    f.sub(krem, k, lim);
+    f.branch(Cond::Ge, krem, cd, cbod);
+    f.switch_to(cbod);
+    let ka = f.int_temp("ka");
+    f.add(ka, cb, k);
+    let kv = f.int_temp("kv");
+    f.load(kv, ka, 0);
+    f.add(total, total, kv);
+    f.addi(k, k, 1);
+    f.jump(ch);
+    f.switch_to(cd);
+    f.ret(Some(total.into()));
+    let id = mb.add(f.finish());
+    mb.entry(id);
+    mb.finish()
+}
+
+/// Recursive Fibonacci with memo array: recursion + branches under
+/// starvation.
+fn fib(spec: &MachineSpec) -> Module {
+    let mut mb = ModuleBuilder::new("fib", 64);
+    mb.reserve(40, &[]);
+    let fid = mb.declare();
+    let mut f = FunctionBuilder::new(spec, "fib", &[RegClass::Int]);
+    let x = f.param(0);
+    let base = f.block();
+    let rec = f.block();
+    let two = f.int_temp("two");
+    f.movi(two, 2);
+    let d = f.int_temp("d");
+    f.sub(d, x, two);
+    f.branch(Cond::Lt, d, base, rec);
+    f.switch_to(base);
+    f.ret(Some(x.into()));
+    f.switch_to(rec);
+    let x1 = f.int_temp("x1");
+    f.addi(x1, x, -1);
+    let r1 = f.call_func(fid, &[x1.into()], Some(RegClass::Int)).unwrap();
+    let x2 = f.int_temp("x2");
+    f.addi(x2, x, -2);
+    let r2 = f.call_func(fid, &[x2.into()], Some(RegClass::Int)).unwrap();
+    let s = f.int_temp("s");
+    f.add(s, r1, r2);
+    f.ret(Some(s.into()));
+    mb.define(fid, f.finish());
+    let mut m = FunctionBuilder::new(spec, "main", &[]);
+    let a = m.int_temp("a");
+    m.movi(a, 17);
+    let r = m.call_func(fid, &[a.into()], Some(RegClass::Int)).unwrap();
+    m.ret(Some(r.into()));
+    let id = mb.add(m.finish());
+    mb.entry(id);
+    mb.finish()
+}
+
+fn check(module: &Module, spec: &MachineSpec, expect: i64) {
+    let allocators: Vec<Box<dyn RegisterAllocator>> = vec![
+        Box::new(BinpackAllocator::default()),
+        Box::new(BinpackAllocator::two_pass()),
+        Box::new(ColoringAllocator),
+        Box::new(PolettoAllocator),
+    ];
+    let ref_run = run_module(module, spec, &[]).expect("reference run");
+    assert_eq!(ref_run.ret, Some(expect), "reference result on {}", spec.name());
+    for alloc in allocators {
+        let mut m = module.clone();
+        allocate_and_cleanup(&mut m, alloc.as_ref(), spec);
+        verify_allocation(module, &m, spec, &[], VmOptions::default())
+            .unwrap_or_else(|e| panic!("{}/{}/{}: {e}", module.name, alloc.name(), spec.name()));
+    }
+}
+
+fn specs() -> Vec<MachineSpec> {
+    vec![
+        MachineSpec::small(4, 2),
+        MachineSpec::small(6, 4),
+        MachineSpec::small(8, 8),
+        MachineSpec::alpha_like(),
+    ]
+}
+
+#[test]
+fn matmul_under_starvation() {
+    // Expected checksum computed once against the reference semantics.
+    let spec0 = MachineSpec::alpha_like();
+    let expect = run_module(&matmul(&spec0), &spec0, &[]).unwrap().ret.unwrap();
+    for spec in specs() {
+        check(&matmul(&spec), &spec, expect);
+    }
+}
+
+#[test]
+fn recursion_under_starvation() {
+    for spec in specs() {
+        check(&fib(&spec), &spec, 1597); // fib(17)
+    }
+}
+
+#[test]
+fn spill_volume_grows_as_registers_shrink() {
+    // Monotonicity sanity: fewer registers => at least as much spill code
+    // (measured dynamically) under binpacking.
+    let mut last = None;
+    for spec in [MachineSpec::alpha_like(), MachineSpec::small(8, 8), MachineSpec::small(4, 2)] {
+        let module = matmul(&spec);
+        let mut m = module.clone();
+        allocate_and_cleanup(&mut m, &BinpackAllocator::default(), &spec);
+        let r = verify_allocation(&module, &m, &spec, &[], VmOptions::default()).unwrap();
+        if let Some(prev) = last {
+            assert!(
+                r.counts.spill_total() >= prev,
+                "spill shrank when registers shrank: {} < {prev}",
+                r.counts.spill_total()
+            );
+        }
+        last = Some(r.counts.spill_total());
+    }
+}

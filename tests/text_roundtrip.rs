@@ -1,0 +1,87 @@
+//! The textual IR pipeline end to end: parse the shipped `.lsra` sources,
+//! run them, allocate them, and round-trip them through the printer —
+//! everything the `lsra` CLI does, exercised as a library.
+
+use second_chance_regalloc::allocate_and_cleanup;
+use second_chance_regalloc::prelude::*;
+
+fn load(name: &str) -> Module {
+    let path = format!("{}/examples/ir/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    lsra_ir::parse_module(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn gcd_parses_runs_and_allocates() {
+    let spec = MachineSpec::alpha_like();
+    let module = load("gcd.lsra");
+    let r = run_module(&module, &spec, &[]).unwrap();
+    assert_eq!(r.ret, Some(21), "gcd(252, 105)");
+    assert_eq!(r.output, vec![lsra_vm::OutputEvent::Int(21)]);
+
+    for alloc in [
+        Box::new(BinpackAllocator::default()) as Box<dyn RegisterAllocator>,
+        Box::new(ColoringAllocator),
+        Box::new(PolettoAllocator),
+    ] {
+        let mut m = module.clone();
+        allocate_and_cleanup(&mut m, alloc.as_ref(), &spec);
+        verify_allocation(&module, &m, &spec, &[], VmOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", alloc.name()));
+    }
+}
+
+#[test]
+fn gcd_survives_a_three_register_machine() {
+    let spec = MachineSpec::small(3, 2);
+    let module = load("gcd.lsra");
+    let mut m = module.clone();
+    allocate_and_cleanup(&mut m, &BinpackAllocator::default(), &spec);
+    let r = verify_allocation(&module, &m, &spec, &[], VmOptions::default()).unwrap();
+    assert_eq!(r.ret, Some(21));
+}
+
+#[test]
+fn printer_and_parser_are_inverse_on_workloads() {
+    // Print, parse, print again: the texts must agree, and the reparsed
+    // module must behave identically.
+    let spec = MachineSpec::alpha_like();
+    for name in ["eqntott", "li", "wc"] {
+        let w = lsra_workloads::by_name(name).unwrap();
+        let module = (w.build)();
+        let text = module.to_string();
+        let reparsed =
+            lsra_ir::parse_module(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reparsed.to_string(), text, "{name}: round trip changed the text");
+        let input = (w.input)();
+        let a = run_module(&module, &spec, &input).unwrap();
+        let b = run_module(&reparsed, &spec, &input).unwrap();
+        assert_eq!(a, b, "{name}: reparsed module behaves differently");
+    }
+}
+
+#[test]
+fn allocated_code_round_trips_through_text() {
+    // Spill instructions (with slots), tags, and physical operands survive
+    // printing and parsing.
+    let spec = MachineSpec::small(4, 2);
+    let w = lsra_workloads::by_name("eqntott").unwrap();
+    let mut module = (w.build)();
+    BinpackAllocator::default().allocate_module(&mut module, &spec);
+    let text = module.to_string();
+    let reparsed = lsra_ir::parse_module(&text).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(reparsed.to_string(), text);
+    // The reparsed module doesn't know it is allocated (text carries no
+    // flag), but its instructions must execute identically.
+    let input = (w.input)();
+    // Mark functions allocated so the VM uses physical mode semantics for
+    // spill slots.
+    let mut reparsed = reparsed;
+    for id in reparsed.func_ids().collect::<Vec<_>>() {
+        reparsed.func_mut(id).allocated = true;
+    }
+    let a = run_module(&module, &spec, &input).unwrap();
+    let b = run_module(&reparsed, &spec, &input).unwrap();
+    assert_eq!(a.ret, b.ret);
+    assert_eq!(a.output, b.output);
+}

