@@ -19,17 +19,18 @@ impl Dominators {
         let entry = f.entry();
         idom[entry.index()] = Some(entry);
 
-        let intersect = |idom: &[Option<BlockId>], order: &Order, mut a: BlockId, mut b: BlockId| {
-            while a != b {
-                while order.rpo_pos[a.index()] > order.rpo_pos[b.index()] {
-                    a = idom[a.index()].expect("processed block has idom");
+        let intersect =
+            |idom: &[Option<BlockId>], order: &Order, mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while order.rpo_pos[a.index()] > order.rpo_pos[b.index()] {
+                        a = idom[a.index()].expect("processed block has idom");
+                    }
+                    while order.rpo_pos[b.index()] > order.rpo_pos[a.index()] {
+                        b = idom[b.index()].expect("processed block has idom");
+                    }
                 }
-                while order.rpo_pos[b.index()] > order.rpo_pos[a.index()] {
-                    b = idom[b.index()].expect("processed block has idom");
-                }
-            }
-            a
-        };
+                a
+            };
 
         let mut changed = true;
         while changed {

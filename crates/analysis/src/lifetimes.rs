@@ -155,6 +155,10 @@ impl Lifetimes {
         // For each temp/reg: the end point of the currently open segment.
         let mut open_t: Vec<Option<Point>> = vec![None; nt];
         let mut open_r: Vec<Option<Point>> = vec![None; num_int + num_float];
+        // Allocated once and cleared via the touched list, not rebuilt per
+        // block.
+        let mut live_here = vec![false; nt];
+        let mut live_here_touched: Vec<usize> = Vec::new();
 
         for b in f.block_ids().rev() {
             let bi = b.index();
@@ -165,9 +169,9 @@ impl Lifetimes {
             // out of b continue (or open) here; temps that were open (live
             // into the linearly-following block) but are not live out of b
             // close at this block's bottom boundary.
-            let mut live_here = vec![false; nt];
             for t in live.live_out_temps(b) {
                 live_here[t.index()] = true;
+                live_here_touched.push(t.index());
             }
             for t in 0..nt {
                 match (open_t[t], live_here[t]) {
@@ -178,6 +182,9 @@ impl Lifetimes {
                     }
                     _ => {}
                 }
+            }
+            for t in live_here_touched.drain(..) {
+                live_here[t] = false;
             }
             // Precolored registers must not be live across block boundaries
             // (an IR invariant; see `check_phys_block_local`): close any
@@ -276,7 +283,15 @@ impl Lifetimes {
             *blocked = merged;
         }
 
-        Lifetimes { segments, refs, block_first, block_last, reg_blocked, num_int_regs: num_int, num_insts }
+        Lifetimes {
+            segments,
+            refs,
+            block_first,
+            block_last,
+            reg_blocked,
+            num_int_regs: num_int,
+            num_insts,
+        }
     }
 
     /// Convenience constructor that runs the prerequisite analyses.
@@ -378,8 +393,8 @@ pub fn check_phys_block_local(f: &Function, spec: &MachineSpec) -> bool {
                     if !defined[idx(p)] {
                         // Upward-exposed physical use: only argument
                         // registers in the entry block may do this.
-                        let is_entry_arg = b == f.entry()
-                            && spec.arg_regs(p.class).contains(&p.index);
+                        let is_entry_arg =
+                            b == f.entry() && spec.arg_regs(p.class).contains(&p.index);
                         if !is_entry_arg {
                             ok = false;
                         }

@@ -46,14 +46,18 @@ pub struct Liveness {
 impl Liveness {
     /// Computes liveness for `f`.
     pub fn compute(f: &Function) -> Self {
-        // Pass 1: classify temporaries as global or block-local.
+        // Pass 1: classify temporaries as global or block-local. The
+        // "defined in this block before this use" test uses an epoch stamp
+        // (one u32 per temp, allocated once) instead of a per-block boolean
+        // buffer, making the pass O(blocks + insts) instead of
+        // O(blocks × temps).
         let nt = f.num_temps();
         let mut seen_in: Vec<Option<BlockId>> = vec![None; nt];
         let mut multi_block = vec![false; nt];
         let mut upward_exposed = vec![false; nt];
+        let mut defined_epoch = vec![0u32; nt];
         for b in f.block_ids() {
-            let mut defined = vec![false; 0];
-            defined.resize(nt, false);
+            let epoch = b.index() as u32 + 1; // 0 means "never defined"
             for ins in &f.block(b).insts {
                 ins.inst.for_each_use(|r| {
                     if let Some(t) = r.as_temp() {
@@ -62,7 +66,7 @@ impl Liveness {
                             Some(prev) if prev != b => multi_block[t.index()] = true,
                             _ => {}
                         }
-                        if !defined[t.index()] {
+                        if defined_epoch[t.index()] != epoch {
                             upward_exposed[t.index()] = true;
                         }
                     }
@@ -74,7 +78,7 @@ impl Liveness {
                             Some(prev) if prev != b => multi_block[t.index()] = true,
                             _ => {}
                         }
-                        defined[t.index()] = true;
+                        defined_epoch[t.index()] = epoch;
                     }
                 });
             }

@@ -18,7 +18,7 @@ impl Order {
         let n = f.num_blocks();
         let mut post = Vec::with_capacity(n);
         let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
-        // Iterative DFS with an explicit stack of (block, next-succ-index).
+                                      // Iterative DFS with an explicit stack of (block, next-succ-index).
         let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
         let entry = f.entry();
         state[entry.index()] = 1;

@@ -22,10 +22,7 @@ fn main() {
     let spec = MachineSpec::alpha_like();
     let variants: Vec<(&str, BinpackConfig)> = vec![
         ("full", BinpackConfig::default()),
-        (
-            "-holes",
-            BinpackConfig { allow_insufficient_holes: false, ..Default::default() },
-        ),
+        ("-holes", BinpackConfig { allow_insufficient_holes: false, ..Default::default() }),
         ("-early2c", BinpackConfig { early_second_chance: false, ..Default::default() }),
         ("-coalesce", BinpackConfig { move_coalescing: false, ..Default::default() }),
         ("-suppress", BinpackConfig { store_suppression: false, ..Default::default() }),
@@ -59,5 +56,7 @@ fn main() {
         println!();
     }
     println!();
-    println!("Each cell is the verified dynamic instruction count; 'full' is the paper's algorithm.");
+    println!(
+        "Each cell is the verified dynamic instruction count; 'full' is the paper's algorithm."
+    );
 }

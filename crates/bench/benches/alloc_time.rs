@@ -1,8 +1,9 @@
-//! Regenerates the paper's **Table 3**: allocation time on modules with
-//! small, large, and very large average register-candidate counts, showing
-//! coloring's superlinear slowdown as interference graphs grow.
+//! Allocation-time benchmark: the paper's **Table 3** plus a per-phase
+//! breakdown and a serial-vs-parallel comparison of `allocate_module`.
 //!
-//! The three module generators mirror the paper's rows:
+//! The Table 3 section regenerates allocation time on modules with small,
+//! large, and very large average register-candidate counts, showing
+//! coloring's superlinear slowdown as interference graphs grow:
 //!
 //! | paper module | avg candidates | avg interference edges |
 //! |--------------|---------------:|-----------------------:|
@@ -10,20 +11,128 @@
 //! | twldrv.f     |          6,218 |                 51,796 |
 //! | fpppp.f      |          6,697 |                116,926 |
 //!
+//! The phase section times every SPEC-like workload under `time_phases`
+//! (ordering/liveness/lifetimes/scan/resolution/consistency), and the
+//! parallel section times `allocate_module` at one worker versus all
+//! available cores. Everything is written to `BENCH_alloc_time.json` at the
+//! workspace root.
+//!
 //! ```sh
 //! cargo bench -p lsra-bench --bench alloc_time
 //! ```
 
+use std::fmt::Write as _;
+
 use lsra_bench::time_allocation;
-use lsra_core::BinpackAllocator;
 use lsra_coloring::ColoringAllocator;
-use lsra_ir::MachineSpec;
+use lsra_core::{AllocStats, BinpackAllocator, BinpackConfig, PHASE_NAMES};
+use lsra_ir::{MachineSpec, Module};
 use lsra_workloads::scaling;
+
+/// One timed configuration, ready for JSON.
+struct Entry {
+    workload: String,
+    allocator: &'static str,
+    best_seconds: f64,
+    stats: AllocStats,
+}
+
+/// One serial-vs-parallel comparison, ready for JSON.
+struct ParallelEntry {
+    workload: String,
+    allocator: &'static str,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    workers: usize,
+}
+
+fn binpack(workers: usize) -> BinpackAllocator {
+    BinpackAllocator::new(BinpackConfig { workers, time_phases: true, ..Default::default() })
+}
+
+fn two_pass(workers: usize) -> BinpackAllocator {
+    BinpackAllocator::new(BinpackConfig { workers, time_phases: true, ..BinpackConfig::two_pass() })
+}
+
+/// The pre-arena behaviour: a fresh scratch per function (what the default
+/// trait `allocate_module` did before the reuse layer), for the
+/// before-vs-after comparison.
+struct FreshPerFunction(BinpackAllocator);
+
+impl lsra_core::RegisterAllocator for FreshPerFunction {
+    fn name(&self) -> &str {
+        "fresh-scratch"
+    }
+
+    fn allocate_function(&self, f: &mut lsra_ir::Function, spec: &MachineSpec) -> AllocStats {
+        self.0.allocate_function(f, spec)
+    }
+
+    fn allocate_module(&self, m: &mut Module, spec: &MachineSpec) -> AllocStats {
+        // Serial, one fresh arena per function.
+        let mut total = AllocStats::default();
+        for f in &mut m.funcs {
+            total.merge(&self.0.allocate_function(f, spec));
+        }
+        total
+    }
+}
+
+fn json(entries: &[Entry], parallel: &[ParallelEntry], runs: usize, workers: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"machine\": \"alpha-like\",");
+    let _ = writeln!(s, "  \"runs\": {runs},");
+    let _ = writeln!(s, "  \"workers_available\": {workers},");
+    let _ =
+        writeln!(s, "  \"phase_names\": [{}],", PHASE_NAMES.map(|n| format!("\"{n}\"")).join(", "));
+    let _ = writeln!(s, "  \"entries\": [");
+    for (k, e) in entries.iter().enumerate() {
+        let timings = e.stats.timings.unwrap_or_default();
+        let phases = PHASE_NAMES
+            .iter()
+            .zip(timings.seconds)
+            .map(|(n, v)| format!("\"{n}\": {v:.9}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            s,
+            "    {{\"workload\": \"{}\", \"allocator\": \"{}\", \"alloc_seconds\": {:.9}, \
+             \"candidates\": {}, \"phases\": {{{phases}}}}}{}",
+            e.workload,
+            e.allocator,
+            e.best_seconds,
+            e.stats.candidates,
+            if k + 1 == entries.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"parallel\": [");
+    for (k, p) in parallel.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"workload\": \"{}\", \"allocator\": \"{}\", \"workers\": {}, \
+             \"serial_seconds\": {:.9}, \"parallel_seconds\": {:.9}, \"speedup\": {:.3}}}{}",
+            p.workload,
+            p.allocator,
+            p.workers,
+            p.serial_seconds,
+            p.parallel_seconds,
+            p.serial_seconds / p.parallel_seconds,
+            if k + 1 == parallel.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
 
 fn main() {
     let spec = MachineSpec::alpha_like();
     let runs = 5; // best of five, as in the paper
+    let workers_available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
+    // ---- Table 3: coloring vs binpacking as candidate counts grow ----
     let modules = [
         ("cvrin-like", scaling::cvrin_like()),
         ("twldrv-like", scaling::twldrv_like()),
@@ -39,8 +148,7 @@ fn main() {
     for (name, module) in &modules {
         // Average candidates over the "procedure" functions (main excluded,
         // mirroring the paper's per-procedure averages).
-        let procs: Vec<_> =
-            module.funcs.iter().filter(|f| f.name.starts_with("proc")).collect();
+        let procs: Vec<_> = module.funcs.iter().filter(|f| f.name.starts_with("proc")).collect();
         let avg_candidates =
             procs.iter().map(|f| f.num_temps()).sum::<usize>() / procs.len().max(1);
 
@@ -62,4 +170,121 @@ fn main() {
          15.8s vs 4.5s (coloring 3.5x slower) at 6,697; the crossover and the \
          superlinear growth are the claims under test."
     );
+    println!();
+
+    // ---- Per-phase breakdown: every workload, both binpack variants ----
+    let mut entries: Vec<Entry> = Vec::new();
+    println!("Per-phase allocation time (best of {runs}, ms)");
+    println!(
+        "{:<12} {:<10} {:>8} {:>8} {:>9} {:>8} {:>8} {:>11} {:>8}",
+        "workload",
+        "allocator",
+        "order",
+        "liveness",
+        "lifetimes",
+        "scan",
+        "resolve",
+        "consistency",
+        "total"
+    );
+    println!("{}", "-".repeat(90));
+    let workload_modules: Vec<(String, Module)> = lsra_workloads::all()
+        .iter()
+        .map(|w| (w.name.to_string(), (w.build)()))
+        .chain(modules.iter().map(|(n, m)| (n.to_string(), m.clone())))
+        .collect();
+    for (name, module) in &workload_modules {
+        for (alloc_name, alloc) in [("binpack", binpack(1)), ("two-pass", two_pass(1))] {
+            let (best, stats) = time_allocation(module, &alloc, &spec, runs);
+            let t = stats.timings.unwrap_or_default();
+            println!(
+                "{:<12} {:<10} {:>8.3} {:>8.3} {:>9.3} {:>8.3} {:>8.3} {:>11.3} {:>8.3}",
+                name,
+                alloc_name,
+                t.seconds[0] * 1e3,
+                t.seconds[1] * 1e3,
+                t.seconds[2] * 1e3,
+                t.seconds[3] * 1e3,
+                t.seconds[4] * 1e3,
+                t.seconds[5] * 1e3,
+                best * 1e3,
+            );
+            entries.push(Entry {
+                workload: name.clone(),
+                allocator: alloc_name,
+                best_seconds: best,
+                stats,
+            });
+        }
+    }
+    println!();
+
+    // ---- Serial vs parallel allocate_module ----
+    let par_workers = workers_available.max(2);
+    let mut parallel: Vec<ParallelEntry> = Vec::new();
+    println!(
+        "Serial vs parallel allocate_module (1 worker vs {par_workers}, \
+         {workers_available} core(s) available, best of {runs})"
+    );
+    println!(
+        "{:<12} {:<10} {:>12} {:>14} {:>8}",
+        "workload", "allocator", "serial (ms)", "parallel (ms)", "speedup"
+    );
+    println!("{}", "-".repeat(62));
+    for (name, module) in &workload_modules {
+        for (alloc_name, serial, par) in [
+            ("binpack", binpack(1), binpack(par_workers)),
+            ("two-pass", two_pass(1), two_pass(par_workers)),
+        ] {
+            let (serial_s, _) = time_allocation(module, &serial, &spec, runs);
+            let (par_s, _) = time_allocation(module, &par, &spec, runs);
+            println!(
+                "{:<12} {:<10} {:>12.3} {:>14.3} {:>8.2}",
+                name,
+                alloc_name,
+                serial_s * 1e3,
+                par_s * 1e3,
+                serial_s / par_s,
+            );
+            parallel.push(ParallelEntry {
+                workload: name.clone(),
+                allocator: alloc_name,
+                serial_seconds: serial_s,
+                parallel_seconds: par_s,
+                workers: par_workers,
+            });
+        }
+    }
+
+    // ---- Scratch-arena reuse: fresh per function vs reused ----
+    println!();
+    println!("Scratch-arena reuse (serial, best of {runs})");
+    println!("{:<12} {:>11} {:>12} {:>8}", "workload", "fresh (ms)", "reused (ms)", "ratio");
+    println!("{}", "-".repeat(48));
+    for (name, module) in &workload_modules {
+        let fresh = FreshPerFunction(BinpackAllocator::new(BinpackConfig {
+            workers: 1,
+            ..Default::default()
+        }));
+        let reused = BinpackAllocator::new(BinpackConfig { workers: 1, ..Default::default() });
+        let (fresh_s, _) = time_allocation(module, &fresh, &spec, runs);
+        let (reused_s, _) = time_allocation(module, &reused, &spec, runs);
+        println!(
+            "{:<12} {:>11.3} {:>12.3} {:>8.2}",
+            name,
+            fresh_s * 1e3,
+            reused_s * 1e3,
+            fresh_s / reused_s,
+        );
+    }
+
+    // ---- JSON ----
+    let out = json(&entries, &parallel, runs, workers_available);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_alloc_time.json");
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use lsra_bench::{measure, ratio, spill_percent, Measurement};
-use lsra_core::BinpackAllocator;
 use lsra_coloring::ColoringAllocator;
+use lsra_core::BinpackAllocator;
 use lsra_ir::MachineSpec;
 
 fn main() {

@@ -160,7 +160,9 @@ impl<'a> Round<'a> {
         if u == v {
             return;
         }
-        if let Some(watch) = std::env::var("LSRA_DEBUG_NODE").ok().and_then(|x| x.parse::<u32>().ok()) {
+        if let Some(watch) =
+            std::env::var("LSRA_DEBUG_NODE").ok().and_then(|x| x.parse::<u32>().ok())
+        {
             if u == watch || v == watch {
                 eprintln!("EDGE {u} -- {v}");
             }
@@ -184,8 +186,7 @@ impl<'a> Round<'a> {
 
     /// Builds the interference graph and move lists from the code.
     pub(crate) fn build(&mut self, spec: &lsra_ir::MachineSpec) {
-        let clobbers: Vec<u32> =
-            spec.caller_saved(self.class).map(|p| p.index as u32).collect();
+        let clobbers: Vec<u32> = spec.caller_saved(self.class).map(|p| p.index as u32).collect();
         for b in self.f.block_ids() {
             // live = temps of this class live out of b, plus nothing
             // precolored (precolored values are block-local by IR
@@ -265,10 +266,7 @@ impl<'a> Round<'a> {
             .iter()
             .copied()
             .filter(|&w| {
-                !matches!(
-                    self.state[w as usize],
-                    NodeState::OnStack | NodeState::Coalesced
-                )
+                !matches!(self.state[w as usize], NodeState::OnStack | NodeState::Coalesced)
             })
             .collect()
     }
@@ -532,7 +530,9 @@ impl<'a> Round<'a> {
                     ok[c as usize] = false;
                 }
             }
-            if let Some(watch) = std::env::var("LSRA_DEBUG_NODE").ok().and_then(|x| x.parse::<u32>().ok()) {
+            if let Some(watch) =
+                std::env::var("LSRA_DEBUG_NODE").ok().and_then(|x| x.parse::<u32>().ok())
+            {
                 if n == watch {
                     eprintln!("ASSIGN node {n}: ok={ok:?} adj={:?}", self.adj_list[n as usize]);
                 }
@@ -552,7 +552,9 @@ impl<'a> Round<'a> {
             if self.state[n as usize] == NodeState::Coalesced {
                 let a = self.get_alias(n);
                 color[n as usize] = color[a as usize];
-                if let Some(watch) = std::env::var("LSRA_DEBUG_NODE").ok().and_then(|x| x.parse::<u32>().ok()) {
+                if let Some(watch) =
+                    std::env::var("LSRA_DEBUG_NODE").ok().and_then(|x| x.parse::<u32>().ok())
+                {
                     if n == watch {
                         eprintln!("COALESCED node {n} -> alias {a}, color {:?}", color[n as usize]);
                     }
@@ -561,13 +563,21 @@ impl<'a> Round<'a> {
         }
         let spilled: Vec<Temp> =
             spilled_nodes.iter().map(|&n| self.temps[n as usize - self.k]).collect();
-        RoundResult { colors: (self.k..n_nodes).map(|i| color[i]).collect(), spilled, edges: self.edges }
+        RoundResult {
+            colors: (self.k..n_nodes).map(|i| color[i]).collect(),
+            spilled,
+            edges: self.edges,
+        }
     }
 }
 
 /// Rewrites actual spills: each use of a spilled temporary loads into a
 /// fresh (block-local) temporary, each definition stores from one.
-pub(crate) fn rewrite_spills(f: &mut Function, spilled: &[Temp], stats_inserted: &mut Vec<(SpillTag, u64)>) -> Vec<Temp> {
+pub(crate) fn rewrite_spills(
+    f: &mut Function,
+    spilled: &[Temp],
+    stats_inserted: &mut Vec<(SpillTag, u64)>,
+) -> Vec<Temp> {
     let mut created = Vec::new();
     let mut loads = 0u64;
     let mut stores = 0u64;
@@ -679,7 +689,7 @@ mod tests {
         let f = b.finish();
         let r = round_for(&f, &spec, RegClass::Int);
         let k = spec.num_regs(RegClass::Int) as usize;
-        let nx = k as u32 + 0;
+        let nx = k as u32;
         let ny = k as u32 + 1;
         let nz = k as u32 + 2;
         assert!(r.adj.contains(nx as usize, ny as usize), "x and y interfere");

@@ -78,8 +78,7 @@ impl RegisterAllocator for ColoringAllocator {
             let mut spill_marker = vec![false; f.num_temps()];
             loop {
                 stats.iterations += 1;
-                let round =
-                    color::Round::new(f, &live, &loops, class, k, &excluded, &spill_marker);
+                let round = color::Round::new(f, &live, &loops, class, k, &excluded, &spill_marker);
                 let temps = round.temps.clone();
                 let result = round.run(spec, &mut coalesced);
                 stats.interference_edges += result.edges;

@@ -1,13 +1,19 @@
 //! The second-chance binpacking allocator: pipeline driver.
+//!
+//! [`BinpackAllocator::allocate_module`] fans functions out over a scoped
+//! thread pool (functions are allocated independently, so the result is
+//! byte-identical to the serial path); each worker owns one
+//! [`AllocScratch`] arena that every function it processes reuses.
 
 use std::time::Instant;
 
 use lsra_analysis::{Lifetimes, Liveness, LoopInfo};
-use lsra_ir::{Function, MachineSpec};
+use lsra_ir::{Function, MachineSpec, Module};
 
 use crate::config::BinpackConfig;
 use crate::scan::Scanner;
-use crate::stats::{AllocStats, RegisterAllocator};
+use crate::scratch::AllocScratch;
+use crate::stats::{AllocStats, Phase, PhaseTimer, RegisterAllocator};
 use crate::{resolve, two_pass};
 
 /// The linear-scan register allocator of Traub, Holloway & Smith (PLDI
@@ -54,6 +60,44 @@ impl BinpackAllocator {
     pub fn two_pass() -> Self {
         BinpackAllocator { config: BinpackConfig::two_pass() }
     }
+
+    /// Allocates one function, reusing `scratch`'s working memory.
+    ///
+    /// Equivalent to [`RegisterAllocator::allocate_function`] (which calls
+    /// this with a fresh arena), but callers allocating many functions in a
+    /// row avoid re-allocating the per-temp/per-register state vectors for
+    /// each one.
+    pub fn allocate_function_reusing(
+        &self,
+        f: &mut Function,
+        spec: &MachineSpec,
+        scratch: &mut AllocScratch,
+    ) -> AllocStats {
+        let start = Instant::now();
+        let mut stats = AllocStats::default();
+        if self.config.second_chance {
+            let mut timer = PhaseTimer::new(self.config.time_phases);
+            // Shared setup (the paper excludes this from allocation
+            // timing; we include only the lifetime computation, which is
+            // the allocator's own first phase).
+            let live = Liveness::compute(f);
+            timer.mark(&mut stats, Phase::Liveness);
+            let loops = LoopInfo::of(f);
+            timer.mark(&mut stats, Phase::Order);
+            let lt = Lifetimes::compute(f, &live, &loops, spec);
+            timer.mark(&mut stats, Phase::Lifetimes);
+            let out = Scanner::new(f, spec, &live, &lt, self.config, &mut stats, scratch).run();
+            timer.mark(&mut stats, Phase::Scan);
+            // Resolution self-reports its Resolve and Consistency phases.
+            resolve::resolve(f, &live, &out, self.config, &mut stats, scratch);
+        } else {
+            two_pass::allocate(f, spec, self.config, &mut stats, scratch);
+        }
+        f.allocated = true;
+        debug_assert!(!f.has_virtual_operands(), "allocation left virtual operands");
+        stats.alloc_seconds = start.elapsed().as_secs_f64();
+        stats
+    }
 }
 
 impl RegisterAllocator for BinpackAllocator {
@@ -66,24 +110,72 @@ impl RegisterAllocator for BinpackAllocator {
     }
 
     fn allocate_function(&self, f: &mut Function, spec: &MachineSpec) -> AllocStats {
-        let start = Instant::now();
-        let mut stats = AllocStats::default();
-        if self.config.second_chance {
-            // Shared setup (the paper excludes this from allocation
-            // timing; we include only the lifetime computation, which is
-            // the allocator's own first phase).
-            let live = Liveness::compute(f);
-            let loops = LoopInfo::of(f);
-            let lt = Lifetimes::compute(f, &live, &loops, spec);
-            let out =
-                Scanner::new(f, spec, &live, &lt, self.config, &mut stats).run();
-            resolve::resolve(f, &live, &out, self.config, &mut stats);
+        self.allocate_function_reusing(f, spec, &mut AllocScratch::default())
+    }
+
+    /// Allocates every function, fanning out over
+    /// [`BinpackConfig::workers`] scoped threads.
+    ///
+    /// Functions are partitioned up front (longest-processing-time first on
+    /// instruction count — deterministic, no work stealing) and each worker
+    /// allocates its share with a thread-local [`AllocScratch`]. Because no
+    /// state crosses function boundaries, the rewritten module is identical
+    /// to the serial result; statistics are merged in function order so the
+    /// floating-point sums are too.
+    fn allocate_module(&self, m: &mut Module, spec: &MachineSpec) -> AllocStats {
+        let n = m.funcs.len();
+        let workers = self.config.effective_workers().min(n.max(1));
+        let per_func: Vec<AllocStats> = if workers <= 1 {
+            let mut scratch = AllocScratch::default();
+            m.funcs
+                .iter_mut()
+                .map(|f| self.allocate_function_reusing(f, spec, &mut scratch))
+                .collect()
         } else {
-            two_pass::allocate(f, spec, &mut stats);
+            // LPT: biggest functions first, each to the least-loaded worker
+            // (ties broken by index, so the partition is deterministic).
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(m.funcs[i].num_insts()), i));
+            let mut load = vec![0usize; workers];
+            let mut worker_of = vec![0usize; n];
+            for &i in &order {
+                let w = (0..workers).min_by_key(|&w| (load[w], w)).unwrap();
+                worker_of[i] = w;
+                load[w] += m.funcs[i].num_insts().max(1);
+            }
+            let mut buckets: Vec<Vec<(usize, &mut Function)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, f) in m.funcs.iter_mut().enumerate() {
+                buckets[worker_of[i]].push((i, f));
+            }
+            let mut results: Vec<Option<AllocStats>> = (0..n).map(|_| None).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        s.spawn(move || {
+                            let mut scratch = AllocScratch::default();
+                            bucket
+                                .into_iter()
+                                .map(|(i, f)| {
+                                    (i, self.allocate_function_reusing(f, spec, &mut scratch))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, st) in h.join().expect("allocation worker panicked") {
+                        results[i] = Some(st);
+                    }
+                }
+            });
+            results.into_iter().map(|r| r.expect("every function allocated")).collect()
+        };
+        let mut total = AllocStats::default();
+        for st in &per_func {
+            total.merge(st);
         }
-        f.allocated = true;
-        debug_assert!(!f.has_virtual_operands(), "allocation left virtual operands");
-        stats.alloc_seconds = start.elapsed().as_secs_f64();
-        stats
+        total
     }
 }

@@ -50,6 +50,15 @@ pub struct BinpackConfig {
     pub store_suppression: bool,
     /// How cross-block consistency is guaranteed.
     pub consistency: ConsistencyMode,
+    /// Worker threads `allocate_module` fans functions out over. `0` asks
+    /// the OS (`std::thread::available_parallelism`), `1` selects the serial
+    /// path. Allocation is independent per function, so the rewritten module
+    /// is byte-identical for every worker count.
+    pub workers: usize,
+    /// Record per-phase wall-clock timings into
+    /// [`AllocStats::timings`](crate::AllocStats). Off by default; when off
+    /// no per-phase clocks are read.
+    pub time_phases: bool,
 }
 
 impl Default for BinpackConfig {
@@ -62,6 +71,8 @@ impl Default for BinpackConfig {
             move_coalescing: true,
             store_suppression: true,
             consistency: ConsistencyMode::Iterative,
+            workers: 0,
+            time_phases: false,
         }
     }
 }
@@ -78,6 +89,18 @@ impl BinpackConfig {
             move_coalescing: false,
             store_suppression: false,
             consistency: ConsistencyMode::Iterative,
+            workers: 0,
+            time_phases: false,
+        }
+    }
+
+    /// The worker count `allocate_module` actually uses: `workers`, with `0`
+    /// resolved to the machine's available parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
         }
     }
 }
@@ -102,5 +125,14 @@ mod tests {
         let c = BinpackConfig::two_pass();
         assert!(!c.second_chance);
         assert!(!c.store_suppression);
+    }
+
+    #[test]
+    fn workers_resolution() {
+        let c = BinpackConfig::default();
+        assert_eq!(c.workers, 0);
+        assert!(c.effective_workers() >= 1);
+        let c = BinpackConfig { workers: 3, ..Default::default() };
+        assert_eq!(c.effective_workers(), 3);
     }
 }

@@ -50,6 +50,7 @@ mod parallel_move;
 pub mod postopt;
 mod resolve;
 mod scan;
+mod scratch;
 mod stats;
 mod two_pass;
 
@@ -57,7 +58,8 @@ pub use allocator::BinpackAllocator;
 pub use config::{BinpackConfig, ConsistencyMode};
 pub use parallel_move::{sequentialize, EdgeOp};
 pub use postopt::{optimize_spill_code, PostOptStats};
-pub use stats::{AllocStats, RegisterAllocator};
+pub use scratch::AllocScratch;
+pub use stats::{AllocStats, AllocTimings, Phase, RegisterAllocator, PHASE_NAMES};
 
 #[cfg(test)]
 mod tests {

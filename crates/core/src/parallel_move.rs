@@ -64,10 +64,7 @@ pub enum EdgeOp {
 /// have assigned spill slots to every temporary named in a store/load (and
 /// to every temporary in a move, lazily, if a cycle forces it through
 /// memory — which is why this function takes a slot-assigning callback).
-pub fn sequentialize(
-    ops: &[EdgeOp],
-    mut ensure_slot: impl FnMut(Temp),
-) -> Vec<(Inst, SpillTag)> {
+pub fn sequentialize(ops: &[EdgeOp], mut ensure_slot: impl FnMut(Temp)) -> Vec<(Inst, SpillTag)> {
     let mut out = Vec::new();
     // 1. Stores.
     for op in ops {
@@ -88,11 +85,14 @@ pub fn sequentialize(
     while !pending.is_empty() {
         // Emit any move whose destination is not the source of another
         // pending move.
-        if let Some(i) = (0..pending.len())
-            .find(|&i| pending.iter().all(|&(_, src, _)| src != pending[i].0))
+        if let Some(i) =
+            (0..pending.len()).find(|&i| pending.iter().all(|&(_, src, _)| src != pending[i].0))
         {
             let (dst, src, _) = pending.swap_remove(i);
-            out.push((Inst::Mov { dst: Reg::Phys(dst), src: Reg::Phys(src) }, SpillTag::ResolveMove));
+            out.push((
+                Inst::Mov { dst: Reg::Phys(dst), src: Reg::Phys(src) },
+                SpillTag::ResolveMove,
+            ));
         } else {
             // Every pending destination is also a pending source: a cycle
             // (or several). Break one through its temporary's memory home.

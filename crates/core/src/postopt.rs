@@ -86,9 +86,7 @@ fn forward_loads(f: &mut Function, spec: &MachineSpec, stats: &mut PostOptStats)
         let mut map = match preds[b.index()].as_slice() {
             // A unique, already-processed predecessor seeds the map (its
             // terminator writes no register).
-            [p] if p.index() < b.index() => {
-                exit_maps[p.index()].clone().unwrap_or_default()
-            }
+            [p] if p.index() < b.index() => exit_maps[p.index()].clone().unwrap_or_default(),
             _ => SlotMap::default(),
         };
         let insts = std::mem::take(&mut f.block_mut(b).insts);
@@ -300,10 +298,7 @@ mod tests {
         let r2: Reg = PhysReg::int(2).into();
         f.block_mut(b0).insts.extend([
             lsra_ir::Ins::new(Inst::MovI { dst: r1, imm: 5 }),
-            lsra_ir::Ins::tagged(
-                Inst::SpillStore { src: r1, temp: t },
-                SpillTag::EvictStore,
-            ),
+            lsra_ir::Ins::tagged(Inst::SpillStore { src: r1, temp: t }, SpillTag::EvictStore),
             lsra_ir::Ins::tagged(Inst::SpillLoad { dst: r2, temp: t }, SpillTag::EvictLoad),
             lsra_ir::Ins::new(Inst::Ret { ret_regs: vec![] }),
         ]);

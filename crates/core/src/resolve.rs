@@ -22,7 +22,8 @@ use lsra_ir::{BlockId, Function, PhysReg, Temp};
 use crate::config::{BinpackConfig, ConsistencyMode};
 use crate::parallel_move::{sequentialize, EdgeOp};
 use crate::scan::ScanOutput;
-use crate::stats::AllocStats;
+use crate::scratch::AllocScratch;
+use crate::stats::{AllocStats, Phase, PhaseTimer};
 
 fn reg_of(map: &[(Temp, PhysReg)], t: Temp) -> Option<PhysReg> {
     map.binary_search_by_key(&t, |&(x, _)| x).ok().map(|i| map[i].1)
@@ -42,7 +43,9 @@ pub(crate) fn resolve(
     scan: &ScanOutput,
     cfg: BinpackConfig,
     stats: &mut AllocStats,
+    scratch: &mut AllocScratch,
 ) {
+    let mut timer = PhaseTimer::new(cfg.time_phases);
     let nb = scan.top_map.len();
     let ng = live.num_globals();
 
@@ -60,6 +63,7 @@ pub(crate) fn resolve(
     // consistent-in-register at a predecessor bottom while the successor
     // top expects it in memory relies on that consistency).
     let mut used_c_in: Vec<BitSet> = scan.used_consistency.clone();
+    timer.mark(stats, Phase::Resolve);
     if cfg.consistency == ConsistencyMode::Iterative {
         for &(p, s) in &edges {
             for g in live.live_in(s).iter() {
@@ -83,10 +87,12 @@ pub(crate) fn resolve(
         used_c_in = sol.live_in;
         stats.iterations = sol.iterations;
     }
+    timer.mark(stats, Phase::Consistency);
 
-    // Process each edge.
+    // Process each edge; `ops` is the scratch arena's reusable edge buffer.
+    let mut ops = std::mem::take(&mut scratch.edge_ops);
     for (p, s) in edges {
-        let mut ops: Vec<EdgeOp> = Vec::new();
+        ops.clear();
         for g in live.live_in(s).iter() {
             let t = live.temp_of(g);
             let loc_p = reg_of(&scan.bottom_map[p.index()], t);
@@ -171,4 +177,6 @@ pub(crate) fn resolve(
             blk.insts.splice(0..0, insns);
         }
     }
+    scratch.edge_ops = ops;
+    timer.mark(stats, Phase::Resolve);
 }

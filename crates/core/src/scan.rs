@@ -12,11 +12,10 @@
 //! bit vectors that the resolution phase (§2.4) consumes.
 
 use lsra_analysis::{BitSet, Lifetimes, Liveness, Point};
-use lsra_ir::{
-    Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp,
-};
+use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
 
 use crate::config::{BinpackConfig, ConsistencyMode};
+use crate::scratch::{reset, AllocScratch};
 use crate::stats::AllocStats;
 
 /// Where a temporary's current value lives during the scan.
@@ -77,6 +76,11 @@ pub(crate) struct Scanner<'a> {
     /// return, even after earlier fillers die (the container keeps its
     /// register around every filler, §2.1).
     pending_owner: Vec<Option<Temp>>,
+    /// Per-block live-in staging buffer (reused across blocks).
+    live_in: Vec<Temp>,
+    /// Arena the working vectors were taken from; `run` hands them back so
+    /// the next function reuses their capacity.
+    scratch: &'a mut AllocScratch,
     out: ScanOutput,
 }
 
@@ -90,6 +94,7 @@ impl<'a> Scanner<'a> {
         lt: &'a Lifetimes,
         cfg: BinpackConfig,
         stats: &'a mut AllocStats,
+        scratch: &'a mut AllocScratch,
     ) -> Self {
         let ni = spec.num_regs(RegClass::Int) as usize;
         let nregs = spec.total_regs();
@@ -97,6 +102,29 @@ impl<'a> Scanner<'a> {
         let nb = f.num_blocks();
         let ng = live.num_globals();
         let preds = f.compute_preds();
+        // Take the working vectors out of the scratch arena, sized for this
+        // function (`reset` keeps capacity); `run` hands them back.
+        let mut occupant = std::mem::take(&mut scratch.occupant);
+        let mut loc = std::mem::take(&mut scratch.loc);
+        let mut consistent = std::mem::take(&mut scratch.consistent);
+        let mut wrote_local = std::mem::take(&mut scratch.wrote_local);
+        let mut used_local = std::mem::take(&mut scratch.used_local);
+        let mut seg_cur = std::mem::take(&mut scratch.seg_cur);
+        let mut ref_cur = std::mem::take(&mut scratch.ref_cur);
+        let mut blk_cur = std::mem::take(&mut scratch.blk_cur);
+        let mut last_reg = std::mem::take(&mut scratch.last_reg);
+        let mut pending_owner = std::mem::take(&mut scratch.pending_owner);
+        reset(&mut occupant, nregs, None);
+        reset(&mut loc, nt, Loc::None);
+        reset(&mut consistent, nt, false);
+        reset(&mut wrote_local, nt, false);
+        reset(&mut used_local, nt, false);
+        reset(&mut seg_cur, nt, 0);
+        reset(&mut ref_cur, nt, 0);
+        reset(&mut blk_cur, nregs, 0);
+        reset(&mut last_reg, nt, None);
+        reset(&mut pending_owner, nregs, None);
+        let live_in = std::mem::take(&mut scratch.live_in);
         Scanner {
             f,
             live,
@@ -104,18 +132,20 @@ impl<'a> Scanner<'a> {
             cfg,
             stats,
             ni,
-            occupant: vec![None; nregs],
-            loc: vec![Loc::None; nt],
-            consistent: vec![false; nt],
-            wrote_local: vec![false; nt],
-            used_local: vec![false; nt],
-            seg_cur: vec![0; nt],
-            ref_cur: vec![0; nt],
-            blk_cur: vec![0; nregs],
+            occupant,
+            loc,
+            consistent,
+            wrote_local,
+            used_local,
+            seg_cur,
+            ref_cur,
+            blk_cur,
             preds,
-            last_reg: vec![None; nt],
+            last_reg,
             cur_top: Point(0),
-            pending_owner: vec![None; nregs],
+            pending_owner,
+            live_in,
+            scratch,
             out: ScanOutput {
                 top_map: vec![Vec::new(); nb],
                 bottom_map: vec![Vec::new(); nb],
@@ -279,9 +309,10 @@ impl<'a> Scanner<'a> {
                 // pending reclaimer; keep the earlier-returning owner if
                 // one is already waiting.
                 let keep_existing = match self.pending_owner[d] {
-                    Some(w) if w != o
-                        && self.loc[w.index()] == Loc::None
-                        && self.last_reg[w.index()] == Some(d) =>
+                    Some(w)
+                        if w != o
+                            && self.loc[w.index()] == Loc::None
+                            && self.last_reg[w.index()] == Some(d) =>
                     {
                         let wr = self.next_live_start(w, Point(0));
                         let or = self.next_live_start(o, Point(0));
@@ -364,19 +395,12 @@ impl<'a> Scanner<'a> {
                 prev_tier = Some(tier);
             }
         }
-        let tiers: &[usize] = if self.cfg.allow_insufficient_holes || force_insufficient {
-            &[0, 1, 2]
-        } else {
-            &[0]
-        };
+        let tiers: &[usize] =
+            if self.cfg.allow_insufficient_holes || force_insufficient { &[0, 1, 2] } else { &[0] };
         let mut choice = None;
         for &tier in tiers {
             if best[tier].is_some() {
-                choice = if prev_tier == Some(tier) {
-                    prev.map(|d| (INF, d))
-                } else {
-                    best[tier]
-                };
+                choice = if prev_tier == Some(tier) { prev.map(|d| (INF, d)) } else { best[tier] };
                 break;
             }
         }
@@ -620,7 +644,13 @@ impl<'a> Scanner<'a> {
     /// Processes a use of temporary `t` at instruction `gi`: returns the
     /// register to rewrite the operand to, inserting a second-chance reload
     /// if the value is in memory (§2.3).
-    fn process_use(&mut self, t: Temp, gi: u32, exclude: &mut Vec<usize>, pre: &mut Vec<Ins>) -> PhysReg {
+    fn process_use(
+        &mut self,
+        t: Temp,
+        gi: u32,
+        exclude: &mut Vec<usize>,
+        pre: &mut Vec<Ins>,
+    ) -> PhysReg {
         let rp = Point::read(gi);
         match self.loc[t.index()] {
             Loc::Reg(r) => {
@@ -650,7 +680,13 @@ impl<'a> Scanner<'a> {
     }
 
     /// Processes the definition of `t` at instruction `gi`.
-    fn process_def(&mut self, t: Temp, gi: u32, exclude: &mut Vec<usize>, pre: &mut Vec<Ins>) -> PhysReg {
+    fn process_def(
+        &mut self,
+        t: Temp,
+        gi: u32,
+        exclude: &mut Vec<usize>,
+        pre: &mut Vec<Ins>,
+    ) -> PhysReg {
         let wp = Point::write(gi);
         let r = match self.loc[t.index()] {
             Loc::Reg(r) => {
@@ -754,7 +790,9 @@ impl<'a> Scanner<'a> {
         // top-of-block map records the restored location and resolution
         // honours it on every incoming edge.
         let top = self.lt.top(b);
-        let live_in: Vec<Temp> = self.live.live_in_temps(b).collect();
+        let mut live_in = std::mem::take(&mut self.live_in);
+        live_in.clear();
+        live_in.extend(self.live.live_in_temps(b));
         for &t in &live_in {
             if self.loc[t.index()] != Loc::None {
                 continue;
@@ -786,7 +824,10 @@ impl<'a> Scanner<'a> {
                 Loc::Mem => {}
                 Loc::None => {
                     if std::env::var_os("LSRA_DEBUG").is_some() {
-                        eprintln!("PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})", self.last_reg[t.index()]);
+                        eprintln!(
+                            "PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})",
+                            self.last_reg[t.index()]
+                        );
                     }
                     self.loc[t.index()] = Loc::Mem;
                 }
@@ -794,6 +835,7 @@ impl<'a> Scanner<'a> {
         }
         map.sort_unstable();
         self.out.top_map[b.index()] = map;
+        self.live_in = live_in;
     }
 
     fn block_end(&mut self, b: lsra_ir::BlockId) {
@@ -805,7 +847,10 @@ impl<'a> Scanner<'a> {
                 Loc::Mem => {}
                 Loc::None => {
                     if std::env::var_os("LSRA_DEBUG").is_some() {
-                        eprintln!("PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})", self.last_reg[t.index()]);
+                        eprintln!(
+                            "PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})",
+                            self.last_reg[t.index()]
+                        );
                     }
                     self.loc[t.index()] = Loc::Mem;
                 }
@@ -830,6 +875,13 @@ impl<'a> Scanner<'a> {
     /// Runs the scan over the whole function, rewriting it in place.
     pub(crate) fn run(mut self) -> ScanOutput {
         self.stats.candidates = self.f.num_temps();
+        // Per-instruction buffers live in the scratch arena: cleared on
+        // every use, allocated (at most) once per module.
+        let mut pre = std::mem::take(&mut self.scratch.pre);
+        let mut exclude = std::mem::take(&mut self.scratch.exclude);
+        let mut use_map = std::mem::take(&mut self.scratch.use_map);
+        let mut use_temps = std::mem::take(&mut self.scratch.use_temps);
+        let mut def_exclude = std::mem::take(&mut self.scratch.def_exclude);
         for b in self.f.block_ids().collect::<Vec<_>>() {
             self.block_start(b);
             let insts = std::mem::take(&mut self.f.block_mut(b).insts);
@@ -839,16 +891,16 @@ impl<'a> Scanner<'a> {
                 let gi = first + k as u32;
                 let rp = Point::read(gi);
                 let wp = Point::write(gi);
-                let mut pre: Vec<Ins> = Vec::new();
+                pre.clear();
                 // Convention sweep for register holes expiring at the read
                 // slot (call clobbers, precolored uses).
                 self.sweep(rp, &mut pre, &[]);
 
                 // Rewrite uses. `exclude` accumulates registers pinned by
                 // this instruction.
-                let mut exclude: Vec<usize> = Vec::new();
-                let mut use_map: Vec<(Temp, PhysReg)> = Vec::new();
-                let mut use_temps: Vec<Temp> = Vec::new();
+                exclude.clear();
+                use_map.clear();
+                use_temps.clear();
                 ins.inst.for_each_use(|r| {
                     if let Reg::Temp(t) = r {
                         if !use_temps.contains(&t) {
@@ -856,7 +908,7 @@ impl<'a> Scanner<'a> {
                         }
                     }
                 });
-                for t in use_temps {
+                for &t in use_temps.iter() {
                     let r = self.process_use(t, gi, &mut exclude, &mut pre);
                     use_map.push((t, r));
                 }
@@ -890,7 +942,7 @@ impl<'a> Scanner<'a> {
                     // sources are read before the write slot, so no register
                     // is excluded here; eviction stores land before the
                     // instruction while the value is still intact.
-                    let mut def_exclude = Vec::new();
+                    def_exclude.clear();
                     let r = match coalesced {
                         Some(r) => r,
                         None => self.process_def(t, gi, &mut def_exclude, &mut pre),
@@ -910,6 +962,23 @@ impl<'a> Scanner<'a> {
             self.f.block_mut(b).insts = new_insts;
             self.block_end(b);
         }
+        // Hand every working vector back to the arena for the next function.
+        self.scratch.pre = pre;
+        self.scratch.exclude = exclude;
+        self.scratch.use_map = use_map;
+        self.scratch.use_temps = use_temps;
+        self.scratch.def_exclude = def_exclude;
+        self.scratch.occupant = std::mem::take(&mut self.occupant);
+        self.scratch.loc = std::mem::take(&mut self.loc);
+        self.scratch.consistent = std::mem::take(&mut self.consistent);
+        self.scratch.wrote_local = std::mem::take(&mut self.wrote_local);
+        self.scratch.used_local = std::mem::take(&mut self.used_local);
+        self.scratch.seg_cur = std::mem::take(&mut self.seg_cur);
+        self.scratch.ref_cur = std::mem::take(&mut self.ref_cur);
+        self.scratch.blk_cur = std::mem::take(&mut self.blk_cur);
+        self.scratch.last_reg = std::mem::take(&mut self.last_reg);
+        self.scratch.pending_owner = std::mem::take(&mut self.pending_owner);
+        self.scratch.live_in = std::mem::take(&mut self.live_in);
         self.out
     }
 }

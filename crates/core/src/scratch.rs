@@ -1,0 +1,68 @@
+//! Reusable allocation scratch space.
+//!
+//! Allocating a function needs a dozen per-temp / per-register / per-block
+//! working vectors plus several small per-instruction buffers. Allocating a
+//! *module* used to pay those heap allocations again for every function;
+//! [`AllocScratch`] owns them instead, so `allocate_module` (and any caller
+//! that allocates many functions in sequence) clears and reuses the same
+//! capacity across functions.
+//!
+//! # Reuse invariants
+//!
+//! Everything in here is *dead state between functions*: each consumer
+//! (`scan`, `two_pass`, `resolve`) takes the buffers it needs at entry,
+//! `clear()`s and `resize()`s them to the current function's dimensions, and
+//! hands them back when it returns. No value computed for one function may
+//! influence the allocation of the next — the determinism test
+//! (`tests/determinism.rs`) checks that a reused scratch produces output
+//! byte-identical to a fresh one. When adding a buffer, reset it where it is
+//! taken, not where it is returned.
+
+use lsra_ir::{Ins, PhysReg, Temp};
+
+use crate::parallel_move::EdgeOp;
+use crate::scan::Loc;
+
+/// Reusable working memory for allocating one function at a time.
+///
+/// Create one per worker thread and pass it to
+/// [`BinpackAllocator::allocate_function_reusing`]
+/// (crate::BinpackAllocator::allocate_function_reusing) for every function
+/// the worker processes. `Default::default()` is an empty scratch; buffers
+/// grow to the largest function seen and stay allocated.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    // ---- scan: per-register / per-temp / per-block state ----
+    pub(crate) occupant: Vec<Option<Temp>>,
+    pub(crate) loc: Vec<Loc>,
+    pub(crate) consistent: Vec<bool>,
+    pub(crate) wrote_local: Vec<bool>,
+    pub(crate) used_local: Vec<bool>,
+    pub(crate) seg_cur: Vec<usize>,
+    pub(crate) ref_cur: Vec<usize>,
+    pub(crate) blk_cur: Vec<usize>,
+    pub(crate) last_reg: Vec<Option<usize>>,
+    pub(crate) pending_owner: Vec<Option<Temp>>,
+    // ---- scan: per-instruction buffers ----
+    pub(crate) pre: Vec<Ins>,
+    pub(crate) exclude: Vec<usize>,
+    pub(crate) use_map: Vec<(Temp, PhysReg)>,
+    pub(crate) use_temps: Vec<Temp>,
+    pub(crate) def_exclude: Vec<usize>,
+    // ---- scan: per-block buffer ----
+    pub(crate) live_in: Vec<Temp>,
+    // ---- resolve: per-edge buffer ----
+    pub(crate) edge_ops: Vec<EdgeOp>,
+    // ---- two-pass: per-instruction buffers ----
+    pub(crate) tp_src_temps: Vec<Temp>,
+    pub(crate) tp_scratch_of: Vec<(Temp, PhysReg)>,
+    pub(crate) tp_pre: Vec<Ins>,
+    pub(crate) tp_post: Vec<Ins>,
+    pub(crate) tp_free: [Vec<usize>; 2],
+}
+
+/// Clears a vector and resizes it to `n` copies of `v`, keeping capacity.
+pub(crate) fn reset<T: Clone>(buf: &mut Vec<T>, n: usize, v: T) {
+    buf.clear();
+    buf.resize(n, v);
+}

@@ -1,6 +1,88 @@
 //! Allocation statistics and the common allocator interface.
 
+use std::time::Instant;
+
 use lsra_ir::{Function, MachineSpec, Module, SpillTag};
+
+/// Allocator phases whose wall-clock time is tracked when
+/// [`BinpackConfig::time_phases`](crate::BinpackConfig) is on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Block ordering, dominators, and loop analysis (`LoopInfo`).
+    Order = 0,
+    /// Global liveness dataflow.
+    Liveness = 1,
+    /// Lifetime, hole, and reference-point construction.
+    Lifetimes = 2,
+    /// The linear scan itself (binpacking + second chances), or packing plus
+    /// rewrite for the two-pass comparator.
+    Scan = 3,
+    /// Resolution: cross-block move/load/store insertion.
+    Resolve = 4,
+    /// The `USED_C` consistency dataflow inside resolution (reported
+    /// separately from [`Phase::Resolve`]; the two are disjoint).
+    Consistency = 5,
+}
+
+/// Names matching [`AllocTimings::seconds`] indices, for reports.
+pub const PHASE_NAMES: [&str; 6] =
+    ["order", "liveness", "lifetimes", "scan", "resolve", "consistency"];
+
+/// Per-phase wall-clock seconds for one function, or summed across a module.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct AllocTimings {
+    /// Seconds per phase, indexed by [`Phase`] (see [`PHASE_NAMES`]).
+    pub seconds: [f64; 6],
+}
+
+impl AllocTimings {
+    /// Adds `dt` seconds to `phase`.
+    pub fn record(&mut self, phase: Phase, dt: f64) {
+        self.seconds[phase as usize] += dt;
+    }
+
+    /// Seconds spent in `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.seconds[phase as usize]
+    }
+
+    /// Total seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Accumulates another timing record into this one.
+    pub fn merge(&mut self, other: &AllocTimings) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b;
+        }
+    }
+}
+
+/// Interval timer that attributes elapsed time to phases; a disabled timer
+/// never reads the clock.
+pub(crate) struct PhaseTimer {
+    last: Option<Instant>,
+}
+
+impl PhaseTimer {
+    pub(crate) fn new(enabled: bool) -> Self {
+        PhaseTimer { last: enabled.then(Instant::now) }
+    }
+
+    /// Charges the time since the previous mark (or construction) to
+    /// `phase`.
+    pub(crate) fn mark(&mut self, stats: &mut AllocStats, phase: Phase) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            stats
+                .timings
+                .get_or_insert_with(AllocTimings::default)
+                .record(phase, now.duration_since(last).as_secs_f64());
+            self.last = Some(now);
+        }
+    }
+}
 
 /// Static counts of allocator activity for one function or module.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -29,6 +111,9 @@ pub struct AllocStats {
     pub interference_edges: u64,
     /// Wall-clock time spent in the allocator core, in seconds.
     pub alloc_seconds: f64,
+    /// Per-phase wall-clock breakdown; `Some` only when
+    /// [`BinpackConfig::time_phases`](crate::BinpackConfig) was set.
+    pub timings: Option<AllocTimings>,
 }
 
 fn tag_index(tag: SpillTag) -> usize {
@@ -73,6 +158,18 @@ impl AllocStats {
         self.iterations = self.iterations.max(other.iterations);
         self.interference_edges += other.interference_edges;
         self.alloc_seconds += other.alloc_seconds;
+        match (&mut self.timings, &other.timings) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.timings = Some(*b),
+            _ => {}
+        }
+    }
+
+    /// This record with every wall-clock measurement zeroed; everything left
+    /// is a deterministic function of the input program, so two allocations
+    /// of the same module must compare equal under it.
+    pub fn without_wall_clock(&self) -> AllocStats {
+        AllocStats { alloc_seconds: 0.0, timings: None, ..self.clone() }
     }
 }
 

@@ -13,11 +13,11 @@
 use std::collections::BTreeMap;
 
 use lsra_analysis::{Lifetimes, Liveness, LoopInfo, Point, Segment};
-use lsra_ir::{
-    Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp,
-};
+use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
 
-use crate::stats::AllocStats;
+use crate::config::BinpackConfig;
+use crate::scratch::AllocScratch;
+use crate::stats::{AllocStats, Phase, PhaseTimer};
 
 /// Free/occupied intervals of one register: `start -> (end, owner)`.
 /// Precolored blocks are owned by `None`.
@@ -211,10 +211,20 @@ impl<'a> TwoPass<'a> {
 }
 
 /// Runs traditional two-pass binpacking over `f`.
-pub(crate) fn allocate(f: &mut Function, spec: &MachineSpec, stats: &mut AllocStats) {
+pub(crate) fn allocate(
+    f: &mut Function,
+    spec: &MachineSpec,
+    cfg: BinpackConfig,
+    stats: &mut AllocStats,
+    scratch: &mut AllocScratch,
+) {
+    let mut timer = PhaseTimer::new(cfg.time_phases);
     let live = Liveness::compute(f);
+    timer.mark(stats, Phase::Liveness);
     let loops = LoopInfo::of(f);
+    timer.mark(stats, Phase::Order);
     let lt = Lifetimes::compute(f, &live, &loops, spec);
+    timer.mark(stats, Phase::Lifetimes);
     stats.candidates = f.num_temps();
 
     let ni = spec.num_regs(RegClass::Int) as usize;
@@ -242,6 +252,7 @@ pub(crate) fn allocate(f: &mut Function, spec: &MachineSpec, stats: &mut AllocSt
     let spilled = tp.spilled;
     let regs = tp.regs;
     stats.spilled_temps = spilled.iter().filter(|&&s| s).count();
+    timer.mark(stats, Phase::Scan);
 
     // Pass 2: rewrite. Spilled references go through scratch registers free
     // at the instruction's span.
@@ -253,6 +264,14 @@ pub(crate) fn allocate(f: &mut Function, spec: &MachineSpec, stats: &mut AllocSt
             PhysReg::float((d - ni_copy) as u8)
         }
     };
+    // Per-instruction buffers come from the scratch arena.
+    let mut free = std::mem::take(&mut scratch.tp_free);
+    let mut scratch_of = std::mem::take(&mut scratch.tp_scratch_of);
+    let mut pre = std::mem::take(&mut scratch.tp_pre);
+    let mut post = std::mem::take(&mut scratch.tp_post);
+    let mut src_temps = std::mem::take(&mut scratch.tp_src_temps);
+    pre.clear();
+    post.clear();
     for b in f.block_ids().collect::<Vec<_>>() {
         let first = lt.first_inst(b);
         let insts = std::mem::take(&mut f.block_mut(b).insts);
@@ -260,20 +279,17 @@ pub(crate) fn allocate(f: &mut Function, spec: &MachineSpec, stats: &mut AllocSt
         for (k, mut ins) in insts.into_iter().enumerate() {
             let gi = first + k as u32;
             let span = TwoPass::point_span(gi);
-            let mut free: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
             for class in RegClass::ALL {
                 let range = match class {
                     RegClass::Int => 0..ni_copy,
                     RegClass::Float => ni_copy..nregs,
                 };
-                free[class.index()] =
-                    range.filter(|&d| !regs[d].overlaps(span)).collect();
+                free[class.index()].clear();
+                free[class.index()].extend(range.filter(|&d| !regs[d].overlaps(span)));
             }
-            let mut scratch_of: Vec<(Temp, PhysReg)> = Vec::new();
-            let mut pre: Vec<Ins> = Vec::new();
-            let mut post: Vec<Ins> = Vec::new();
+            scratch_of.clear();
             // Loads for spilled sources.
-            let mut src_temps = Vec::new();
+            src_temps.clear();
             ins.inst.for_each_use(|r| {
                 if let Reg::Temp(t) = r {
                     if !src_temps.contains(&t) {
@@ -281,7 +297,7 @@ pub(crate) fn allocate(f: &mut Function, spec: &MachineSpec, stats: &mut AllocSt
                     }
                 }
             });
-            for t in src_temps {
+            for &t in src_temps.iter() {
                 if spilled[t.index()] {
                     let class = f.temp_class(t);
                     let d = free[class.index()].pop().unwrap_or_else(|| {
@@ -360,6 +376,12 @@ pub(crate) fn allocate(f: &mut Function, spec: &MachineSpec, stats: &mut AllocSt
         }
         f.block_mut(b).insts = out;
     }
+    scratch.tp_free = free;
+    scratch.tp_scratch_of = scratch_of;
+    scratch.tp_pre = pre;
+    scratch.tp_post = post;
+    scratch.tp_src_temps = src_temps;
+    timer.mark(stats, Phase::Resolve);
 }
 
 #[cfg(test)]
@@ -378,10 +400,7 @@ mod tests {
         assert!(r.overlaps(Segment::new(Point(20), Point(25))));
         assert!(!r.overlaps(Segment::new(Point(21), Point(29))));
         assert_eq!(r.overlapping_owner(Segment::new(Point(35), Point(35))), Some(None));
-        assert_eq!(
-            r.overlapping_owner(Segment::new(Point(12), Point(12))),
-            Some(Some(Temp(0)))
-        );
+        assert_eq!(r.overlapping_owner(Segment::new(Point(12), Point(12))), Some(Some(Temp(0))));
         r.remove_owner(Temp(0));
         assert!(!r.overlaps(Segment::new(Point(15), Point(18))));
         assert!(r.overlaps(Segment::new(Point(35), Point(35))), "precolored block remains");
@@ -405,7 +424,13 @@ mod tests {
         b.ret(Some(acc.into()));
         let mut f = b.finish();
         let mut stats = AllocStats::default();
-        allocate(&mut f, &spec, &mut stats);
+        allocate(
+            &mut f,
+            &spec,
+            BinpackConfig::two_pass(),
+            &mut stats,
+            &mut AllocScratch::default(),
+        );
         assert!(f.validate().is_ok());
         assert!(!f.has_virtual_operands());
         assert!(stats.spilled_temps > 0);
@@ -427,7 +452,13 @@ mod tests {
         b.ret(Some(out.into()));
         let mut f = b.finish();
         let mut stats = AllocStats::default();
-        allocate(&mut f, &spec, &mut stats);
+        allocate(
+            &mut f,
+            &spec,
+            BinpackConfig::two_pass(),
+            &mut stats,
+            &mut AllocScratch::default(),
+        );
         f.allocated = true;
         // keep either got the lone callee-saved register or was spilled;
         // it must never sit in a caller-saved register across the call.
@@ -473,18 +504,13 @@ mod tests {
         };
         let mut m = module.clone();
         let mut stats = AllocStats::default();
+        let mut scratch = AllocScratch::default();
         for id in m.func_ids().collect::<Vec<_>>() {
-            allocate(m.func_mut(id), &spec, &mut stats);
+            allocate(m.func_mut(id), &spec, BinpackConfig::two_pass(), &mut stats, &mut scratch);
             m.func_mut(id).allocated = true;
         }
-        let r = lsra_vm::verify_allocation(
-            &module,
-            &m,
-            &spec,
-            &[],
-            lsra_vm::VmOptions::default(),
-        )
-        .expect("verified");
+        let r = lsra_vm::verify_allocation(&module, &m, &spec, &[], lsra_vm::VmOptions::default())
+            .expect("verified");
         // Dynamic spill count scales with iterations (10 iterations, at
         // least one spilled temp referenced each time).
         assert!(r.counts.spill_total() >= 10, "got {}", r.counts.spill_total());

@@ -174,7 +174,13 @@ impl<'a> FunctionBuilder<'a> {
     }
 
     /// Conditional branch comparing `src` against zero.
-    pub fn branch(&mut self, cond: Cond, src: impl Into<Reg>, then_tgt: BlockId, else_tgt: BlockId) {
+    pub fn branch(
+        &mut self,
+        cond: Cond,
+        src: impl Into<Reg>,
+        then_tgt: BlockId,
+        else_tgt: BlockId,
+    ) {
         self.emit(Inst::Branch { cond, src: src.into(), then_tgt, else_tgt });
     }
 
@@ -201,7 +207,12 @@ impl<'a> FunctionBuilder<'a> {
     /// # Panics
     ///
     /// Panics if a class runs out of argument registers.
-    pub fn call(&mut self, callee: Callee, args: &[Reg], ret_class: Option<RegClass>) -> Option<Temp> {
+    pub fn call(
+        &mut self,
+        callee: Callee,
+        args: &[Reg],
+        ret_class: Option<RegClass>,
+    ) -> Option<Temp> {
         let mut counts = [0usize; 2];
         let mut arg_regs = Vec::new();
         let moves: Vec<(Reg, Reg)> = args
@@ -210,10 +221,9 @@ impl<'a> FunctionBuilder<'a> {
                 let class = self.func.reg_class(a);
                 let argno = counts[class.index()];
                 counts[class.index()] += 1;
-                let phys = self
-                    .spec
-                    .arg_reg(class, argno)
-                    .unwrap_or_else(|| panic!("too many {class} arguments for {}", self.spec.name()));
+                let phys = self.spec.arg_reg(class, argno).unwrap_or_else(|| {
+                    panic!("too many {class} arguments for {}", self.spec.name())
+                });
                 arg_regs.push(phys);
                 (Reg::Phys(phys), a)
             })
@@ -234,12 +244,22 @@ impl<'a> FunctionBuilder<'a> {
     }
 
     /// Calls an intra-module function.
-    pub fn call_func(&mut self, f: FuncId, args: &[Reg], ret_class: Option<RegClass>) -> Option<Temp> {
+    pub fn call_func(
+        &mut self,
+        f: FuncId,
+        args: &[Reg],
+        ret_class: Option<RegClass>,
+    ) -> Option<Temp> {
         self.call(Callee::Func(f), args, ret_class)
     }
 
     /// Calls an external routine.
-    pub fn call_ext(&mut self, f: ExtFn, args: &[Reg], ret_class: Option<RegClass>) -> Option<Temp> {
+    pub fn call_ext(
+        &mut self,
+        f: ExtFn,
+        args: &[Reg],
+        ret_class: Option<RegClass>,
+    ) -> Option<Temp> {
         self.call(Callee::Ext(f), args, ret_class)
     }
 

@@ -216,7 +216,11 @@ impl Function {
                 match inst {
                     Inst::Op { op, dst, srcs } => {
                         if srcs.len() != op.arity() {
-                            return err(b, i, format!("{} expects {} sources", op.mnemonic(), op.arity()));
+                            return err(
+                                b,
+                                i,
+                                format!("{} expects {} sources", op.mnemonic(), op.arity()),
+                            );
                         }
                         let (sc, dc) = op.sig();
                         for &s in srcs {
@@ -383,8 +387,13 @@ mod tests {
         let t = f.new_temp(RegClass::Int, None);
         let b1 = f.add_block();
         f.block_mut(b1).insts.push(
-            Inst::Branch { cond: Cond::Ne, src: Reg::Temp(t), then_tgt: BlockId(9), else_tgt: BlockId(0) }
-                .into(),
+            Inst::Branch {
+                cond: Cond::Ne,
+                src: Reg::Temp(t),
+                then_tgt: BlockId(9),
+                else_tgt: BlockId(0),
+            }
+            .into(),
         );
         assert!(f.validate().is_err());
     }
@@ -393,9 +402,7 @@ mod tests {
     fn validate_rejects_virtuals_after_allocation() {
         let mut f = skeleton();
         let t = f.new_temp(RegClass::Int, None);
-        f.block_mut(BlockId(0))
-            .insts
-            .insert(0, Inst::MovI { dst: Reg::Temp(t), imm: 1 }.into());
+        f.block_mut(BlockId(0)).insts.insert(0, Inst::MovI { dst: Reg::Temp(t), imm: 1 }.into());
         assert!(f.validate().is_ok());
         f.allocated = true;
         assert!(f.validate().is_err());

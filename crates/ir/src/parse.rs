@@ -163,13 +163,11 @@ impl FuncParser {
         let rest = header
             .strip_prefix("func @")
             .ok_or_else(|| ParseError { line: lineno, msg: "expected `func @...`".into() })?;
-        let open = rest
-            .find('(')
-            .ok_or_else(|| ParseError { line: lineno, msg: "missing `(`".into() })?;
+        let open =
+            rest.find('(').ok_or_else(|| ParseError { line: lineno, msg: "missing `(`".into() })?;
         let name = &rest[..open];
-        let close = rest
-            .find(')')
-            .ok_or_else(|| ParseError { line: lineno, msg: "missing `)`".into() })?;
+        let close =
+            rest.find(')').ok_or_else(|| ParseError { line: lineno, msg: "missing `)`".into() })?;
         let params_str = &rest[open + 1..close];
         let mut func = Function::new(name);
         let mut params = Vec::new();
@@ -204,8 +202,9 @@ impl FuncParser {
 
     fn note_slot(&mut self, t: Temp, slot_str: Option<&str>, lineno: usize) -> Result<()> {
         if let Some(s) = slot_str {
-            let id: u32 =
-                s.parse().map_err(|_| ParseError { line: lineno, msg: format!("bad slot `{s}`") })?;
+            let id: u32 = s
+                .parse()
+                .map_err(|_| ParseError { line: lineno, msg: format!("bad slot `{s}`") })?;
             if t.index() >= self.func.spill_slots.len() {
                 return err(lineno, format!("slot for unknown temp {t}"));
             }
@@ -227,8 +226,7 @@ impl FuncParser {
     }
 
     fn parse_inst(&mut self, body: &str, lineno: usize) -> Result<Inst> {
-        let tokens: Vec<&str> =
-            body.split([' ', ',']).filter(|t| !t.is_empty()).collect();
+        let tokens: Vec<&str> = body.split([' ', ',']).filter(|t| !t.is_empty()).collect();
         if tokens.is_empty() {
             return err(lineno, "empty instruction");
         }
@@ -334,7 +332,10 @@ impl FuncParser {
                     srcs.push(parse_reg(tok, lineno)?);
                 }
                 if srcs.len() != op.arity() {
-                    return err(lineno, format!("{} expects {} operands", op.mnemonic(), op.arity()));
+                    return err(
+                        lineno,
+                        format!("{} expects {} operands", op.mnemonic(), op.arity()),
+                    );
                 }
                 Ok(Inst::Op { op, dst, srcs })
             }
@@ -565,10 +566,7 @@ mod tests {
     fn negative_offsets_parse() {
         let text = "func @n() {\n  temps t0:i t1:i\nb0:\n  t0 = 4\n  t1 = ld [t0+-2]\n  ret\n}\n";
         let f = parse_function(text).unwrap();
-        assert!(matches!(
-            f.block(BlockId(0)).insts[1].inst,
-            Inst::Load { offset: -2, .. }
-        ));
+        assert!(matches!(f.block(BlockId(0)).insts[1].inst, Inst::Load { offset: -2, .. }));
     }
 
     #[test]

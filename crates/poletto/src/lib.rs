@@ -156,13 +156,10 @@ impl<'a> State<'a> {
                 let a_iv = self.interval(a).expect("active interval exists");
                 // After removing `a`, the register must be free over `iv`
                 // (precolored blocks may still conflict).
-                let conflicts = self
-                    .regs[d]
+                let conflicts = self.regs[d]
                     .map
                     .iter()
-                    .any(|(s, (e, o))| {
-                        *o != Some(a) && *s <= iv.end.0 && *e >= iv.start.0
-                    });
+                    .any(|(s, (e, o))| *o != Some(a) && *s <= iv.end.0 && *e >= iv.start.0);
                 if conflicts {
                     continue;
                 }
@@ -512,7 +509,7 @@ mod tests {
         // One long value and a stream of short pairs.
         let long = b.int_temp("long");
         b.movi(long, 50);
-        let mut acc = b.int_temp("acc0");
+        let acc = b.int_temp("acc0");
         b.movi(acc, 0);
         for i in 0..5 {
             let s = b.int_temp(&format!("s{i}"));

@@ -235,7 +235,12 @@ impl std::fmt::Debug for Vm<'_> {
 impl<'m> Vm<'m> {
     /// Creates a VM for `module` on machine `spec`, feeding `input` to
     /// `getchar`.
-    pub fn new(module: &'m Module, spec: &'m MachineSpec, input: &[u8], options: VmOptions) -> Self {
+    pub fn new(
+        module: &'m Module,
+        spec: &'m MachineSpec,
+        input: &[u8],
+        options: VmOptions,
+    ) -> Self {
         let mut memory = module.data.clone();
         memory.resize(module.memory_words, 0);
         Vm {
@@ -498,8 +503,9 @@ impl<'m> Vm<'m> {
                                     RegClass::Int => {
                                         iargs.push((a.index, frame.read_int(func, Reg::Phys(a))?))
                                     }
-                                    RegClass::Float => fargs
-                                        .push((a.index, frame.read_float(func, Reg::Phys(a))?)),
+                                    RegClass::Float => {
+                                        fargs.push((a.index, frame.read_float(func, Reg::Phys(a))?))
+                                    }
                                 }
                             }
                             self.push_frame(*id)?;
@@ -548,13 +554,11 @@ impl<'m> Vm<'m> {
                         match p.class {
                             RegClass::Int => {
                                 caller.iregs[p.index as usize] = callee.iregs[p.index as usize];
-                                caller.ivalid[p.index as usize] =
-                                    callee.ivalid[p.index as usize];
+                                caller.ivalid[p.index as usize] = callee.ivalid[p.index as usize];
                             }
                             RegClass::Float => {
                                 caller.fregs[p.index as usize] = callee.fregs[p.index as usize];
-                                caller.fvalid[p.index as usize] =
-                                    callee.fvalid[p.index as usize];
+                                caller.fvalid[p.index as usize] = callee.fvalid[p.index as usize];
                             }
                         }
                     }

@@ -343,17 +343,11 @@ mod tests {
         let r6: Reg = PhysReg::int(9).into();
         f.block_mut(b0).insts.extend([
             Ins::new(Inst::MovI { dst: r6, imm: 0 }),
-            Ins::new(Inst::Branch {
-                cond: lsra_ir::Cond::Ne,
-                src: r6,
-                then_tgt: l,
-                else_tgt: r,
-            }),
+            Ins::new(Inst::Branch { cond: lsra_ir::Cond::Ne, src: r6, then_tgt: l, else_tgt: r }),
         ]);
-        f.block_mut(l).insts.extend([
-            Ins::new(Inst::MovI { dst: r5, imm: 1 }),
-            Ins::new(Inst::Jump { target: j }),
-        ]);
+        f.block_mut(l)
+            .insts
+            .extend([Ins::new(Inst::MovI { dst: r5, imm: 1 }), Ins::new(Inst::Jump { target: j })]);
         f.block_mut(r).insts.push(Ins::new(Inst::Jump { target: j }));
         f.block_mut(j).insts.extend([
             Ins::new(Inst::Mov { dst: r6, src: r5 }),

@@ -71,11 +71,8 @@ impl RandomProgram {
         for h in 0..self.config.helpers.min(3) {
             let params = 1 + rng.below(max_params as u64) as usize;
             let params = params.min(max_params);
-            let mut f = FunctionBuilder::new(
-                spec,
-                format!("helper{h}"),
-                &vec![RegClass::Int; params],
-            );
+            let mut f =
+                FunctionBuilder::new(spec, format!("helper{h}"), &vec![RegClass::Int; params]);
             let mut cfg = self.config.clone();
             cfg.blocks = 2 + rng.below(3) as usize;
             cfg.insts_per_block = 4 + rng.below(6) as usize;
@@ -204,7 +201,12 @@ impl RandomProgram {
                         let d1 = f.int_temp("d1");
                         f.op2(OpCode::Or, d1, d0, one);
                         let dst = ints[rng.below(ints.len() as u64) as usize];
-                        f.op2(if rng.below(2) == 0 { OpCode::Div } else { OpCode::Rem }, dst, a, d1);
+                        f.op2(
+                            if rng.below(2) == 0 { OpCode::Div } else { OpCode::Rem },
+                            dst,
+                            a,
+                            d1,
+                        );
                     }
                     63..=72 => {
                         // memory: bounded address

@@ -165,10 +165,7 @@ mod tests {
         for f in &m.funcs {
             if f.name.starts_with("proc") {
                 let n = f.num_temps();
-                assert!(
-                    (235..=260).contains(&n),
-                    "expected ~245 candidates, got {n}"
-                );
+                assert!((235..=260).contains(&n), "expected ~245 candidates, got {n}");
             }
         }
     }

@@ -69,12 +69,12 @@ fn build() -> Module {
     b.switch_to(e_body);
 
     let layer = |b: &mut FunctionBuilder,
-                     wbase: lsra_ir::Temp,
-                     inbase: lsra_ir::Temp,
-                     outbase: lsra_ir::Temp,
-                     nin: i64,
-                     nout: i64,
-                     next_block: lsra_ir::BlockId| {
+                 wbase: lsra_ir::Temp,
+                 inbase: lsra_ir::Temp,
+                 outbase: lsra_ir::Temp,
+                 nin: i64,
+                 nout: i64,
+                 next_block: lsra_ir::BlockId| {
         let o = b.int_temp("o");
         b.movi(o, 0);
         let o_head = b.block();

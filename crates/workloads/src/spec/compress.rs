@@ -24,8 +24,7 @@ pub(crate) fn workload() -> Workload {
 fn build() -> Module {
     let spec = MachineSpec::alpha_like();
     let mut rng = Lcg::new(0x5eed_0006);
-    let mut mb =
-        ModuleBuilder::new("compress", (BUF + 2 * TABLE) as usize + 16);
+    let mut mb = ModuleBuilder::new("compress", (BUF + 2 * TABLE) as usize + 16);
     // Compressible input: runs and repeated motifs.
     let mut data = Vec::with_capacity(BUF as usize);
     let motif: Vec<i64> = (0..32).map(|_| rng.below(16) as i64).collect();

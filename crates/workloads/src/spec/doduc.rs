@@ -18,7 +18,8 @@ pub(crate) fn workload() -> Workload {
         name: "doduc",
         build,
         input: Vec::new,
-        description: "Monte-Carlo loop: interpolation helper call with ~14 fp statistics live across it",
+        description:
+            "Monte-Carlo loop: interpolation helper call with ~14 fp statistics live across it",
         spills_in_paper: true,
     }
 }

@@ -6,9 +6,7 @@
 //! hot function lexicographically compares two product-term vectors, and
 //! the driver insertion-sorts a table of terms by repeated `cmppt` calls.
 
-use lsra_ir::{
-    Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, RegClass,
-};
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, RegClass};
 
 use crate::{Lcg, Workload};
 
@@ -20,7 +18,8 @@ pub(crate) fn workload() -> Workload {
         name: "eqntott",
         build,
         input: Vec::new,
-        description: "insertion sort of product terms dominated by cmppt(), a tiny hot comparison function",
+        description:
+            "insertion sort of product terms dominated by cmppt(), a tiny hot comparison function",
         spills_in_paper: true, // Table 2 reports 0.001% / 0.000%
     }
 }

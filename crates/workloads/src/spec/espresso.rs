@@ -18,7 +18,8 @@ pub(crate) fn workload() -> Workload {
         name: "espresso",
         build,
         input: Vec::new,
-        description: "cube-pair set operations behind helper calls with ~12 statistics live across them",
+        description:
+            "cube-pair set operations behind helper calls with ~12 statistics live across them",
         spills_in_paper: true,
     }
 }
@@ -31,8 +32,7 @@ fn build() -> Module {
     let cubes = mb.reserve((NCUBES * CW) as usize, &init);
 
     // cube_and_weight(pa, pb): sum over words of a nibble-popcount of a&b.
-    let mut cb =
-        FunctionBuilder::new(&spec, "cube_and_weight", &[RegClass::Int, RegClass::Int]);
+    let mut cb = FunctionBuilder::new(&spec, "cube_and_weight", &[RegClass::Int, RegClass::Int]);
     let pa = cb.param(0);
     let pb = cb.param(1);
     let i = cb.int_temp("i");
@@ -170,7 +170,7 @@ fn build() -> Module {
     b.movi(one, 1);
     let isz = b.int_temp("isz");
     b.op2(OpCode::CmpEq, isz, wv, s_zero); // compare against 0-ish value
-    // fix: compare against literal zero
+                                           // fix: compare against literal zero
     let z = b.int_temp("z");
     b.movi(z, 0);
     b.op2(OpCode::CmpEq, isz, wv, z);

@@ -9,9 +9,7 @@
 //! in reverse much later, so far more values are live at once than the 28
 //! floating-point registers can hold.
 
-use lsra_ir::{
-    Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode, RegClass, Temp,
-};
+use lsra_ir::{Cond, FunctionBuilder, MachineSpec, Module, ModuleBuilder, OpCode, RegClass, Temp};
 
 use crate::{Lcg, Workload};
 
@@ -33,8 +31,7 @@ fn build() -> Module {
     let spec = MachineSpec::alpha_like();
     let mut rng = Lcg::new(0x5eed_0003);
     let mut mb = ModuleBuilder::new("fpppp", INPUTS + 8);
-    let init: Vec<i64> =
-        (0..INPUTS).map(|_| (0.5 + rng.unit_f64()).to_bits() as i64).collect();
+    let init: Vec<i64> = (0..INPUTS).map(|_| (0.5 + rng.unit_f64()).to_bits() as i64).collect();
     let in_base = mb.reserve(INPUTS, &init);
 
     // integral_block(base) -> f64 folded to int at the end by main.

@@ -16,7 +16,8 @@ pub(crate) fn workload() -> Workload {
         name: "sort",
         build,
         input: Vec::new,
-        description: "recursive quicksort: values live across recursive calls, data-dependent branches",
+        description:
+            "recursive quicksort: values live across recursive calls, data-dependent branches",
         spills_in_paper: true,
     }
 }

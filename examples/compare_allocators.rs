@@ -27,7 +27,13 @@ fn main() {
 
     println!(
         "{:<10} {:<26} {:>12} {:>9} {:>8}  {:>24} {:>24}",
-        "benchmark", "allocator", "dyn insts", "spill", "spill%", "evict (ld/st/mv)", "resolve (ld/st/mv)"
+        "benchmark",
+        "allocator",
+        "dyn insts",
+        "spill",
+        "spill%",
+        "evict (ld/st/mv)",
+        "resolve (ld/st/mv)"
     );
     for w in &workloads {
         let original = (w.build)();
@@ -46,7 +52,12 @@ fn main() {
                 r.counts.total,
                 r.counts.spill_total(),
                 100.0 * r.counts.spill_fraction(),
-                el, es, em, rl, rs, rm,
+                el,
+                es,
+                em,
+                rl,
+                rs,
+                rm,
             );
         }
         println!();

@@ -4,12 +4,16 @@
 //! lsra print <file.lsra>                      parse, validate, pretty-print
 //! lsra run <file.lsra> [--input FILE] [--machine SPEC]
 //! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--run]
+//!                        [--time-phases] [--workers N]
 //! lsra workloads                              list the built-in benchmarks
-//! lsra bench <workload> [--allocator NAME]    allocate+verify+count a benchmark
+//! lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]
 //! ```
 //!
 //! `SPEC` is `alpha` (default) or `small:I,F` (e.g. `small:4,2`).
 //! `NAME` is `binpack` (default), `two-pass`, `coloring`, or `poletto`.
+//! `--time-phases` prints a per-phase wall-clock breakdown and `--workers N`
+//! sets the module-level thread count (0 = all cores, 1 = serial); both
+//! apply to the binpack and two-pass allocators.
 
 use std::process::ExitCode;
 
@@ -20,8 +24,9 @@ use second_chance_regalloc::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lsra print <file.lsra>\n  lsra run <file.lsra> [--input FILE] [--machine SPEC]\n  \
-         lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--run]\n  \
-         lsra workloads\n  lsra bench <workload> [--allocator NAME]\n\n\
+         lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--run]\n           \
+         [--time-phases] [--workers N]\n  \
+         lsra workloads\n  lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]\n\n\
          SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto"
     );
     ExitCode::from(2)
@@ -40,14 +45,29 @@ fn parse_machine(s: &str) -> Result<MachineSpec, String> {
     Err(format!("unknown machine `{s}`"))
 }
 
-fn make_allocator(name: &str) -> Result<Box<dyn RegisterAllocator>, String> {
-    Ok(match name {
-        "binpack" => Box::new(BinpackAllocator::default()),
-        "two-pass" => Box::new(BinpackAllocator::two_pass()),
+fn make_allocator(o: &Opts) -> Result<Box<dyn RegisterAllocator>, String> {
+    let binpack = |base: BinpackConfig| BinpackConfig {
+        time_phases: o.time_phases,
+        workers: o.workers,
+        ..base
+    };
+    Ok(match o.allocator.as_str() {
+        "binpack" => Box::new(BinpackAllocator::new(binpack(BinpackConfig::default()))),
+        "two-pass" => Box::new(BinpackAllocator::new(binpack(BinpackConfig::two_pass()))),
         "coloring" => Box::new(ColoringAllocator),
         "poletto" => Box::new(PolettoAllocator),
-        _ => return Err(format!("unknown allocator `{name}`")),
+        name => return Err(format!("unknown allocator `{name}`")),
     })
+}
+
+/// Prints the per-phase breakdown when `--time-phases` collected one.
+fn report_timings(stats: &second_chance_regalloc::binpack::AllocStats) {
+    let Some(t) = &stats.timings else { return };
+    eprintln!("; phase breakdown:");
+    for (name, secs) in second_chance_regalloc::binpack::PHASE_NAMES.iter().zip(t.seconds) {
+        eprintln!(";   {name:<12} {:>9.3} ms", secs * 1e3);
+    }
+    eprintln!(";   {:<12} {:>9.3} ms", "total", t.total() * 1e3);
 }
 
 struct Opts {
@@ -57,6 +77,8 @@ struct Opts {
     input: Vec<u8>,
     cleanup: bool,
     run: bool,
+    time_phases: bool,
+    workers: usize,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -67,6 +89,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         input: Vec::new(),
         cleanup: false,
         run: false,
+        time_phases: false,
+        workers: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -84,6 +108,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--cleanup" => o.cleanup = true,
             "--run" => o.run = true,
+            "--time-phases" => o.time_phases = true,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                o.workers = v.parse().map_err(|_| "bad worker count")?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -120,7 +149,7 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
 
 fn cmd_alloc(o: &Opts) -> Result<(), String> {
     let original = load_module(o.positional.first().ok_or("missing file")?)?;
-    let alloc = make_allocator(&o.allocator)?;
+    let alloc = make_allocator(o)?;
     let mut m = original.clone();
     let stats = allocate_and_cleanup(&mut m, alloc.as_ref(), &o.machine);
     if o.cleanup {
@@ -139,6 +168,7 @@ fn cmd_alloc(o: &Opts) -> Result<(), String> {
         stats.moves_coalesced,
         stats.alloc_seconds * 1e3,
     );
+    report_timings(&stats);
     if o.run {
         let r = verify_allocation(&original, &m, &o.machine, &o.input, VmOptions::default())
             .map_err(|e| e.to_string())?;
@@ -157,7 +187,7 @@ fn cmd_workloads() -> Result<(), String> {
 fn cmd_bench(o: &Opts) -> Result<(), String> {
     let name = o.positional.first().ok_or("missing workload name")?;
     let w = lsra_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
-    let alloc = make_allocator(&o.allocator)?;
+    let alloc = make_allocator(o)?;
     let original = (w.build)();
     let input = (w.input)();
     let mut m = original.clone();
@@ -168,6 +198,7 @@ fn cmd_bench(o: &Opts) -> Result<(), String> {
     println!("allocator:  {}", alloc.name());
     println!("candidates: {}", stats.candidates);
     println!("alloc time: {:.3} ms", stats.alloc_seconds * 1e3);
+    report_timings(&stats);
     println!("dyn insts:  {}", r.counts.total);
     println!(
         "spill:      {} ({:.3}%), evict(l/s/m)={:?}, resolve(l/s/m)={:?}",

@@ -89,21 +89,14 @@ fn second_chance_roughly_matches_two_pass_on_eqntott() {
     let (full, _) = verify_workload("eqntott", &BinpackAllocator::default());
     let (two_pass, _) = verify_workload("eqntott", &BinpackAllocator::two_pass());
     let ratio = two_pass.counts.total as f64 / full.counts.total as f64;
-    assert!(
-        (0.98..1.05).contains(&ratio),
-        "expected near-identical counts, got ratio {ratio:.4}"
-    );
+    assert!((0.98..1.05).contains(&ratio), "expected near-identical counts, got ratio {ratio:.4}");
 }
 
 #[test]
 fn fpppp_spills_under_every_allocator() {
     for alloc in allocators() {
         let (result, stats) = verify_workload("fpppp", alloc.as_ref());
-        assert!(
-            stats.inserted_total() > 0,
-            "{} did not spill on fpppp",
-            alloc.name()
-        );
+        assert!(stats.inserted_total() > 0, "{} did not spill on fpppp", alloc.name());
         assert!(
             result.counts.spill_fraction() > 0.01,
             "{}: fpppp spill fraction suspiciously low: {}",

@@ -1,19 +1,25 @@
 //! Property tests over the analysis layer: lifetime/hole invariants and
 //! parallel-move sequencing on random inputs.
+//!
+//! Cases are driven by the repo's own seeded [`Lcg`] generator (no external
+//! property-testing dependency); failures report the seed that reproduces
+//! them.
 
-use proptest::prelude::*;
 use second_chance_regalloc::analysis::{Lifetimes, Liveness, Point};
 use second_chance_regalloc::binpack::{sequentialize, EdgeOp};
 use second_chance_regalloc::prelude::*;
 use second_chance_regalloc::workloads::random::{RandomConfig, RandomProgram};
+use second_chance_regalloc::workloads::Lcg;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+const CASES: u64 = 64;
 
-    /// Lifetime segments are sorted, disjoint, and cover every reference;
-    /// refs are sorted; lifetime = hull of segments.
-    #[test]
-    fn lifetime_invariants(seed in 0u64..1_000_000) {
+/// Lifetime segments are sorted, disjoint, and cover every reference;
+/// refs are sorted; lifetime = hull of segments.
+#[test]
+fn lifetime_invariants() {
+    let mut rng = Lcg::new(0x11FE);
+    for _ in 0..CASES {
+        let seed = rng.below(1_000_000);
         let spec = MachineSpec::alpha_like();
         let module = RandomProgram::new(seed, RandomConfig::default()).build(&spec);
         for f in &module.funcs {
@@ -22,38 +28,50 @@ proptest! {
                 let t = Temp(t);
                 let segs = lt.segments(t);
                 for w in segs.windows(2) {
-                    prop_assert!(w[0].end < w[1].start,
-                        "{t}: segments overlap or touch: {:?}", segs);
+                    assert!(
+                        w[0].end < w[1].start,
+                        "seed {seed}: {t}: segments overlap or touch: {segs:?}"
+                    );
                 }
                 for s in segs {
-                    prop_assert!(s.start <= s.end);
+                    assert!(s.start <= s.end, "seed {seed}: {t}: inverted segment");
                 }
                 let refs = lt.refs(t);
                 for w in refs.windows(2) {
-                    prop_assert!(w[0].point <= w[1].point);
+                    assert!(w[0].point <= w[1].point, "seed {seed}: {t}: refs unsorted");
                 }
                 // Every reference lies inside the lifetime hull.
                 if let Some(hull) = lt.lifetime(t) {
                     for r in refs {
-                        prop_assert!(hull.start <= r.point && r.point <= hull.end,
-                            "{t}: ref {:?} outside hull {:?}", r.point, hull);
+                        assert!(
+                            hull.start <= r.point && r.point <= hull.end,
+                            "seed {seed}: {t}: ref {:?} outside hull {hull:?}",
+                            r.point
+                        );
                     }
                     // Every use (not def) lies inside some segment.
                     for r in refs.iter().filter(|r| !r.is_def) {
-                        prop_assert!(segs.iter().any(|s| s.contains(r.point)),
-                            "{t}: use at {:?} not covered by segments {:?}", r.point, segs);
+                        assert!(
+                            segs.iter().any(|s| s.contains(r.point)),
+                            "seed {seed}: {t}: use at {:?} not covered by segments {segs:?}",
+                            r.point
+                        );
                     }
                 } else {
-                    prop_assert!(refs.is_empty());
+                    assert!(refs.is_empty(), "seed {seed}: {t}: refs without lifetime");
                 }
             }
         }
     }
+}
 
-    /// Live-in at a block implies a live segment covering the block's top
-    /// boundary.
-    #[test]
-    fn liveness_agrees_with_segments(seed in 0u64..1_000_000) {
+/// Live-in at a block implies a live segment covering the block's top
+/// boundary.
+#[test]
+fn liveness_agrees_with_segments() {
+    let mut rng = Lcg::new(0x11F3);
+    for _ in 0..CASES {
+        let seed = rng.below(1_000_000);
         let spec = MachineSpec::alpha_like();
         let module = RandomProgram::new(seed, RandomConfig::default()).build(&spec);
         for f in &module.funcs {
@@ -62,38 +80,39 @@ proptest! {
             for b in f.block_ids() {
                 let top = lt.top(b);
                 for t in live.live_in_temps(b) {
-                    prop_assert!(lt.live_at(t, top),
-                        "{t} live-in at {b} but no segment covers {top}");
+                    assert!(
+                        lt.live_at(t, top),
+                        "seed {seed}: {t} live-in at {b} but no segment covers {top}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Parallel-move sequencing computes the parallel semantics for random
-    /// permutations mixed with loads and stores.
-    #[test]
-    fn parallel_moves_match_parallel_semantics(
-        perm in proptest::sample::subsequence((0u8..10).collect::<Vec<_>>(), 0..10)
-            .prop_flat_map(|regs| {
-                let n = regs.len();
-                (Just(regs), proptest::sample::select(
-                    // a few shuffles derived from a seed
-                    (0..24u64).collect::<Vec<_>>()
-                )).prop_map(move |(regs, seed)| {
-                    let mut order = regs.clone();
-                    // simple deterministic shuffle
-                    let mut s = seed.wrapping_add(n as u64);
-                    for i in (1..order.len()).rev() {
-                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                        order.swap(i, (s % (i as u64 + 1)) as usize);
-                    }
-                    (regs, order)
-                })
-            }),
-        loads in 0usize..3,
-        stores in 0usize..3,
-    ) {
-        let (srcs, dsts) = perm;
+/// Parallel-move sequencing computes the parallel semantics for random
+/// permutations mixed with loads and stores.
+#[test]
+fn parallel_moves_match_parallel_semantics() {
+    let mut rng = Lcg::new(0xC0B1);
+    for case in 0..CASES {
+        // A random subset of registers 0..10 as move sources, shuffled to
+        // form the destinations (so moves form permutations with cycles,
+        // chains, and fixed points), plus a few loads and stores.
+        let mut srcs: Vec<u8> = (0u8..10).filter(|_| rng.below(2) == 0).collect();
+        // Deterministic shuffle of a copy for the destinations.
+        let mut dsts = srcs.clone();
+        for i in (1..dsts.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            dsts.swap(i, j);
+        }
+        // Occasionally rotate sources too so src != dst sets differ.
+        if rng.below(3) == 0 && !srcs.is_empty() {
+            srcs.rotate_left(1);
+        }
+        let loads = rng.below(3) as usize;
+        let stores = rng.below(3) as usize;
+
         let mut ops: Vec<EdgeOp> = srcs
             .iter()
             .zip(&dsts)
@@ -116,7 +135,8 @@ proptest! {
 
         // Simulate.
         use std::collections::HashMap;
-        let mut regs: HashMap<PhysReg, i64> = (0..16).map(|k| (PhysReg::int(k), 1000 + k as i64)).collect();
+        let mut regs: HashMap<PhysReg, i64> =
+            (0..16).map(|k| (PhysReg::int(k), 1000 + k as i64)).collect();
         let mut mem: HashMap<Temp, i64> = (0..400).map(|i| (Temp(i), 2000 + i as i64)).collect();
         let mut expect_reg: Vec<(PhysReg, i64)> = Vec::new();
         let mut expect_mem: Vec<(Temp, i64)> = Vec::new();
@@ -140,14 +160,14 @@ proptest! {
                 Inst::SpillLoad { dst, temp } => {
                     regs.insert(dst.as_phys().unwrap(), mem[temp]);
                 }
-                other => prop_assert!(false, "unexpected {other:?}"),
+                other => panic!("case {case}: unexpected {other:?}"),
             }
         }
         for (r, v) in expect_reg {
-            prop_assert_eq!(regs[&r], v, "register {} wrong", r);
+            assert_eq!(regs[&r], v, "case {case}: register {r} wrong");
         }
         for (t, v) in expect_mem {
-            prop_assert_eq!(mem[&t], v, "memory {} wrong", t);
+            assert_eq!(mem[&t], v, "case {case}: memory {t} wrong");
         }
     }
 }

@@ -1,0 +1,127 @@
+//! Parallel allocation must be invisible: `allocate_module` with any worker
+//! count, and any amount of scratch-arena reuse, must produce the same
+//! instruction stream and the same merged statistics (modulo wall clock) as
+//! the serial, fresh-scratch path.
+
+use second_chance_regalloc::binpack::AllocScratch;
+use second_chance_regalloc::prelude::*;
+use second_chance_regalloc::workloads::random::{RandomConfig, RandomProgram};
+use second_chance_regalloc::workloads::Lcg;
+
+/// Renders every function of the module to its display form (the byte-level
+/// notion of "identical output" used throughout this suite).
+fn render(m: &lsra_ir::Module) -> String {
+    format!("{m}")
+}
+
+fn configs() -> Vec<BinpackConfig> {
+    vec![BinpackConfig::default(), BinpackConfig::two_pass()]
+}
+
+fn assert_worker_counts_agree(module: &lsra_ir::Module, spec: &MachineSpec, what: &str) {
+    for base in configs() {
+        let mut serial = module.clone();
+        let serial_stats = BinpackAllocator::new(BinpackConfig { workers: 1, ..base })
+            .allocate_module(&mut serial, spec);
+        for workers in [2, 4, 7] {
+            let mut par = module.clone();
+            let par_stats = BinpackAllocator::new(BinpackConfig { workers, ..base })
+                .allocate_module(&mut par, spec);
+            assert_eq!(
+                render(&serial),
+                render(&par),
+                "{what}: {workers}-worker output differs from serial (second_chance={})",
+                base.second_chance
+            );
+            assert_eq!(
+                serial_stats.without_wall_clock(),
+                par_stats.without_wall_clock(),
+                "{what}: {workers}-worker stats differ from serial (second_chance={})",
+                base.second_chance
+            );
+        }
+    }
+}
+
+#[test]
+fn workloads_allocate_identically_serial_and_parallel() {
+    let spec = MachineSpec::alpha_like();
+    for w in second_chance_regalloc::workloads::all() {
+        let module = (w.build)();
+        assert_worker_counts_agree(&module, &spec, w.name);
+    }
+}
+
+#[test]
+fn random_programs_allocate_identically_serial_and_parallel() {
+    // Multi-function modules (helpers fan out across workers) on a starved
+    // machine, so the parallel path also covers heavy spilling.
+    let spec = MachineSpec::small(5, 3);
+    let mut rng = Lcg::new(0xDE7E);
+    for _ in 0..12 {
+        let seed = rng.below(1_000_000);
+        let cfg = RandomConfig { helpers: 3, ..RandomConfig::default() };
+        let module = RandomProgram::new(seed, cfg).build(&spec);
+        assert_worker_counts_agree(&module, &spec, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn scratch_reuse_matches_fresh_scratch() {
+    // Allocating a sequence of functions through one reused arena must give
+    // exactly what per-function fresh arenas give: nothing in the scratch
+    // may leak across functions.
+    let spec = MachineSpec::small(5, 3);
+    let mut rng = Lcg::new(0x5C7A);
+    for base in configs() {
+        let alloc = BinpackAllocator::new(base);
+        let mut shared = AllocScratch::default();
+        for _ in 0..8 {
+            let seed = rng.below(1_000_000);
+            let cfg = RandomConfig { helpers: 2, ..RandomConfig::default() };
+            let module = RandomProgram::new(seed, cfg).build(&spec);
+            let mut with_reuse = module.clone();
+            let mut with_fresh = module.clone();
+            for f in &mut with_reuse.funcs {
+                alloc.allocate_function_reusing(f, &spec, &mut shared);
+            }
+            for f in &mut with_fresh.funcs {
+                alloc.allocate_function_reusing(f, &spec, &mut AllocScratch::default());
+            }
+            assert_eq!(
+                render(&with_reuse),
+                render(&with_fresh),
+                "seed {seed}: reused scratch changed the output (second_chance={})",
+                base.second_chance
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_timing_does_not_change_output() {
+    let spec = MachineSpec::alpha_like();
+    let w = second_chance_regalloc::workloads::by_name("eqntott").unwrap();
+    let module = (w.build)();
+    for base in configs() {
+        let mut plain = module.clone();
+        let plain_stats = BinpackAllocator::new(BinpackConfig { workers: 1, ..base })
+            .allocate_module(&mut plain, &spec);
+        assert!(plain_stats.timings.is_none(), "timings must be off by default");
+
+        let mut timed = module.clone();
+        let timed_stats =
+            BinpackAllocator::new(BinpackConfig { workers: 1, time_phases: true, ..base })
+                .allocate_module(&mut timed, &spec);
+        assert_eq!(render(&plain), render(&timed));
+        assert_eq!(plain_stats.without_wall_clock(), timed_stats.without_wall_clock());
+        let timings = timed_stats.timings.expect("timings requested");
+        assert!(timings.total() > 0.0, "phases must accumulate time");
+        assert!(
+            timings.total() <= timed_stats.alloc_seconds * 1.5 + 0.01,
+            "phase total {} inconsistent with alloc_seconds {}",
+            timings.total(),
+            timed_stats.alloc_seconds
+        );
+    }
+}

@@ -13,7 +13,11 @@ fn single(f: Function) -> Module {
     mb.finish()
 }
 
-fn stats_for(module: &Module, spec: &MachineSpec, config: BinpackConfig) -> (AllocStats, RunResult) {
+fn stats_for(
+    module: &Module,
+    spec: &MachineSpec,
+    config: BinpackConfig,
+) -> (AllocStats, RunResult) {
     let mut m = module.clone();
     let stats = allocate_and_cleanup(&mut m, &BinpackAllocator::new(config), spec);
     let r = verify_allocation(module, &m, spec, &[], VmOptions::default())
@@ -41,16 +45,16 @@ fn early_second_chance_produces_moves() {
     b.add(s1, us[0], us[1]);
     let s2 = b.int_temp("s2");
     b.add(s2, s1, us[2]); // the short values die here
-    // `hot` crosses the call; the callee-saved register is occupied by
-    // blocker, so it lands caller-saved and is dirty.
+                          // `hot` crosses the call; the callee-saved register is occupied by
+                          // blocker, so it lands caller-saved and is dirty.
     let hot = b.int_temp("hot");
     b.movi(hot, 33);
     let sink = b.int_temp("sink");
     b.add(sink, blocker, s2); // last use of blocker: dies before the call
-    // `sink` dies *into* the call (as its argument), so nothing claims the
-    // callee-saved register blocker vacated. The call then evicts `hot`;
-    // the free callee-saved register covers hot's remaining lifetime ->
-    // early second chance move instead of a store.
+                              // `sink` dies *into* the call (as its argument), so nothing claims the
+                              // callee-saved register blocker vacated. The call then evicts `hot`;
+                              // the free callee-saved register covers hot's remaining lifetime ->
+                              // early second chance move instead of a store.
     b.call_ext(ExtFn::PutInt, &[sink.into()], None);
     let out = b.int_temp("out");
     b.add(out, hot, hot);
@@ -62,18 +66,11 @@ fn early_second_chance_produces_moves() {
         stats.inserted_count(SpillTag::EvictMove) >= 1,
         "expected an early-second-chance move; stats: {stats:?}\n"
     );
-    assert_eq!(
-        stats.inserted_count(SpillTag::EvictStore),
-        0,
-        "the move replaces the store"
-    );
+    assert_eq!(stats.inserted_count(SpillTag::EvictStore), 0, "the move replaces the store");
     // With the mechanism disabled, the same program needs a store (and a
     // later reload).
-    let (no_esc, r2) = stats_for(
-        &m,
-        &spec,
-        BinpackConfig { early_second_chance: false, ..Default::default() },
-    );
+    let (no_esc, r2) =
+        stats_for(&m, &spec, BinpackConfig { early_second_chance: false, ..Default::default() });
     assert!(no_esc.inserted_count(SpillTag::EvictMove) == 0);
     assert!(
         no_esc.inserted_count(SpillTag::EvictStore) >= 1,

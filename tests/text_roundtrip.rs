@@ -50,8 +50,7 @@ fn printer_and_parser_are_inverse_on_workloads() {
         let w = lsra_workloads::by_name(name).unwrap();
         let module = (w.build)();
         let text = module.to_string();
-        let reparsed =
-            lsra_ir::parse_module(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reparsed = lsra_ir::parse_module(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(reparsed.to_string(), text, "{name}: round trip changed the text");
         let input = (w.input)();
         let a = run_module(&module, &spec, &input).unwrap();
