@@ -77,26 +77,34 @@ impl MachineSpec {
     /// A small machine with `int` integer and `float` floating-point
     /// registers, for spill stress tests. Roughly half of each file is
     /// caller-saved; one argument register per class (two if the file has at
-    /// least four registers); return register `0`.
+    /// least four registers, none if it has only one); return register `0`.
+    ///
+    /// A single-register float file (`small:2,1`) is the extreme fuzzing
+    /// configuration: unary float operations and conversions remain
+    /// expressible, binary float arithmetic is not (it needs two
+    /// simultaneously live float registers).
     ///
     /// # Panics
     ///
-    /// Panics if either count is less than 2 (a return register plus at
-    /// least one other register are required).
+    /// Panics if `int < 2` (a return register plus at least one other
+    /// register are required) or `float < 1`.
     pub fn small(int: u8, float: u8) -> Self {
-        assert!(int >= 2 && float >= 2, "need at least 2 registers per class");
+        assert!(int >= 2, "need at least 2 integer registers");
+        assert!(float >= 1, "need at least 1 float register");
         let args = |n: u8| -> Vec<u8> {
             if n >= 4 {
                 vec![1, 2]
-            } else {
+            } else if n >= 2 {
                 vec![1]
+            } else {
+                vec![]
             }
         };
         // Caller-saved: at least half of the file, and always enough to
         // cover the argument and return registers (which must be
         // caller-saved).
         let caller = |n: u8| -> Vec<u8> {
-            let max_arg = *args(n).iter().max().unwrap();
+            let max_arg = args(n).iter().max().copied().unwrap_or(0);
             (0..n.div_ceil(2).max(max_arg + 1)).collect()
         };
         MachineSpec::new(
@@ -226,6 +234,16 @@ mod tests {
         assert!(m.is_callee_saved(PhysReg::int(3)));
         assert_eq!(m.arg_reg(RegClass::Int, 0), Some(PhysReg::int(1)));
         assert_eq!(m.arg_reg(RegClass::Float, 0), Some(PhysReg::float(1)));
+    }
+
+    #[test]
+    fn single_register_float_file() {
+        let m = MachineSpec::small(2, 1);
+        assert_eq!(m.num_regs(RegClass::Float), 1);
+        assert_eq!(m.arg_regs(RegClass::Float), &[] as &[u8]);
+        assert_eq!(m.ret_reg(RegClass::Float), PhysReg::float(0));
+        assert!(m.is_caller_saved(PhysReg::float(0)), "return register must be caller-saved");
+        assert_eq!(m.arg_reg(RegClass::Int, 0), Some(PhysReg::int(1)));
     }
 
     #[test]

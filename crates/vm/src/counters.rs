@@ -52,11 +52,37 @@ impl DynCounts {
 
     /// Fraction of all executed instructions that is spill code — the
     /// statistic of the paper's Table 2.
+    ///
+    /// Like every ratio helper on this type, returns `0.0` (not NaN) when
+    /// no dynamic instructions were recorded.
     pub fn spill_fraction(&self) -> f64 {
-        if self.total == 0 {
+        Self::ratio(self.spill_total(), self.total)
+    }
+
+    /// Fraction of all executed instructions that touched memory (program
+    /// loads/stores plus spill loads/stores); `0.0` when nothing ran.
+    pub fn memory_fraction(&self) -> f64 {
+        Self::ratio(self.memory_ops, self.total)
+    }
+
+    /// Fraction of all executed instructions that were register-to-register
+    /// moves; `0.0` when nothing ran.
+    pub fn move_fraction(&self) -> f64 {
+        Self::ratio(self.moves, self.total)
+    }
+
+    /// Fraction of all executed instructions that were calls; `0.0` when
+    /// nothing ran.
+    pub fn call_fraction(&self) -> f64 {
+        Self::ratio(self.calls, self.total)
+    }
+
+    /// NaN-free ratio: `0.0` whenever the denominator is zero.
+    fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
             0.0
         } else {
-            self.spill_total() as f64 / self.total as f64
+            num as f64 / den as f64
         }
     }
 
@@ -97,5 +123,31 @@ mod tests {
         let c = DynCounts::default();
         assert_eq!(c.spill_fraction(), 0.0);
         assert_eq!(c.spill_total(), 0);
+    }
+
+    #[test]
+    fn ratio_helpers_are_nan_free_on_empty_counts() {
+        // A run that records nothing (total == 0) must yield 0.0, never NaN,
+        // from every ratio helper.
+        let c = DynCounts::default();
+        for v in [c.spill_fraction(), c.memory_fraction(), c.move_fraction(), c.call_fraction()] {
+            assert_eq!(v, 0.0);
+            assert!(!v.is_nan());
+        }
+    }
+
+    #[test]
+    fn ratio_helpers_divide_by_total() {
+        let mut c = DynCounts::default();
+        c.record(SpillTag::None);
+        c.record(SpillTag::None);
+        c.record(SpillTag::EvictMove);
+        c.record(SpillTag::EvictLoad);
+        c.memory_ops = 1;
+        c.moves = 2;
+        c.calls = 1;
+        assert_eq!(c.memory_fraction(), 0.25);
+        assert_eq!(c.move_fraction(), 0.5);
+        assert_eq!(c.call_fraction(), 0.25);
     }
 }

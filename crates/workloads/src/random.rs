@@ -28,6 +28,22 @@ pub struct RandomConfig {
     pub call_percent: u64,
     /// Fuel: upper bound on loop iterations at run time.
     pub fuel: i64,
+    /// Share (percent, clamped to 0–40) of the arithmetic band that is
+    /// binary float arithmetic; the int band absorbs the difference. Set to
+    /// 0 for machines with a single float register, where two
+    /// simultaneously live float registers do not exist (unary float
+    /// operations, conversions, and float moves remain).
+    pub float_percent: u64,
+    /// Probability (percent) per body block of appending a half-diamond
+    /// whose fall-through edge is *critical* (the branch jumps straight to
+    /// the join while the taken arm reshuffles the int pool), forcing the
+    /// resolution pass to split edges.
+    pub critical_edge_percent: u64,
+    /// Probability (percent) per body block of prepending a full diamond
+    /// whose arms rotate a window of the int pool in opposite directions,
+    /// so resolving the join tends to need parallel-move cycles (register
+    /// swaps through a temporary's memory home).
+    pub diamond_percent: u64,
 }
 
 impl Default for RandomConfig {
@@ -39,6 +55,9 @@ impl Default for RandomConfig {
             helpers: 1,
             call_percent: 15,
             fuel: 300,
+            float_percent: 20,
+            critical_edge_percent: 0,
+            diamond_percent: 0,
         }
     }
 }
@@ -131,8 +150,41 @@ impl RandomProgram {
         let exit = f.block();
         f.jump(blocks[0]);
 
+        // Arithmetic band split: [0, int_hi) int, [int_hi, 55) binary float.
+        // The default `float_percent` of 20 reproduces the historical bands
+        // (and RNG stream) exactly.
+        let int_hi = 55 - cfg.float_percent.min(40);
         for (bi, &blk) in blocks.iter().enumerate() {
             f.switch_to(blk);
+            // Adversarial shape: a full diamond whose arms rotate a window
+            // of the int pool in opposite directions. The two paths reach
+            // the join with maximally disagreeing assignments, so the
+            // resolution pass needs parallel moves (often cycles) there.
+            if cfg.diamond_percent > 0 && rng.below(100) < cfg.diamond_percent {
+                let left = f.block();
+                let right = f.block();
+                let join = f.block();
+                let c = ints[rng.below(ints.len() as u64) as usize];
+                f.branch(Cond::Ge, c, left, right);
+                let n = ints.len().min(3 + rng.below(3) as usize);
+                f.switch_to(left);
+                let tmp = f.int_temp("swl");
+                f.mov(tmp, ints[0]);
+                for i in 0..n - 1 {
+                    f.mov(ints[i], ints[i + 1]);
+                }
+                f.mov(ints[n - 1], tmp);
+                f.jump(join);
+                f.switch_to(right);
+                let tmp = f.int_temp("swr");
+                f.mov(tmp, ints[n - 1]);
+                for i in (1..n).rev() {
+                    f.mov(ints[i], ints[i - 1]);
+                }
+                f.mov(ints[0], tmp);
+                f.jump(join);
+                f.switch_to(join);
+            }
             // Body: random instructions over the pools.
             let mut local_ints: Vec<Temp> = Vec::new();
             let mut local_floats: Vec<Temp> = Vec::new();
@@ -152,7 +204,7 @@ impl RandomProgram {
                     }
                 };
                 match rng.below(100) {
-                    0..=34 => {
+                    x if x < int_hi => {
                         // int arithmetic
                         let a = pick_int(rng, &local_ints);
                         let b2 = pick_int(rng, &local_ints);
@@ -174,8 +226,8 @@ impl RandomProgram {
                         };
                         f.op2(op, dst, a, b2);
                     }
-                    35..=54 => {
-                        // float arithmetic
+                    x if x < 55 => {
+                        // binary float arithmetic (band width = float_percent)
                         let a = pick_float(rng, &local_floats);
                         let b2 = pick_float(rng, &local_floats);
                         let dst = if rng.below(3) == 0 {
@@ -268,6 +320,24 @@ impl RandomProgram {
                     }
                 }
             }
+            // Adversarial shape: a half-diamond whose fall-through edge is
+            // critical — the branch block has two successors and the join
+            // two predecessors — so resolution code for it can only live on
+            // a split edge block.
+            if cfg.critical_edge_percent > 0 && rng.below(100) < cfg.critical_edge_percent {
+                let side = f.block();
+                let join = f.block();
+                let c = ints[rng.below(ints.len() as u64) as usize];
+                f.branch(Cond::Lt, c, side, join);
+                f.switch_to(side);
+                for _ in 0..2 + rng.below(3) {
+                    let a = ints[rng.below(ints.len() as u64) as usize];
+                    let b2 = ints[rng.below(ints.len() as u64) as usize];
+                    f.mov(a, b2);
+                }
+                f.jump(join);
+                f.switch_to(join);
+            }
             // Terminator: burn fuel, then branch somewhere (possibly
             // backwards — fuel guarantees termination).
             f.addi(fuel, fuel, -1);
@@ -336,5 +406,47 @@ mod tests {
         let a = RandomProgram::new(42, RandomConfig::default()).build(&spec);
         let b = RandomProgram::new(42, RandomConfig::default()).build(&spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_knobs_generate_valid_programs() {
+        let spec = MachineSpec::alpha_like();
+        let cfg = RandomConfig {
+            float_percent: 35,
+            critical_edge_percent: 60,
+            diamond_percent: 50,
+            ..RandomConfig::default()
+        };
+        for seed in 0..10u64 {
+            let m = RandomProgram::new(seed, cfg.clone()).build(&spec);
+            m.validate().unwrap_or_else(|e| panic!("seed {seed}: invalid module: {e}"));
+            Vm::new(&m, &spec, &[], VmOptions { fuel: 50_000_000, max_depth: 1000 })
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed}: faulted: {e}"));
+            let plain = RandomProgram::new(seed, RandomConfig::default()).build(&spec);
+            let blocks = |m: &Module| m.funcs.iter().map(|f| f.num_blocks()).sum::<usize>();
+            assert!(
+                blocks(&m) > blocks(&plain),
+                "seed {seed}: diamonds/half-diamonds should add blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn float_free_band_suits_single_float_register_machines() {
+        let spec = MachineSpec::small(2, 1);
+        let cfg = RandomConfig { float_percent: 0, ..RandomConfig::default() };
+        for seed in 0..10u64 {
+            let m = RandomProgram::new(seed, cfg.clone()).build(&spec);
+            m.validate().unwrap_or_else(|e| panic!("seed {seed}: invalid module: {e}"));
+            for f in &m.funcs {
+                for op in [OpCode::FAdd, OpCode::FSub, OpCode::FMul, OpCode::FDiv] {
+                    assert_eq!(f.count_opcode(op), 0, "seed {seed}: binary float op generated");
+                }
+            }
+            Vm::new(&m, &spec, &[], VmOptions { fuel: 50_000_000, max_depth: 1000 })
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed}: faulted: {e}"));
+        }
     }
 }

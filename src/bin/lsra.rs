@@ -3,10 +3,12 @@
 //! ```text
 //! lsra print <file.lsra>                      parse, validate, pretty-print
 //! lsra run <file.lsra> [--input FILE] [--machine SPEC]
-//! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--run]
-//!                        [--time-phases] [--workers N]
+//! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup]
+//!                        [--check] [--run] [--time-phases] [--workers N]
 //! lsra workloads                              list the built-in benchmarks
 //! lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]
+//! lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]...
+//!           [--shrink]
 //! ```
 //!
 //! `SPEC` is `alpha` (default) or `small:I,F` (e.g. `small:4,2`).
@@ -14,6 +16,18 @@
 //! `--time-phases` prints a per-phase wall-clock breakdown and `--workers N`
 //! sets the module-level thread count (0 = all cores, 1 = serial); both
 //! apply to the binpack and two-pass allocators.
+//!
+//! `alloc --check` proves the allocation with the symbolic checker (and the
+//! VM's static check) before identity-move removal; `alloc --run` executes
+//! both the original and the allocated module and reports any observational
+//! mismatch (return value, output trace, final memory).
+//!
+//! `fuzz` generates random adversarial modules and runs each requested
+//! allocator (default: all four) on each requested machine (default:
+//! `small:2,1`, `small:4,2`, `alpha`) under the full oracle — static check,
+//! symbolic checker, and differential execution. `--shrink` minimizes any
+//! failing module with delta debugging before printing it. Runs are
+//! deterministic in `--seed`.
 
 use std::process::ExitCode;
 
@@ -24,9 +38,10 @@ use second_chance_regalloc::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lsra print <file.lsra>\n  lsra run <file.lsra> [--input FILE] [--machine SPEC]\n  \
-         lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--run]\n           \
+         lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--check] [--run]\n           \
          [--time-phases] [--workers N]\n  \
-         lsra workloads\n  lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]\n\n\
+         lsra workloads\n  lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]\n  \
+         lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n\n\
          SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto"
     );
     ExitCode::from(2)
@@ -51,7 +66,7 @@ fn make_allocator(o: &Opts) -> Result<Box<dyn RegisterAllocator>, String> {
         workers: o.workers,
         ..base
     };
-    Ok(match o.allocator.as_str() {
+    Ok(match o.allocator() {
         "binpack" => Box::new(BinpackAllocator::new(binpack(BinpackConfig::default()))),
         "two-pass" => Box::new(BinpackAllocator::new(binpack(BinpackConfig::two_pass()))),
         "coloring" => Box::new(ColoringAllocator),
@@ -72,47 +87,79 @@ fn report_timings(stats: &second_chance_regalloc::binpack::AllocStats) {
 
 struct Opts {
     positional: Vec<String>,
-    machine: MachineSpec,
-    allocator: String,
+    /// Every `--machine` occurrence, in order; commands that take a single
+    /// machine use the last one (default `alpha`), `fuzz` uses them all.
+    machines: Vec<MachineSpec>,
+    /// Every `--allocator` occurrence; single-allocator commands use the
+    /// last one (default `binpack`), `fuzz` uses them all.
+    allocators: Vec<String>,
     input: Vec<u8>,
     cleanup: bool,
+    check: bool,
     run: bool,
     time_phases: bool,
     workers: usize,
+    seed: u64,
+    iters: u64,
+    shrink: bool,
+}
+
+impl Opts {
+    fn machine(&self) -> MachineSpec {
+        self.machines.last().cloned().unwrap_or_else(MachineSpec::alpha_like)
+    }
+
+    fn allocator(&self) -> &str {
+        self.allocators.last().map(String::as_str).unwrap_or("binpack")
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         positional: Vec::new(),
-        machine: MachineSpec::alpha_like(),
-        allocator: "binpack".to_string(),
+        machines: Vec::new(),
+        allocators: Vec::new(),
         input: Vec::new(),
         cleanup: false,
+        check: false,
         run: false,
         time_phases: false,
         workers: 0,
+        seed: 0x5eed_1998,
+        iters: 100,
+        shrink: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--machine" => {
                 let v = it.next().ok_or("--machine needs a value")?;
-                o.machine = parse_machine(v)?;
+                o.machines.push(parse_machine(v)?);
             }
             "--allocator" => {
-                o.allocator = it.next().ok_or("--allocator needs a value")?.clone();
+                o.allocators.push(it.next().ok_or("--allocator needs a value")?.clone());
             }
             "--input" => {
                 let path = it.next().ok_or("--input needs a file")?;
                 o.input = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
             }
             "--cleanup" => o.cleanup = true,
+            "--check" => o.check = true,
             "--run" => o.run = true,
             "--time-phases" => o.time_phases = true,
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a count")?;
                 o.workers = v.parse().map_err(|_| "bad worker count")?;
             }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                o.seed = v.parse().map_err(|_| "bad seed")?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a count")?;
+                o.iters = v.parse().map_err(|_| "bad iteration count")?;
+            }
+            "--shrink" => o.shrink = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -134,7 +181,7 @@ fn cmd_print(o: &Opts) -> Result<(), String> {
 
 fn cmd_run(o: &Opts) -> Result<(), String> {
     let m = load_module(o.positional.first().ok_or("missing file")?)?;
-    let r = run_module(&m, &o.machine, &o.input).map_err(|e| e.to_string())?;
+    let r = run_module(&m, &o.machine(), &o.input).map_err(|e| e.to_string())?;
     for ev in &r.output {
         match ev {
             lsra_vm::OutputEvent::Int(v) => println!("out: {v}"),
@@ -149,12 +196,24 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
 
 fn cmd_alloc(o: &Opts) -> Result<(), String> {
     let original = load_module(o.positional.first().ok_or("missing file")?)?;
+    let spec = o.machine();
     let alloc = make_allocator(o)?;
     let mut m = original.clone();
-    let stats = allocate_and_cleanup(&mut m, alloc.as_ref(), &o.machine);
+    let stats = alloc.allocate_module(&mut m, &spec);
+    // The symbolic checker pairs allocated instructions 1:1 with the
+    // original, so it must see the module before identity-move removal.
+    if o.check {
+        lsra_vm::check_module(&m, &spec).map_err(|e| format!("static check: {e}"))?;
+        second_chance_regalloc::checker::check_module(&original, &m, &spec)
+            .map_err(|e| format!("symbolic check: {e}"))?;
+        eprintln!("; checked: static + symbolic");
+    }
+    for id in m.func_ids().collect::<Vec<_>>() {
+        lsra_analysis::remove_identity_moves(m.func_mut(id));
+    }
     if o.cleanup {
         for id in m.func_ids().collect::<Vec<_>>() {
-            optimize_spill_code(m.func_mut(id), &o.machine);
+            optimize_spill_code(m.func_mut(id), &spec);
             lsra_analysis::remove_identity_moves(m.func_mut(id));
         }
     }
@@ -170,11 +229,77 @@ fn cmd_alloc(o: &Opts) -> Result<(), String> {
     );
     report_timings(&stats);
     if o.run {
-        let r = verify_allocation(&original, &m, &o.machine, &o.input, VmOptions::default())
-            .map_err(|e| e.to_string())?;
-        eprintln!("; verified: return {:?}, {} dynamic instructions", r.ret, r.counts.total);
+        // Run both modules ourselves (rather than verify_allocation, which
+        // panics when the *reference* faults) so every failure mode gets a
+        // diagnostic instead of a crash.
+        let opts = VmOptions::default();
+        let before = Vm::new(&original, &spec, &o.input, opts.clone())
+            .run()
+            .map_err(|e| format!("original program faulted: {e}"))?;
+        let after = Vm::new(&m, &spec, &o.input, opts)
+            .run()
+            .map_err(|e| format!("mismatch: {}", lsra_vm::Mismatch::Fault(e)))?;
+        lsra_vm::compare_runs(&before, &after).map_err(|e| format!("mismatch: {e}"))?;
+        eprintln!(
+            "; verified: return {:?}, {} dynamic instructions ({} original)",
+            after.ret, after.counts.total, before.counts.total
+        );
     }
     Ok(())
+}
+
+fn cmd_fuzz(o: &Opts) -> Result<(), String> {
+    let defaults = second_chance_regalloc::fuzz::FuzzConfig::default();
+    let cfg = second_chance_regalloc::fuzz::FuzzConfig {
+        seed: o.seed,
+        iters: o.iters,
+        machines: if o.machines.is_empty() { defaults.machines } else { o.machines.clone() },
+        allocators: if o.allocators.is_empty() {
+            defaults.allocators
+        } else {
+            o.allocators.clone()
+        },
+        shrink: o.shrink,
+        ..defaults
+    };
+    for name in &cfg.allocators {
+        if second_chance_regalloc::fuzz::allocator_by_name(name).is_none() {
+            return Err(format!("unknown allocator `{name}`"));
+        }
+    }
+    // The oracle intentionally drives allocators into panics; keep their
+    // backtraces off the terminal while fuzzing.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = second_chance_regalloc::fuzz::run_fuzz(&cfg);
+    std::panic::set_hook(hook);
+    eprintln!(
+        "; fuzz: seed={:#x} iters={} machines={} allocators={} cases={}",
+        cfg.seed,
+        report.iters,
+        cfg.machines.iter().map(|m| m.name()).collect::<Vec<_>>().join(","),
+        cfg.allocators.join(","),
+        report.cases,
+    );
+    for f in &report.failures {
+        eprintln!(
+            "FAIL iter={} machine={} allocator={}: {}",
+            f.iter, f.machine, f.allocator, f.what
+        );
+        match &f.shrunk_text {
+            Some(text) => {
+                eprintln!("; minimized repro:");
+                print!("{text}");
+            }
+            None => print!("{}", f.module_text),
+        }
+    }
+    if report.ok() {
+        eprintln!("; ok: no failures");
+        Ok(())
+    } else {
+        Err(format!("{} failing case(s)", report.failures.len()))
+    }
 }
 
 fn cmd_workloads() -> Result<(), String> {
@@ -191,8 +316,9 @@ fn cmd_bench(o: &Opts) -> Result<(), String> {
     let original = (w.build)();
     let input = (w.input)();
     let mut m = original.clone();
-    let stats = allocate_and_cleanup(&mut m, alloc.as_ref(), &o.machine);
-    let r = verify_allocation(&original, &m, &o.machine, &input, VmOptions::default())
+    let spec = o.machine();
+    let stats = allocate_and_cleanup(&mut m, alloc.as_ref(), &spec);
+    let r = verify_allocation(&original, &m, &spec, &input, VmOptions::default())
         .map_err(|e| e.to_string())?;
     println!("workload:   {name}");
     println!("allocator:  {}", alloc.name());
@@ -226,6 +352,7 @@ fn main() -> ExitCode {
         "alloc" => cmd_alloc(&opts),
         "workloads" => cmd_workloads(),
         "bench" => cmd_bench(&opts),
+        "fuzz" => cmd_fuzz(&opts),
         _ => return usage(),
     };
     match result {

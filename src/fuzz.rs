@@ -1,0 +1,220 @@
+//! Differential fuzzing of every register allocator.
+//!
+//! Each iteration derives a deterministic sub-seed, draws adversarial shape
+//! knobs (float mix, critical-edge density, swap-heavy diamonds, register
+//! pressure against the machine under test), generates a random module, and
+//! runs every requested allocator through a four-stage oracle:
+//!
+//! 1. the allocation itself must not panic and its output must
+//!    [`validate`](lsra_ir::Module::validate);
+//! 2. the VM's static validity check must pass;
+//! 3. the symbolic checker ([`lsra_checker::check_module`]) must prove every
+//!    read sees the right temporary's value;
+//! 4. differential execution against the pre-allocation module must agree on
+//!    return value, output trace, and final memory.
+//!
+//! Failures optionally go through the delta-debugging shrinker
+//! ([`lsra_checker::shrink_module`]), producing a minimal `.lsra` text
+//! repro. Everything is deterministic in the base seed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lsra_core::RegisterAllocator;
+use lsra_ir::{MachineSpec, Module, RegClass};
+use lsra_vm::{compare_runs, Vm, VmOptions};
+use lsra_workloads::random::{RandomConfig, RandomProgram};
+use lsra_workloads::Lcg;
+
+/// Allocator names understood by [`allocator_by_name`], in the order the
+/// fuzz driver exercises them.
+pub const ALLOCATOR_NAMES: [&str; 4] = ["binpack", "two-pass", "coloring", "poletto"];
+
+/// Constructs an allocator by CLI name (`binpack`, `two-pass`, `coloring`,
+/// or `poletto`); `None` for unknown names.
+pub fn allocator_by_name(name: &str) -> Option<Box<dyn RegisterAllocator>> {
+    Some(match name {
+        "binpack" => Box::new(lsra_core::BinpackAllocator::default()),
+        "two-pass" => Box::new(lsra_core::BinpackAllocator::two_pass()),
+        "coloring" => Box::new(lsra_coloring::ColoringAllocator),
+        "poletto" => Box::new(lsra_poletto::PolettoAllocator),
+        _ => return None,
+    })
+}
+
+/// Configuration for [`run_fuzz`].
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seed; every iteration derives its own sub-seed from it.
+    pub seed: u64,
+    /// Number of iterations (random modules per machine).
+    pub iters: u64,
+    /// Machines to allocate for.
+    pub machines: Vec<MachineSpec>,
+    /// Allocator names (see [`ALLOCATOR_NAMES`]).
+    pub allocators: Vec<String>,
+    /// Minimize failing modules with the delta-debugging shrinker.
+    pub shrink: bool,
+    /// Stop after this many failures (0 = collect every failure).
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0x5eed_1998,
+            iters: 100,
+            machines: vec![
+                MachineSpec::small(2, 1),
+                MachineSpec::small(4, 2),
+                MachineSpec::alpha_like(),
+            ],
+            allocators: ALLOCATOR_NAMES.iter().map(|s| s.to_string()).collect(),
+            shrink: false,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One allocator failure found while fuzzing.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Iteration index that produced the module.
+    pub iter: u64,
+    /// Machine name.
+    pub machine: String,
+    /// Allocator name.
+    pub allocator: String,
+    /// Which oracle stage failed, and how.
+    pub what: String,
+    /// The failing module as `.lsra` text.
+    pub module_text: String,
+    /// The shrunk repro as `.lsra` text, when shrinking was requested and
+    /// the minimized module still fails.
+    pub shrunk_text: Option<String>,
+}
+
+/// Summary of a [`run_fuzz`] run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations completed.
+    pub iters: u64,
+    /// Individual (module, allocator) cases checked.
+    pub cases: u64,
+    /// Failures found (empty on a clean run).
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True when no failure was found.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// VM budget for fuzz executions: generated programs burn their own loop
+/// fuel quickly, so this is a runaway guard, not a tuning knob.
+fn vm_options() -> VmOptions {
+    VmOptions { fuel: 10_000_000, max_depth: 500 }
+}
+
+/// Draws per-iteration shape knobs, scaled to what `spec` can express
+/// (machines with a single float register get no binary float arithmetic,
+/// machines with few argument registers get fewer helpers).
+fn shape(rng: &mut Lcg, spec: &MachineSpec) -> RandomConfig {
+    let floatable = spec.num_regs(RegClass::Float) >= 2;
+    RandomConfig {
+        blocks: 3 + rng.below(8) as usize,
+        insts_per_block: 3 + rng.below(9) as usize,
+        global_temps: 4 + rng.below(14) as usize,
+        helpers: rng.below(3) as usize,
+        call_percent: rng.below(30),
+        fuel: 60 + rng.below(200) as i64,
+        float_percent: if floatable { rng.below(41) } else { 0 },
+        critical_edge_percent: rng.below(60),
+        diamond_percent: rng.below(50),
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one (module, allocator, machine) case through the full oracle.
+///
+/// # Errors
+///
+/// Returns a description of the first failing oracle stage.
+pub fn check_case(original: &Module, allocator: &str, spec: &MachineSpec) -> Result<(), String> {
+    let alloc =
+        allocator_by_name(allocator).ok_or_else(|| format!("unknown allocator `{allocator}`"))?;
+    let mut m = original.clone();
+    catch_unwind(AssertUnwindSafe(|| {
+        alloc.allocate_module(&mut m, spec);
+    }))
+    .map_err(|p| format!("allocator panicked: {}", panic_message(p)))?;
+    m.validate().map_err(|e| format!("invalid allocator output: {e}"))?;
+    lsra_vm::check_module(&m, spec).map_err(|e| format!("static check failed: {e}"))?;
+    lsra_checker::check_module(original, &m, spec)
+        .map_err(|e| format!("symbolic check failed: {e}"))?;
+    for id in m.func_ids().collect::<Vec<_>>() {
+        lsra_analysis::remove_identity_moves(m.func_mut(id));
+    }
+    let before = Vm::new(original, spec, &[], vm_options())
+        .run()
+        .map_err(|e| format!("reference run faulted: {e}"))?;
+    let after = Vm::new(&m, spec, &[], vm_options())
+        .run()
+        .map_err(|e| format!("allocated run faulted: {e}"))?;
+    compare_runs(&before, &after).map_err(|e| format!("differential run: {e}"))
+}
+
+/// True when the module itself is a sane fuzz subject: structurally valid
+/// and clean under reference execution. Shrink candidates that break this
+/// are uninteresting (the "failure" would be the program's, not the
+/// allocator's).
+fn reference_clean(m: &Module, spec: &MachineSpec) -> bool {
+    m.validate().is_ok() && Vm::new(m, spec, &[], vm_options()).run().is_ok()
+}
+
+/// Runs the fuzz loop described in the module docs.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    'iters: for iter in 0..cfg.iters {
+        let sub_seed = cfg.seed ^ iter.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for spec in &cfg.machines {
+            let mut rng = Lcg::new(sub_seed);
+            let module = RandomProgram::new(sub_seed, shape(&mut rng, spec)).build(spec);
+            debug_assert!(reference_clean(&module, spec), "generator produced a faulting module");
+            for name in &cfg.allocators {
+                report.cases += 1;
+                let Err(what) = check_case(&module, name, spec) else { continue };
+                let shrunk_text = cfg.shrink.then(|| {
+                    let mut oracle =
+                        |c: &Module| reference_clean(c, spec) && check_case(c, name, spec).is_err();
+                    let (small, _) = lsra_checker::shrink_module(&module, &mut oracle);
+                    format!("{small}")
+                });
+                report.failures.push(FuzzFailure {
+                    iter,
+                    machine: spec.name().to_string(),
+                    allocator: name.clone(),
+                    what,
+                    module_text: format!("{module}"),
+                    shrunk_text,
+                });
+                if cfg.max_failures != 0 && report.failures.len() >= cfg.max_failures {
+                    report.iters = iter + 1;
+                    break 'iters;
+                }
+            }
+        }
+        report.iters = iter + 1;
+    }
+    report
+}

@@ -13,7 +13,11 @@
 //! * [`vm`] — the execution substrate: dynamic instruction counting and
 //!   differential verification of allocations;
 //! * [`workloads`] — synthetic benchmarks shaped like the paper's SPEC
-//!   programs, plus random-program and scaling generators.
+//!   programs, plus random-program and scaling generators;
+//! * [`checker`] — the symbolic allocation checker (proves every read sees
+//!   the right temporary's value) and the delta-debugging module shrinker;
+//! * [`fuzz`] — differential fuzzing of all four allocators under the
+//!   symbolic checker, static check, and VM differential execution.
 //!
 //! # Quickstart
 //!
@@ -34,12 +38,15 @@
 //! ```
 
 pub use lsra_analysis as analysis;
+pub use lsra_checker as checker;
 pub use lsra_coloring as coloring;
 pub use lsra_core as binpack;
 pub use lsra_ir as ir;
 pub use lsra_poletto as poletto;
 pub use lsra_vm as vm;
 pub use lsra_workloads as workloads;
+
+pub mod fuzz;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -27,6 +27,11 @@ fn verify_workload(name: &str, alloc: &dyn RegisterAllocator) -> (RunResult, All
     // First oracle: static all-paths validity (before the peephole pass).
     lsra_vm::check_module(&allocated, &spec)
         .unwrap_or_else(|e| panic!("{name}/{}: static: {e}", alloc.name()));
+    // Stronger symbolic oracle: every read must see the right temporary's
+    // value, not merely a defined register (also before the peephole pass —
+    // the checker pairs instructions 1:1 with the original).
+    second_chance_regalloc::checker::check_module(&original, &allocated, &spec)
+        .unwrap_or_else(|e| panic!("{name}/{}: symbolic: {e}", alloc.name()));
     for id in allocated.func_ids().collect::<Vec<_>>() {
         lsra_analysis::remove_identity_moves(allocated.func_mut(id));
     }

@@ -49,6 +49,13 @@ fn check(seed: u64, cfg: RandomConfig, spec: &MachineSpec) {
         lsra_vm::check_module(&m, spec).unwrap_or_else(|e| {
             panic!("seed {seed}/{}/{}: static: {e}", alloc.name(), spec.name())
         });
+        // Symbolic checker: every read must be proven to see the right
+        // temporary's value, not merely a defined register. Also runs
+        // before identity-move removal (it pairs instructions 1:1 with the
+        // original program).
+        second_chance_regalloc::checker::check_module(&module, &m, spec).unwrap_or_else(|e| {
+            panic!("seed {seed}/{}/{}: symbolic: {e}", alloc.name(), spec.name())
+        });
         for id in m.func_ids().collect::<Vec<_>>() {
             lsra_analysis::remove_identity_moves(m.func_mut(id));
         }
@@ -91,6 +98,7 @@ fn random_programs_survive_high_pressure_shapes() {
             helpers: 2,
             call_percent: rng.below(40),
             fuel: 200,
+            ..RandomConfig::default()
         };
         check(rng.below(1_000_000), cfg, &MachineSpec::small(5, 4));
     }
@@ -115,6 +123,7 @@ fn fixed_regression_seeds() {
             helpers: 2,
             call_percent: calls,
             fuel: 200,
+            ..RandomConfig::default()
         };
         check(seed, cfg, &MachineSpec::small(5, 4));
     }

@@ -162,7 +162,14 @@ fn check(module: &Module, spec: &MachineSpec, expect: i64) {
     assert_eq!(ref_run.ret, Some(expect), "reference result on {}", spec.name());
     for alloc in allocators {
         let mut m = module.clone();
-        allocate_and_cleanup(&mut m, alloc.as_ref(), spec);
+        alloc.allocate_module(&mut m, spec);
+        // Symbolic proof of the raw allocation (before identity-move
+        // removal, which breaks the 1:1 instruction pairing it relies on).
+        second_chance_regalloc::checker::check_module(module, &m, spec)
+            .unwrap_or_else(|e| panic!("{}/{}/{}: {e}", module.name, alloc.name(), spec.name()));
+        for id in m.func_ids().collect::<Vec<_>>() {
+            lsra_analysis::remove_identity_moves(m.func_mut(id));
+        }
         verify_allocation(module, &m, spec, &[], VmOptions::default())
             .unwrap_or_else(|e| panic!("{}/{}/{}: {e}", module.name, alloc.name(), spec.name()));
     }
