@@ -21,12 +21,11 @@
 //! cargo bench -p lsra-bench --bench alloc_time
 //! ```
 
-use std::fmt::Write as _;
-
 use lsra_bench::time_allocation;
 use lsra_coloring::ColoringAllocator;
 use lsra_core::{AllocStats, BinpackAllocator, BinpackConfig, PHASE_NAMES};
 use lsra_ir::{MachineSpec, Module};
+use lsra_trace::JsonWriter;
 use lsra_workloads::scaling;
 
 /// One timed configuration, ready for JSON.
@@ -79,52 +78,52 @@ impl lsra_core::RegisterAllocator for FreshPerFunction {
 }
 
 fn json(entries: &[Entry], parallel: &[ParallelEntry], runs: usize, workers: usize) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"machine\": \"alpha-like\",");
-    let _ = writeln!(s, "  \"runs\": {runs},");
-    let _ = writeln!(s, "  \"workers_available\": {workers},");
-    let _ =
-        writeln!(s, "  \"phase_names\": [{}],", PHASE_NAMES.map(|n| format!("\"{n}\"")).join(", "));
-    let _ = writeln!(s, "  \"entries\": [");
-    for (k, e) in entries.iter().enumerate() {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("machine", "alpha-like");
+    w.field_uint("runs", runs as u64);
+    w.field_uint("workers_available", workers as u64);
+    w.key("phase_names");
+    w.begin_array();
+    for n in PHASE_NAMES {
+        w.string(n);
+    }
+    w.end_array();
+    w.key("entries");
+    w.begin_array();
+    for e in entries {
         let timings = e.stats.timings.unwrap_or_default();
-        let phases = PHASE_NAMES
-            .iter()
-            .zip(timings.seconds)
-            .map(|(n, v)| format!("\"{n}\": {v:.9}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let _ = writeln!(
-            s,
-            "    {{\"workload\": \"{}\", \"allocator\": \"{}\", \"alloc_seconds\": {:.9}, \
-             \"candidates\": {}, \"phases\": {{{phases}}}}}{}",
-            e.workload,
-            e.allocator,
-            e.best_seconds,
-            e.stats.candidates,
-            if k + 1 == entries.len() { "" } else { "," },
-        );
+        w.begin_object();
+        w.field_str("workload", &e.workload);
+        w.field_str("allocator", e.allocator);
+        w.field_float("alloc_seconds", e.best_seconds);
+        w.field_uint("candidates", e.stats.candidates as u64);
+        w.key("phases");
+        w.begin_object();
+        for (n, v) in PHASE_NAMES.iter().zip(timings.seconds) {
+            w.field_float(n, v);
+        }
+        w.end_object();
+        w.end_object();
     }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(s, "  \"parallel\": [");
-    for (k, p) in parallel.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"workload\": \"{}\", \"allocator\": \"{}\", \"workers\": {}, \
-             \"serial_seconds\": {:.9}, \"parallel_seconds\": {:.9}, \"speedup\": {:.3}}}{}",
-            p.workload,
-            p.allocator,
-            p.workers,
-            p.serial_seconds,
-            p.parallel_seconds,
-            p.serial_seconds / p.parallel_seconds,
-            if k + 1 == parallel.len() { "" } else { "," },
-        );
+    w.end_array();
+    w.key("parallel");
+    w.begin_array();
+    for p in parallel {
+        w.begin_object();
+        w.field_str("workload", &p.workload);
+        w.field_str("allocator", p.allocator);
+        w.field_uint("workers", p.workers as u64);
+        w.field_float("serial_seconds", p.serial_seconds);
+        w.field_float("parallel_seconds", p.parallel_seconds);
+        w.field_float("speedup", p.serial_seconds / p.parallel_seconds);
+        w.end_object();
     }
-    let _ = writeln!(s, "  ]");
-    let _ = writeln!(s, "}}");
-    s
+    w.end_array();
+    w.end_object();
+    let doc = w.finish();
+    lsra_trace::json::validate(&doc).expect("writer produced invalid JSON");
+    doc
 }
 
 fn main() {

@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use lsra_analysis::{Lifetimes, Liveness, LoopInfo};
 use lsra_ir::{Function, MachineSpec, Module};
+use lsra_trace::{NoopSink, TraceEvent, TraceSink};
 
 use crate::config::BinpackConfig;
 use crate::scan::Scanner;
@@ -73,30 +74,98 @@ impl BinpackAllocator {
         spec: &MachineSpec,
         scratch: &mut AllocScratch,
     ) -> AllocStats {
+        self.allocate_function_traced(f, spec, scratch, &mut NoopSink)
+    }
+
+    /// Allocates one function, emitting every allocation decision to
+    /// `sink`.
+    ///
+    /// With a disabled sink (the [`NoopSink`] default) this *is*
+    /// [`BinpackAllocator::allocate_function_reusing`]: each potential
+    /// event costs one branch on [`TraceSink::enabled`] and no payload is
+    /// built. The sink never feeds back into allocation — traced and
+    /// untraced runs produce byte-identical output (pinned by
+    /// `tests/trace_determinism.rs`).
+    pub fn allocate_function_traced(
+        &self,
+        f: &mut Function,
+        spec: &MachineSpec,
+        scratch: &mut AllocScratch,
+        sink: &mut dyn TraceSink,
+    ) -> AllocStats {
         let start = Instant::now();
         let mut stats = AllocStats::default();
+        if sink.enabled() {
+            sink.event(&TraceEvent::FunctionBegin {
+                name: f.name.clone(),
+                temps: f.num_temps(),
+                blocks: f.num_blocks(),
+                insts: f.num_insts(),
+            });
+        }
         if self.config.second_chance {
             let mut timer = PhaseTimer::new(self.config.time_phases);
             // Shared setup (the paper excludes this from allocation
             // timing; we include only the lifetime computation, which is
             // the allocator's own first phase).
             let live = Liveness::compute(f);
-            timer.mark(&mut stats, Phase::Liveness);
+            timer.mark_traced(&mut stats, Phase::Liveness, sink);
             let loops = LoopInfo::of(f);
-            timer.mark(&mut stats, Phase::Order);
+            timer.mark_traced(&mut stats, Phase::Order, sink);
             let lt = Lifetimes::compute(f, &live, &loops, spec);
-            timer.mark(&mut stats, Phase::Lifetimes);
-            let out = Scanner::new(f, spec, &live, &lt, self.config, &mut stats, scratch).run();
-            timer.mark(&mut stats, Phase::Scan);
+            timer.mark_traced(&mut stats, Phase::Lifetimes, sink);
+            if sink.enabled() {
+                let temps = (0..f.num_temps()).map(|i| lsra_ir::Temp(i as u32));
+                let mut live_temps = 0;
+                let mut segments = 0;
+                let mut holes = 0;
+                for t in temps {
+                    let segs = lt.segments(t);
+                    if !segs.is_empty() {
+                        live_temps += 1;
+                        segments += segs.len();
+                        holes += lt.holes(t).len();
+                    }
+                }
+                sink.event(&TraceEvent::LifetimesBuilt { live_temps, segments, holes });
+            }
+            let out =
+                Scanner::new(f, spec, &live, &lt, self.config, &mut stats, scratch, sink).run();
+            timer.mark_traced(&mut stats, Phase::Scan, sink);
             // Resolution self-reports its Resolve and Consistency phases.
-            resolve::resolve(f, &live, &out, self.config, &mut stats, scratch);
+            resolve::resolve(f, &live, &out, self.config, &mut stats, scratch, sink);
         } else {
-            two_pass::allocate(f, spec, self.config, &mut stats, scratch);
+            two_pass::allocate(f, spec, self.config, &mut stats, scratch, sink);
         }
         f.allocated = true;
         debug_assert!(!f.has_virtual_operands(), "allocation left virtual operands");
         stats.alloc_seconds = start.elapsed().as_secs_f64();
+        if sink.enabled() {
+            sink.event(&TraceEvent::FunctionEnd { name: f.name.clone() });
+        }
         stats
+    }
+
+    /// Allocates every function of a module with tracing, serially and in
+    /// module order so the event stream is deterministic.
+    ///
+    /// Parallel allocation is output-invariant (see
+    /// [`RegisterAllocator::allocate_module`]), so the traced result equals
+    /// the untraced result at any worker count; only the trace itself needs
+    /// the serial order.
+    pub fn allocate_module_traced(
+        &self,
+        m: &mut Module,
+        spec: &MachineSpec,
+        sink: &mut dyn TraceSink,
+    ) -> AllocStats {
+        let mut scratch = AllocScratch::default();
+        let mut total = AllocStats::default();
+        for f in &mut m.funcs {
+            let stats = self.allocate_function_traced(f, spec, &mut scratch, sink);
+            total.merge(&stats);
+        }
+        total
     }
 }
 

@@ -18,6 +18,7 @@
 
 use lsra_analysis::{BitSet, Liveness};
 use lsra_ir::{BlockId, Function, PhysReg, Temp};
+use lsra_trace::{ResolveOp, TraceEvent, TraceSink};
 
 use crate::config::{BinpackConfig, ConsistencyMode};
 use crate::parallel_move::{sequentialize, EdgeOp};
@@ -44,6 +45,7 @@ pub(crate) fn resolve(
     cfg: BinpackConfig,
     stats: &mut AllocStats,
     scratch: &mut AllocScratch,
+    sink: &mut dyn TraceSink,
 ) {
     let mut timer = PhaseTimer::new(cfg.time_phases);
     let nb = scan.top_map.len();
@@ -63,7 +65,7 @@ pub(crate) fn resolve(
     // consistent-in-register at a predecessor bottom while the successor
     // top expects it in memory relies on that consistency).
     let mut used_c_in: Vec<BitSet> = scan.used_consistency.clone();
-    timer.mark(stats, Phase::Resolve);
+    timer.mark_traced(stats, Phase::Resolve, sink);
     if cfg.consistency == ConsistencyMode::Iterative {
         for &(p, s) in &edges {
             for g in live.live_in(s).iter() {
@@ -86,8 +88,11 @@ pub(crate) fn resolve(
         let sol = lsra_analysis::solve_backward(f, ng, &gen, &scan.wrote_tr, &order);
         used_c_in = sol.live_in;
         stats.iterations = sol.iterations;
+        if sink.enabled() {
+            sink.event(&TraceEvent::ConsistencyDone { iterations: sol.iterations });
+        }
     }
-    timer.mark(stats, Phase::Consistency);
+    timer.mark_traced(stats, Phase::Consistency, sink);
 
     // Process each edge; `ops` is the scratch arena's reusable edge buffer.
     let mut ops = std::mem::take(&mut scratch.edge_ops);
@@ -99,10 +104,18 @@ pub(crate) fn resolve(
             let loc_s = reg_of(&scan.top_map[s.index()], t);
             let consistent_p = scan.consistent_bottom[p.index()].contains(g);
             let mut store = false;
+            // The (Some, Some) branch's store repairs a downstream
+            // consistency reliance rather than a location mismatch; the
+            // trace distinguishes the two.
+            let mut consistency_store = false;
             match (loc_p, loc_s) {
                 (Some(r1), Some(r2)) => {
                     if r1 != r2 {
                         ops.push(EdgeOp::Move { temp: t, src: r1, dst: r2 });
+                        if sink.enabled() {
+                            let op = ResolveOp::Move { temp: t, src: r1, dst: r2 };
+                            sink.event(&TraceEvent::EdgeOp { pred: p, succ: s, op });
+                        }
                     }
                     // Consistency patch (§2.4): a path beginning here
                     // reaches a point that exploited register/memory
@@ -112,6 +125,7 @@ pub(crate) fn resolve(
                         && !consistent_p
                     {
                         store = true;
+                        consistency_store = true;
                     }
                 }
                 (Some(_), None) => {
@@ -124,12 +138,24 @@ pub(crate) fn resolve(
                 }
                 (None, Some(r2)) => {
                     ops.push(EdgeOp::Load { temp: t, dst: r2 });
+                    if sink.enabled() {
+                        let op = ResolveOp::Load { temp: t, dst: r2 };
+                        sink.event(&TraceEvent::EdgeOp { pred: p, succ: s, op });
+                    }
                 }
                 (None, None) => {}
             }
             if store {
                 let r1 = loc_p.expect("store source must be a register");
                 ops.push(EdgeOp::Store { temp: t, src: r1 });
+                if sink.enabled() {
+                    let op = if consistency_store {
+                        ResolveOp::ConsistencyStore { temp: t, src: r1 }
+                    } else {
+                        ResolveOp::Store { temp: t, src: r1 }
+                    };
+                    sink.event(&TraceEvent::EdgeOp { pred: p, succ: s, op });
+                }
             }
             if std::env::var_os("LSRA_DEBUG").is_some() && (loc_p.is_some() || loc_s.is_some()) {
                 eprintln!(
@@ -142,6 +168,14 @@ pub(crate) fn resolve(
         }
         let mut spilled = Vec::new();
         let seq = sequentialize(&ops, |t| spilled.push(t));
+        if sink.enabled() {
+            // Swap-cycle breaks: the parallel copy had a register cycle and
+            // `t` went through its memory home instead of a spare register.
+            for &t in &spilled {
+                let op = ResolveOp::CycleBreak { temp: t };
+                sink.event(&TraceEvent::EdgeOp { pred: p, succ: s, op });
+            }
+        }
         for t in ops.iter().filter_map(|o| match o {
             EdgeOp::Store { temp, .. } | EdgeOp::Load { temp, .. } => Some(*temp),
             EdgeOp::Move { .. } => None,
@@ -178,5 +212,5 @@ pub(crate) fn resolve(
         }
     }
     scratch.edge_ops = ops;
-    timer.mark(stats, Phase::Resolve);
+    timer.mark_traced(stats, Phase::Resolve, sink);
 }

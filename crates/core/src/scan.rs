@@ -13,6 +13,7 @@
 
 use lsra_analysis::{BitSet, Lifetimes, Liveness, Point};
 use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
+use lsra_trace::{CoalesceOutcome, EvictAction, FitTier, SpillCandidate, TraceEvent, TraceSink};
 
 use crate::config::{BinpackConfig, ConsistencyMode};
 use crate::scratch::{reset, AllocScratch};
@@ -81,12 +82,19 @@ pub(crate) struct Scanner<'a> {
     /// Arena the working vectors were taken from; `run` hands them back so
     /// the next function reuses their capacity.
     scratch: &'a mut AllocScratch,
+    /// Decision-event consumer; every emission is gated on
+    /// [`TraceSink::enabled`], so the default disabled sink costs one
+    /// branch per potential event and builds no payloads.
+    sink: &'a mut dyn TraceSink,
     out: ScanOutput,
 }
 
 const INF: Point = Point(u32::MAX);
 
 impl<'a> Scanner<'a> {
+    // The scan borrows its whole context individually on purpose: bundling
+    // these into a struct would only move the argument list one level up.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         f: &'a mut Function,
         spec: &'a MachineSpec,
@@ -95,6 +103,7 @@ impl<'a> Scanner<'a> {
         cfg: BinpackConfig,
         stats: &'a mut AllocStats,
         scratch: &'a mut AllocScratch,
+        sink: &'a mut dyn TraceSink,
     ) -> Self {
         let ni = spec.num_regs(RegClass::Int) as usize;
         let nregs = spec.total_regs();
@@ -146,6 +155,7 @@ impl<'a> Scanner<'a> {
             pending_owner,
             live_in,
             scratch,
+            sink,
             out: ScanOutput {
                 top_map: vec![Vec::new(); nb],
                 bottom_map: vec![Vec::new(); nb],
@@ -360,7 +370,7 @@ impl<'a> Scanner<'a> {
         //      refusing them can make high pressure unsatisfiable.
         // Within the winning tier, the previously occupied register wins.
         let mut best: [Option<(Point, usize)>; 3] = [None; 3];
-        let mut prev_tier: Option<usize> = None;
+        let mut prev_tier: Option<(usize, Point)> = None;
         let prev = self.last_reg[t.index()].filter(|d| !exclude.contains(d));
         for d in self.class_range(class) {
             if exclude.contains(&d) {
@@ -392,19 +402,39 @@ impl<'a> Scanner<'a> {
                 best[tier] = Some((free_until, d));
             }
             if prev == Some(d) {
-                prev_tier = Some(tier);
+                prev_tier = Some((tier, free_until));
             }
         }
         let tiers: &[usize] =
             if self.cfg.allow_insufficient_holes || force_insufficient { &[0, 1, 2] } else { &[0] };
-        let mut choice = None;
+        // (register, tier, free_until) of the winner.
+        let mut choice: Option<(usize, usize, Point)> = None;
         for &tier in tiers {
-            if best[tier].is_some() {
-                choice = if prev_tier == Some(tier) { prev.map(|d| (INF, d)) } else { best[tier] };
+            if let Some((e, d)) = best[tier] {
+                choice = match (prev, prev_tier) {
+                    (Some(p), Some((pt, pf))) if pt == tier => Some((p, tier, pf)),
+                    _ => Some((d, tier, e)),
+                };
                 break;
             }
         }
-        choice.map(|(_, d)| {
+        choice.map(|(d, tier, free_until)| {
+            if self.sink.enabled() {
+                const TIERS: [FitTier; 3] = [
+                    FitTier::Sufficient,
+                    FitTier::InsufficientRegHole,
+                    FitTier::InsufficientTempHole,
+                ];
+                let ev = TraceEvent::Assign {
+                    temp: t,
+                    reg: self.phys(d),
+                    at,
+                    tier: TIERS[tier],
+                    free_until,
+                    lifetime_end: want_end,
+                };
+                self.sink.event(&ev);
+            }
             self.bind(t, d);
             d
         })
@@ -445,6 +475,16 @@ impl<'a> Scanner<'a> {
             // value — or the true predecessors' bottom maps carry it — so
             // no store is needed (§2.3).
             self.loc[u.index()] = Loc::None;
+            if self.sink.enabled() {
+                let ev = TraceEvent::Evict {
+                    reg: self.phys(d),
+                    temp: u,
+                    at,
+                    convention,
+                    action: EvictAction::HoleNoStore,
+                };
+                self.sink.event(&ev);
+            }
             return;
         }
         let needs_store = if self.cfg.store_suppression && self.consistent[u.index()] {
@@ -487,6 +527,16 @@ impl<'a> Scanner<'a> {
                     SpillTag::EvictMove,
                 ));
                 self.stats.record_insert(SpillTag::EvictMove);
+                if self.sink.enabled() {
+                    let ev = TraceEvent::Evict {
+                        reg: self.phys(d),
+                        temp: u,
+                        at,
+                        convention,
+                        action: EvictAction::EarlyMove(self.phys(d2)),
+                    };
+                    self.sink.event(&ev);
+                }
                 self.bind(u, d2);
                 return;
             }
@@ -498,6 +548,12 @@ impl<'a> Scanner<'a> {
                 SpillTag::EvictStore,
             ));
             self.stats.record_insert(SpillTag::EvictStore);
+        }
+        if self.sink.enabled() {
+            let action =
+                if needs_store { EvictAction::Stored } else { EvictAction::StoreSuppressed };
+            let ev = TraceEvent::Evict { reg: self.phys(d), temp: u, at, convention, action };
+            self.sink.event(&ev);
         }
         self.loc[u.index()] = Loc::Mem;
     }
@@ -533,6 +589,10 @@ impl<'a> Scanner<'a> {
     ) -> Option<usize> {
         let class = self.f.temp_class(t);
         let mut best: Option<(f64, usize)> = None;
+        // Candidate set for the spill-choice trace (losing heuristic
+        // distances included); only built when a sink is listening.
+        let mut candidates: Vec<SpillCandidate> = Vec::new();
+        let tracing = self.sink.enabled();
         for d in self.class_range(class) {
             if exclude.contains(&d) {
                 continue;
@@ -546,20 +606,40 @@ impl<'a> Scanner<'a> {
                 Some(limit) if limit >= need_end => {}
                 _ => continue,
             }
-            let priority = match self.next_ref(u, at) {
+            let (priority, next_ref, weight) = match self.next_ref(u, at) {
                 Some(r) => {
                     if r.point <= guard {
                         continue; // operand of the current instruction
                     }
-                    r.weight / ((r.point.0 - at.0) as f64 + 1.0)
+                    (r.weight / ((r.point.0 - at.0) as f64 + 1.0), Some(r.point), r.weight)
                 }
                 // Live with no later linear reference (value flows around a
                 // back edge): weight 1 at lifetime-end distance.
-                None => 1.0 / ((self.lifetime_end(u).0.saturating_sub(at.0)) as f64 + 1.0),
+                None => {
+                    (1.0 / ((self.lifetime_end(u).0.saturating_sub(at.0)) as f64 + 1.0), None, 1.0)
+                }
             };
+            if tracing {
+                candidates.push(SpillCandidate {
+                    reg: self.phys(d),
+                    occupant: u,
+                    next_ref,
+                    weight,
+                    priority,
+                });
+            }
             if best.is_none_or(|(p, _)| priority < p) {
                 best = Some((priority, d));
             }
+        }
+        if tracing {
+            let ev = TraceEvent::SpillChoice {
+                for_temp: t,
+                at,
+                candidates,
+                chosen: best.map(|(_, d)| self.phys(d)),
+            };
+            self.sink.event(&ev);
         }
         let (_, d) = best?;
         self.evict(d, at, pre, false, exclude);
@@ -670,6 +750,9 @@ impl<'a> Scanner<'a> {
                 ));
                 self.stats.record_insert(SpillTag::EvictLoad);
                 self.stats.lifetime_splits += 1;
+                if self.sink.enabled() {
+                    self.sink.event(&TraceEvent::Reload { temp: t, reg: r, at: rp });
+                }
                 // A reload makes register and memory home consistent.
                 self.consistent[t.index()] = true;
                 self.wrote_local[t.index()] = true; // the reload wrote r
@@ -697,7 +780,11 @@ impl<'a> Scanner<'a> {
                 // "If the next reference to a spilled temporary is a write,
                 // we allocate [a register] and postpone the store" (§2.3).
                 let rp = Point::read(gi);
-                self.alloc(t, wp, wp, rp, exclude, pre)
+                let r = self.alloc(t, wp, wp, rp, exclude, pre);
+                if self.sink.enabled() {
+                    self.sink.event(&TraceEvent::DefRebind { temp: t, reg: r, at: wp });
+                }
+                r
             }
         };
         self.consistent[t.index()] = false; // register now ahead of memory
@@ -714,26 +801,38 @@ impl<'a> Scanner<'a> {
         if !self.cfg.move_coalescing {
             return None;
         }
-        if self.loc[dst.index()] == Loc::Reg(src_phys) {
-            return None; // nothing to do; normal path handles it
-        }
-        if !matches!(self.loc[dst.index()], Loc::None) {
-            return None; // only coalesce a fresh destination
-        }
-        if self.f.temp_class(dst) != src_phys.class {
-            return None;
-        }
         let wp = Point::write(gi);
-        let d = self.dense(src_phys);
-        let free_until = self.reg_free_until(d, wp, dst)?;
-        if free_until < self.lifetime_end(dst) {
+        let outcome = self.coalesce_outcome(dst, src_phys, wp);
+        if self.sink.enabled() {
+            let ev = TraceEvent::CoalesceCheck { dst, src: src_phys, at: wp, outcome };
+            self.sink.event(&ev);
+        }
+        if outcome != CoalesceOutcome::Coalesced {
             return None;
         }
-        self.bind(dst, d);
+        self.bind(dst, self.dense(src_phys));
         self.consistent[dst.index()] = false;
         self.wrote_local[dst.index()] = true;
         self.stats.moves_coalesced += 1;
         Some(src_phys)
+    }
+
+    /// Classifies the §2.5 move-coalescing check without committing it.
+    fn coalesce_outcome(&mut self, dst: Temp, src_phys: PhysReg, wp: Point) -> CoalesceOutcome {
+        if self.loc[dst.index()] == Loc::Reg(src_phys) {
+            return CoalesceOutcome::AlreadyThere; // normal path handles it
+        }
+        if !matches!(self.loc[dst.index()], Loc::None) {
+            return CoalesceOutcome::NotFresh; // only coalesce a fresh destination
+        }
+        if self.f.temp_class(dst) != src_phys.class {
+            return CoalesceOutcome::ClassMismatch;
+        }
+        let d = self.dense(src_phys);
+        match self.reg_free_until(d, wp, dst) {
+            Some(free_until) if free_until >= self.lifetime_end(dst) => CoalesceOutcome::Coalesced,
+            _ => CoalesceOutcome::HoleTooSmall,
+        }
     }
 
     /// Debug-only invariant: a temporary believing it owns a register must
@@ -754,6 +853,9 @@ impl<'a> Scanner<'a> {
 
     fn block_start(&mut self, b: lsra_ir::BlockId) {
         self.cur_top = self.lt.top(b);
+        if self.sink.enabled() {
+            self.sink.event(&TraceEvent::BlockTop { block: b, first_gi: self.lt.first_inst(b) });
+        }
         self.wrote_local.fill(false);
         self.used_local.fill(false);
         if self.cfg.consistency == ConsistencyMode::Conservative {
@@ -808,6 +910,11 @@ impl<'a> Scanner<'a> {
                 };
                 if let Some(free_until) = self.reg_free_until(d, top, t) {
                     if free_until >= seg_end {
+                        if self.sink.enabled() {
+                            let ev =
+                                TraceEvent::HoleRestore { block: b, temp: t, reg: self.phys(d) };
+                            self.sink.event(&ev);
+                        }
                         self.bind(t, d);
                     }
                 }
@@ -828,6 +935,9 @@ impl<'a> Scanner<'a> {
                             "PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})",
                             self.last_reg[t.index()]
                         );
+                    }
+                    if self.sink.enabled() {
+                        self.sink.event(&TraceEvent::Pessimize { block: b, temp: t });
                     }
                     self.loc[t.index()] = Loc::Mem;
                 }
@@ -891,6 +1001,25 @@ impl<'a> Scanner<'a> {
                 let gi = first + k as u32;
                 let rp = Point::read(gi);
                 let wp = Point::write(gi);
+                if self.sink.enabled() {
+                    // Register pressure at this program point: registers
+                    // currently bound to a value (stale occupancies of
+                    // displaced or dead temporaries don't count).
+                    let mut int_regs = 0;
+                    let mut float_regs = 0;
+                    for d in 0..self.occupant.len() {
+                        let held = self.occupant[d]
+                            .is_some_and(|u| self.loc[u.index()] == Loc::Reg(self.phys(d)));
+                        if held {
+                            if d < self.ni {
+                                int_regs += 1;
+                            } else {
+                                float_regs += 1;
+                            }
+                        }
+                    }
+                    self.sink.event(&TraceEvent::Pressure { gi, int_regs, float_regs });
+                }
                 pre.clear();
                 // Convention sweep for register holes expiring at the read
                 // slot (call clobbers, precolored uses).

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use lsra_ir::{Function, MachineSpec, Module, SpillTag};
+use lsra_trace::{TraceEvent, TraceSink};
 
 /// Allocator phases whose wall-clock time is tracked when
 /// [`BinpackConfig::time_phases`](crate::BinpackConfig) is on.
@@ -24,15 +25,41 @@ pub enum Phase {
     Consistency = 5,
 }
 
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 6;
+    /// Every phase, in discriminant order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Order,
+        Phase::Liveness,
+        Phase::Lifetimes,
+        Phase::Scan,
+        Phase::Resolve,
+        Phase::Consistency,
+    ];
+}
+
 /// Names matching [`AllocTimings::seconds`] indices, for reports.
-pub const PHASE_NAMES: [&str; 6] =
+pub const PHASE_NAMES: [&str; Phase::COUNT] =
     ["order", "liveness", "lifetimes", "scan", "resolve", "consistency"];
+
+// Drift guard: adding a `Phase` variant without growing `PHASE_NAMES` (or
+// reordering discriminants) must fail to compile, not misattribute time.
+const _: () = {
+    assert!(PHASE_NAMES.len() == Phase::COUNT);
+    assert!(Phase::ALL.len() == Phase::COUNT);
+    let mut i = 0;
+    while i < Phase::COUNT {
+        assert!(Phase::ALL[i] as usize == i, "Phase discriminants must index PHASE_NAMES");
+        i += 1;
+    }
+};
 
 /// Per-phase wall-clock seconds for one function, or summed across a module.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct AllocTimings {
     /// Seconds per phase, indexed by [`Phase`] (see [`PHASE_NAMES`]).
-    pub seconds: [f64; 6],
+    pub seconds: [f64; Phase::COUNT],
 }
 
 impl AllocTimings {
@@ -71,15 +98,24 @@ impl PhaseTimer {
     }
 
     /// Charges the time since the previous mark (or construction) to
-    /// `phase`.
-    pub(crate) fn mark(&mut self, stats: &mut AllocStats, phase: Phase) {
+    /// `phase`, and emits a [`TraceEvent::Phase`] span to `sink`. A
+    /// disabled timer emits nothing — phase events carry wall-clock
+    /// seconds, so they only appear in traces that asked for timing
+    /// (keeping default traces byte-reproducible).
+    pub(crate) fn mark_traced(
+        &mut self,
+        stats: &mut AllocStats,
+        phase: Phase,
+        sink: &mut dyn TraceSink,
+    ) {
         if let Some(last) = self.last {
             let now = Instant::now();
-            stats
-                .timings
-                .get_or_insert_with(AllocTimings::default)
-                .record(phase, now.duration_since(last).as_secs_f64());
+            let dt = now.duration_since(last).as_secs_f64();
+            stats.timings.get_or_insert_with(AllocTimings::default).record(phase, dt);
             self.last = Some(now);
+            if sink.enabled() {
+                sink.event(&TraceEvent::Phase { name: PHASE_NAMES[phase as usize], seconds: dt });
+            }
         }
     }
 }
@@ -105,6 +141,13 @@ pub struct AllocStats {
     pub stores_suppressed: u64,
     /// Iterations of the `USED_C` dataflow (binpacking) or of the
     /// build-color-spill loop (coloring).
+    ///
+    /// Unlike every other field, [`AllocStats::merge`] combines this with
+    /// `max`, not `+`: the count is a per-function convergence depth, so
+    /// the meaningful module-level figure is the deepest dataflow any one
+    /// function needed. A sum would grow with function count and answer no
+    /// question (it is not work done — each iteration's cost already lands
+    /// in the wall-clock fields).
     pub iterations: u32,
     /// Interference-graph edges (coloring only; 0 for linear scan). The
     /// paper's Table 3 reports this as a problem-size measure.
@@ -155,6 +198,7 @@ impl AllocStats {
         self.moves_coalesced += other.moves_coalesced;
         self.lifetime_splits += other.lifetime_splits;
         self.stores_suppressed += other.stores_suppressed;
+        // Max, not sum — see the field doc on `iterations`.
         self.iterations = self.iterations.max(other.iterations);
         self.interference_edges += other.interference_edges;
         self.alloc_seconds += other.alloc_seconds;
@@ -215,5 +259,17 @@ mod tests {
         assert_eq!(a.candidates, 8);
         assert_eq!(a.evictions, 3);
         assert_eq!(a.iterations, 4);
+    }
+
+    #[test]
+    fn merge_takes_max_of_iterations_not_sum() {
+        let mut a = AllocStats { iterations: 3, ..Default::default() };
+        let b = AllocStats { iterations: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.iterations, 3, "iterations must merge as max, not 5");
+        // Order-independent: merging the larger into the smaller agrees.
+        let mut c = AllocStats { iterations: 2, ..Default::default() };
+        c.merge(&AllocStats { iterations: 3, ..Default::default() });
+        assert_eq!(c.iterations, 3);
     }
 }

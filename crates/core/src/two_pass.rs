@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use lsra_analysis::{Lifetimes, Liveness, LoopInfo, Point, Segment};
 use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
+use lsra_trace::{TraceEvent, TraceSink};
 
 use crate::config::BinpackConfig;
 use crate::scratch::AllocScratch;
@@ -104,7 +105,7 @@ impl<'a> TwoPass<'a> {
     }
 
     /// Pass 1: bin-pack whole lifetimes in start order; first fit.
-    fn pack(&mut self) {
+    fn pack(&mut self, sink: &mut dyn TraceSink) {
         let mut order: Vec<Temp> = (0..self.f.num_temps() as u32)
             .map(Temp)
             .filter(|&t| self.lt.lifetime(t).is_some() && !self.spilled[t.index()])
@@ -117,8 +118,18 @@ impl<'a> TwoPass<'a> {
             let class = self.f.temp_class(t);
             let choice = self.class_range(class).find(|&d| self.fits(d, t));
             match choice {
-                Some(d) => self.assign(t, d),
-                None => self.spilled[t.index()] = true,
+                Some(d) => {
+                    if sink.enabled() {
+                        sink.event(&TraceEvent::PackAssign { temp: t, reg: self.phys(d) });
+                    }
+                    self.assign(t, d);
+                }
+                None => {
+                    if sink.enabled() {
+                        sink.event(&TraceEvent::PackSpill { temp: t });
+                    }
+                    self.spilled[t.index()] = true;
+                }
             }
         }
     }
@@ -137,7 +148,7 @@ impl<'a> TwoPass<'a> {
     /// has enough free registers for its point lifetimes, unassigning
     /// victims until it does. Iterates to a fixed point (unassigning a temp
     /// adds point-lifetime demand at its own references).
-    fn ensure_point_feasibility(&mut self) {
+    fn ensure_point_feasibility(&mut self, sink: &mut dyn TraceSink) {
         loop {
             let mut changed = false;
             for b in self.f.block_ids() {
@@ -182,6 +193,9 @@ impl<'a> TwoPass<'a> {
                                      instruction {gi} (class {class})"
                                 )
                             });
+                            if sink.enabled() {
+                                sink.event(&TraceEvent::PackUnassign { temp: victim, gi });
+                            }
                             self.unassign(victim);
                             changed = true;
                         }
@@ -217,14 +231,15 @@ pub(crate) fn allocate(
     cfg: BinpackConfig,
     stats: &mut AllocStats,
     scratch: &mut AllocScratch,
+    sink: &mut dyn TraceSink,
 ) {
     let mut timer = PhaseTimer::new(cfg.time_phases);
     let live = Liveness::compute(f);
-    timer.mark(stats, Phase::Liveness);
+    timer.mark_traced(stats, Phase::Liveness, sink);
     let loops = LoopInfo::of(f);
-    timer.mark(stats, Phase::Order);
+    timer.mark_traced(stats, Phase::Order, sink);
     let lt = Lifetimes::compute(f, &live, &loops, spec);
-    timer.mark(stats, Phase::Lifetimes);
+    timer.mark_traced(stats, Phase::Lifetimes, sink);
     stats.candidates = f.num_temps();
 
     let ni = spec.num_regs(RegClass::Int) as usize;
@@ -246,13 +261,13 @@ pub(crate) fn allocate(
             tp.regs[d].insert(s, None);
         }
     }
-    tp.pack();
-    tp.ensure_point_feasibility();
+    tp.pack(sink);
+    tp.ensure_point_feasibility(sink);
     let assigned = tp.assigned;
     let spilled = tp.spilled;
     let regs = tp.regs;
     stats.spilled_temps = spilled.iter().filter(|&&s| s).count();
-    timer.mark(stats, Phase::Scan);
+    timer.mark_traced(stats, Phase::Scan, sink);
 
     // Pass 2: rewrite. Spilled references go through scratch registers free
     // at the instruction's span.
@@ -274,6 +289,9 @@ pub(crate) fn allocate(
     post.clear();
     for b in f.block_ids().collect::<Vec<_>>() {
         let first = lt.first_inst(b);
+        if sink.enabled() {
+            sink.event(&TraceEvent::BlockTop { block: b, first_gi: first });
+        }
         let insts = std::mem::take(&mut f.block_mut(b).insts);
         let mut out: Vec<Ins> = Vec::with_capacity(insts.len());
         for (k, mut ins) in insts.into_iter().enumerate() {
@@ -381,7 +399,7 @@ pub(crate) fn allocate(
     scratch.tp_pre = pre;
     scratch.tp_post = post;
     scratch.tp_src_temps = src_temps;
-    timer.mark(stats, Phase::Resolve);
+    timer.mark_traced(stats, Phase::Resolve, sink);
 }
 
 #[cfg(test)]
@@ -430,6 +448,7 @@ mod tests {
             BinpackConfig::two_pass(),
             &mut stats,
             &mut AllocScratch::default(),
+            &mut lsra_trace::NoopSink,
         );
         assert!(f.validate().is_ok());
         assert!(!f.has_virtual_operands());
@@ -458,6 +477,7 @@ mod tests {
             BinpackConfig::two_pass(),
             &mut stats,
             &mut AllocScratch::default(),
+            &mut lsra_trace::NoopSink,
         );
         f.allocated = true;
         // keep either got the lone callee-saved register or was spilled;
@@ -506,7 +526,14 @@ mod tests {
         let mut stats = AllocStats::default();
         let mut scratch = AllocScratch::default();
         for id in m.func_ids().collect::<Vec<_>>() {
-            allocate(m.func_mut(id), &spec, BinpackConfig::two_pass(), &mut stats, &mut scratch);
+            allocate(
+                m.func_mut(id),
+                &spec,
+                BinpackConfig::two_pass(),
+                &mut stats,
+                &mut scratch,
+                &mut lsra_trace::NoopSink,
+            );
             m.func_mut(id).allocated = true;
         }
         let r = lsra_vm::verify_allocation(&module, &m, &spec, &[], lsra_vm::VmOptions::default())

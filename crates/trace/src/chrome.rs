@@ -1,0 +1,179 @@
+//! Chrome `trace_event` export (loadable in Perfetto / `about://tracing`).
+//!
+//! The sink lays one allocation run out on a synthetic timeline: per-phase
+//! wall-clock spans (from the allocator's `time_phases` instrumentation)
+//! become complete events (`"ph": "X"`), each whole function becomes an
+//! enclosing span, decision events become thread-scoped instants
+//! (`"ph": "i"`) spread across the phase they occurred in, and register
+//! pressure becomes a counter track (`"ph": "C"`). When timing is off, the
+//! trace still loads: decisions are spaced one microsecond apart.
+
+use crate::event::TraceEvent;
+use crate::json::JsonWriter;
+use crate::sink::TraceSink;
+use crate::sinks::write_event_fields;
+
+/// One finished entry on the timeline, microsecond timestamps.
+#[derive(Clone, Debug)]
+enum Entry {
+    /// Complete event (`X`): a phase or whole-function span.
+    Span { name: String, cat: &'static str, ts: f64, dur: f64 },
+    /// Thread-scoped instant (`i`): one decision.
+    Instant { ev: TraceEvent, ts: f64 },
+    /// Counter sample (`C`): register pressure.
+    Counter { ts: f64, int_regs: u32, float_regs: u32 },
+}
+
+/// Builds a Chrome `trace_event` JSON array from the event stream; call
+/// [`ChromeSink::finish`] for the document.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeSink {
+    entries: Vec<Entry>,
+    /// Decision events since the last phase boundary, waiting for the
+    /// phase's duration to place them.
+    pending: Vec<TraceEvent>,
+    cursor_us: f64,
+    func_start_us: f64,
+    cur_fn: String,
+}
+
+impl ChromeSink {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeSink::default()
+    }
+
+    /// Places the pending decisions evenly across `[cursor, cursor + dur)`.
+    fn flush_pending(&mut self, dur: f64) {
+        let n = self.pending.len();
+        for (i, ev) in self.pending.drain(..).enumerate() {
+            let ts = self.cursor_us + dur * (i as f64 + 1.0) / (n as f64 + 1.0);
+            match ev {
+                TraceEvent::Pressure { int_regs, float_regs, .. } => {
+                    self.entries.push(Entry::Counter { ts, int_regs, float_regs });
+                }
+                ev => self.entries.push(Entry::Instant { ev, ts }),
+            }
+        }
+    }
+
+    /// The finished `trace_event` document: a JSON array Perfetto accepts.
+    pub fn finish(mut self) -> String {
+        // Anything still pending (timing off, or events after the last
+        // phase mark) gets microsecond spacing.
+        if !self.pending.is_empty() {
+            let dur = self.pending.len() as f64;
+            self.flush_pending(dur);
+            self.cursor_us += dur;
+        }
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        for e in &self.entries {
+            w.begin_object();
+            match e {
+                Entry::Span { name, cat, ts, dur } => {
+                    w.field_str("name", name);
+                    w.field_str("cat", cat);
+                    w.field_str("ph", "X");
+                    w.field_float("ts", *ts);
+                    w.field_float("dur", *dur);
+                }
+                Entry::Instant { ev, ts } => {
+                    w.field_str("name", ev.kind());
+                    w.field_str("cat", "decision");
+                    w.field_str("ph", "i");
+                    w.field_str("s", "t");
+                    w.field_float("ts", *ts);
+                    w.key("args");
+                    w.begin_object();
+                    write_event_fields(&mut w, ev);
+                    w.end_object();
+                }
+                Entry::Counter { ts, int_regs, float_regs } => {
+                    w.field_str("name", "register pressure");
+                    w.field_str("ph", "C");
+                    w.field_float("ts", *ts);
+                    w.key("args");
+                    w.begin_object();
+                    w.field_uint("int", *int_regs as u64);
+                    w.field_uint("float", *float_regs as u64);
+                    w.end_object();
+                }
+            }
+            w.field_uint("pid", 1);
+            w.field_uint("tid", 1);
+            w.end_object();
+        }
+        w.end_array();
+        w.finish()
+    }
+}
+
+impl TraceSink for ChromeSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::FunctionBegin { name, .. } => {
+                self.cur_fn = name.clone();
+                self.func_start_us = self.cursor_us;
+            }
+            TraceEvent::Phase { name, seconds } => {
+                // Spans shorter than the timestamp resolution still render.
+                let dur = (seconds * 1e6).max(0.01);
+                self.flush_pending(dur);
+                self.entries.push(Entry::Span {
+                    name: (*name).to_string(),
+                    cat: "phase",
+                    ts: self.cursor_us,
+                    dur,
+                });
+                self.cursor_us += dur;
+            }
+            TraceEvent::FunctionEnd { name } => {
+                if !self.pending.is_empty() {
+                    let dur = self.pending.len() as f64;
+                    self.flush_pending(dur);
+                    self.cursor_us += dur;
+                }
+                self.entries.push(Entry::Span {
+                    name: format!("@{name}"),
+                    cat: "function",
+                    ts: self.func_start_us,
+                    dur: (self.cursor_us - self.func_start_us).max(0.01),
+                });
+            }
+            ev => self.pending.push(ev.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FitTier;
+    use crate::json::validate;
+    use lsra_analysis::Point;
+    use lsra_ir::{PhysReg, Temp};
+
+    #[test]
+    fn trace_is_a_valid_event_array() {
+        let mut sink = ChromeSink::new();
+        sink.event(&TraceEvent::FunctionBegin { name: "m".into(), temps: 2, blocks: 1, insts: 3 });
+        sink.event(&TraceEvent::Assign {
+            temp: Temp(0),
+            reg: PhysReg::int(0),
+            at: Point::read(0),
+            tier: FitTier::Sufficient,
+            free_until: Point(40),
+            lifetime_end: Point(20),
+        });
+        sink.event(&TraceEvent::Pressure { gi: 0, int_regs: 1, float_regs: 0 });
+        sink.event(&TraceEvent::Phase { name: "scan", seconds: 0.001 });
+        sink.event(&TraceEvent::FunctionEnd { name: "m".into() });
+        let doc = sink.finish();
+        validate(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        assert!(doc.contains("\"ph\": \"X\""), "phase span missing: {doc}");
+        assert!(doc.contains("\"ph\": \"i\""), "instant missing: {doc}");
+        assert!(doc.contains("\"ph\": \"C\""), "pressure counter missing: {doc}");
+        assert!(doc.contains("\"name\": \"@m\""), "function span missing: {doc}");
+    }
+}

@@ -1,0 +1,560 @@
+//! The structured event vocabulary of the allocator's decision trace.
+//!
+//! Every variant of [`TraceEvent`] is one decision (or one structural
+//! marker) of the second-chance binpacking pipeline, carrying *why* the
+//! decision went the way it did: a spill records every candidate the
+//! eviction heuristic considered and the priority that lost; an assignment
+//! records which §2.2/§2.5 preference tier won; an eviction records what
+//! happened to the value (stored, store-suppressed, dead in a hole, or
+//! rescued by an early second chance). Events are plain owned data — a sink
+//! may buffer them across the whole allocation without borrowing the
+//! allocator.
+
+use lsra_analysis::Point;
+use lsra_ir::{BlockId, PhysReg, Temp};
+
+/// Which preference tier of the allocation heuristic satisfied a request
+/// (§2.2 smallest sufficient hole; §2.5 insufficiently large holes).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FitTier {
+    /// A hole covering the temporary's whole remaining lifetime (tier 0,
+    /// smallest such hole wins).
+    Sufficient,
+    /// A *register* hole cut short only by a convention (call clobber or
+    /// precolored use); the temporary will be evicted when it expires
+    /// (tier 1, largest wins).
+    InsufficientRegHole,
+    /// A *lifetime* hole of another temporary too small for the requester —
+    /// the last resort that keeps high pressure satisfiable (tier 2).
+    InsufficientTempHole,
+}
+
+impl FitTier {
+    /// Short lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FitTier::Sufficient => "sufficient",
+            FitTier::InsufficientRegHole => "insufficient-reg-hole",
+            FitTier::InsufficientTempHole => "insufficient-temp-hole",
+        }
+    }
+}
+
+/// One register the eviction heuristic (§2.3) considered and scored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpillCandidate {
+    /// The register holding the candidate victim.
+    pub reg: PhysReg,
+    /// The temporary that would be evicted.
+    pub occupant: Temp,
+    /// The victim's next linear reference (`None`: the value only flows
+    /// around a back edge).
+    pub next_ref: Option<Point>,
+    /// The loop-depth weight of that reference.
+    pub weight: f64,
+    /// `weight / (distance + 1)` — lowest priority is evicted.
+    pub priority: f64,
+}
+
+/// What happened to an evicted value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EvictAction {
+    /// A spill store was inserted.
+    Stored,
+    /// The store was suppressed: register and memory home were known
+    /// consistent (§2.3).
+    StoreSuppressed,
+    /// The temporary was inside one of its lifetime holes — it held no
+    /// value, so nothing was saved.
+    HoleNoStore,
+    /// Early second chance (§2.5): the value moved to another register
+    /// instead of memory.
+    EarlyMove(PhysReg),
+}
+
+/// Outcome of the §2.5 move-coalescing check at a move instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CoalesceOutcome {
+    /// The destination was bound to the source register.
+    Coalesced,
+    /// The destination already lived in the source register.
+    AlreadyThere,
+    /// The destination already had a location (not a fresh temporary).
+    NotFresh,
+    /// Destination class differs from the source register's class.
+    ClassMismatch,
+    /// The source register's hole does not cover the destination's
+    /// lifetime.
+    HoleTooSmall,
+}
+
+impl CoalesceOutcome {
+    /// Short lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoalesceOutcome::Coalesced => "coalesced",
+            CoalesceOutcome::AlreadyThere => "already-there",
+            CoalesceOutcome::NotFresh => "not-fresh",
+            CoalesceOutcome::ClassMismatch => "class-mismatch",
+            CoalesceOutcome::HoleTooSmall => "hole-too-small",
+        }
+    }
+}
+
+/// One repair operation on a CFG edge during resolution (§2.4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ResolveOp {
+    /// Register-to-register move (sequenced as part of a parallel copy).
+    Move {
+        /// Temporary being moved.
+        temp: Temp,
+        /// Source register at the predecessor's bottom.
+        src: PhysReg,
+        /// Destination register at the successor's top.
+        dst: PhysReg,
+    },
+    /// Reload from the memory home.
+    Load {
+        /// Temporary being loaded.
+        temp: Temp,
+        /// Destination register.
+        dst: PhysReg,
+    },
+    /// Store to the memory home because the locations disagree.
+    Store {
+        /// Temporary being stored.
+        temp: Temp,
+        /// Source register.
+        src: PhysReg,
+    },
+    /// Store inserted by the `USED_C` consistency patch: some path from the
+    /// successor exploits register/memory consistency that does not hold at
+    /// this predecessor (§2.4).
+    ConsistencyStore {
+        /// Temporary being stored.
+        temp: Temp,
+        /// Source register.
+        src: PhysReg,
+    },
+    /// A swap cycle in the parallel copy was broken through memory.
+    CycleBreak {
+        /// Temporary spilled to break the cycle.
+        temp: Temp,
+    },
+}
+
+/// One structured event from the allocation pipeline.
+///
+/// Events arrive in deterministic order for a given module and
+/// configuration: function by function (linear order), block by block,
+/// instruction by instruction. No event carries wall-clock data except
+/// [`TraceEvent::Phase`], which is only emitted when per-phase timing is
+/// enabled — so a trace taken with timing off is byte-reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Allocation of one function begins.
+    FunctionBegin {
+        /// Function name.
+        name: String,
+        /// Register candidates (temporaries).
+        temps: usize,
+        /// Basic blocks before allocation.
+        blocks: usize,
+        /// Instructions before allocation.
+        insts: usize,
+    },
+    /// Allocation of the named function finished.
+    FunctionEnd {
+        /// Function name.
+        name: String,
+    },
+    /// Lifetime/hole construction finished (§2.1).
+    LifetimesBuilt {
+        /// Temporaries with at least one live segment.
+        live_temps: usize,
+        /// Total live segments across all temporaries.
+        segments: usize,
+        /// Total lifetime holes (gaps between segments).
+        holes: usize,
+    },
+    /// One wall-clock phase of the allocator completed. Only emitted when
+    /// `BinpackConfig::time_phases` is on; carries nondeterministic seconds.
+    Phase {
+        /// Phase name (one of `lsra_core::PHASE_NAMES`).
+        name: &'static str,
+        /// Wall-clock seconds attributed to the phase.
+        seconds: f64,
+    },
+    /// The scan entered a block.
+    BlockTop {
+        /// The block.
+        block: BlockId,
+        /// Global linear index of its first instruction.
+        first_gi: u32,
+    },
+    /// A hole-displaced live-in temporary got its old register back at a
+    /// block boundary (the binpacking container reclaiming its bin).
+    HoleRestore {
+        /// The block whose top the restore happened at.
+        block: BlockId,
+        /// Restored temporary.
+        temp: Temp,
+        /// Its reclaimed register.
+        reg: PhysReg,
+    },
+    /// A live-in temporary with no location was pessimistically assumed to
+    /// be in its memory home (§2.4 will satisfy the assumption).
+    Pessimize {
+        /// The block whose top the assumption was made at.
+        block: BlockId,
+        /// The temporary assumed in memory.
+        temp: Temp,
+    },
+    /// Register pressure sampled at one instruction (occupied registers
+    /// holding a live value, per class).
+    Pressure {
+        /// Global linear instruction index.
+        gi: u32,
+        /// Occupied integer registers.
+        int_regs: u32,
+        /// Occupied float registers.
+        float_regs: u32,
+    },
+    /// A temporary was packed into a register hole.
+    Assign {
+        /// The temporary.
+        temp: Temp,
+        /// The register it was bound to.
+        reg: PhysReg,
+        /// The point of the request.
+        at: Point,
+        /// Which preference tier the hole satisfied.
+        tier: FitTier,
+        /// How long the hole lasts.
+        free_until: Point,
+        /// The temporary's remaining lifetime end (what a sufficient hole
+        /// must cover).
+        lifetime_end: Point,
+    },
+    /// No hole fit: the eviction heuristic scored every occupied register
+    /// of the class and spilled the lowest-priority victim (§2.3). The
+    /// candidate list records the distances/weights that lost.
+    SpillChoice {
+        /// The temporary that needed a register.
+        for_temp: Temp,
+        /// The point of the request.
+        at: Point,
+        /// Every candidate considered, in register order.
+        candidates: Vec<SpillCandidate>,
+        /// The register chosen for eviction (`None`: no candidate was
+        /// evictable and the allocator fell back to an insufficient hole).
+        chosen: Option<PhysReg>,
+    },
+    /// A register's occupant was evicted.
+    Evict {
+        /// The register.
+        reg: PhysReg,
+        /// The evicted temporary.
+        temp: Temp,
+        /// The point of the eviction.
+        at: Point,
+        /// True when forced by a convention (register hole expiry: call
+        /// clobber or precolored use, §2.5) rather than pressure.
+        convention: bool,
+        /// What happened to the value.
+        action: EvictAction,
+    },
+    /// Second chance (§2.3): a spilled temporary was reloaded at its next
+    /// use and stays in the register until evicted again.
+    Reload {
+        /// The reloaded temporary.
+        temp: Temp,
+        /// The register it was reloaded into.
+        reg: PhysReg,
+        /// The use's read slot.
+        at: Point,
+    },
+    /// Second chance at a definition (§2.3): the next reference to a
+    /// spilled temporary was a write, so it got a register and the store
+    /// was postponed (often forever).
+    DefRebind {
+        /// The redefined temporary.
+        temp: Temp,
+        /// The register it was bound to.
+        reg: PhysReg,
+        /// The definition's write slot.
+        at: Point,
+    },
+    /// The §2.5 move-coalescing check ran at a move instruction.
+    CoalesceCheck {
+        /// The move's destination temporary.
+        dst: Temp,
+        /// The move's (already rewritten) source register.
+        src: PhysReg,
+        /// The move's write slot.
+        at: Point,
+        /// What the check decided.
+        outcome: CoalesceOutcome,
+    },
+    /// One repair operation on a CFG edge during resolution (§2.4).
+    EdgeOp {
+        /// Edge source (CFG predecessor).
+        pred: BlockId,
+        /// Edge target (CFG successor).
+        succ: BlockId,
+        /// The operation.
+        op: ResolveOp,
+    },
+    /// The `USED_C` consistency dataflow converged.
+    ConsistencyDone {
+        /// Iterations to the fixed point.
+        iterations: u32,
+    },
+    /// Two-pass comparator: a whole lifetime was packed into a register.
+    PackAssign {
+        /// The temporary.
+        temp: Temp,
+        /// The register its whole lifetime occupies.
+        reg: PhysReg,
+    },
+    /// Two-pass comparator: a whole lifetime was spilled to memory.
+    PackSpill {
+        /// The spilled temporary.
+        temp: Temp,
+    },
+    /// Two-pass comparator: an assigned lifetime was unassigned to make
+    /// room for the point lifetimes of spilled references.
+    PackUnassign {
+        /// The victim whose whole lifetime moved to memory.
+        temp: Temp,
+        /// The instruction that needed the scratch registers.
+        gi: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lower-snake-case kind name (the `"ev"` field of the JSONL
+    /// form and the Chrome instant-event name).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::FunctionBegin { .. } => "function_begin",
+            TraceEvent::FunctionEnd { .. } => "function_end",
+            TraceEvent::LifetimesBuilt { .. } => "lifetimes_built",
+            TraceEvent::Phase { .. } => "phase",
+            TraceEvent::BlockTop { .. } => "block_top",
+            TraceEvent::HoleRestore { .. } => "hole_restore",
+            TraceEvent::Pessimize { .. } => "pessimize",
+            TraceEvent::Pressure { .. } => "pressure",
+            TraceEvent::Assign { .. } => "assign",
+            TraceEvent::SpillChoice { .. } => "spill_choice",
+            TraceEvent::Evict { .. } => "evict",
+            TraceEvent::Reload { .. } => "reload",
+            TraceEvent::DefRebind { .. } => "def_rebind",
+            TraceEvent::CoalesceCheck { .. } => "coalesce_check",
+            TraceEvent::EdgeOp { .. } => "edge_op",
+            TraceEvent::ConsistencyDone { .. } => "consistency_done",
+            TraceEvent::PackAssign { .. } => "pack_assign",
+            TraceEvent::PackSpill { .. } => "pack_spill",
+            TraceEvent::PackUnassign { .. } => "pack_unassign",
+        }
+    }
+
+    /// One human-readable line describing the event (no trailing newline).
+    pub fn describe(&self) -> String {
+        match self {
+            TraceEvent::FunctionBegin { name, temps, blocks, insts } => {
+                format!("function @{name}: {temps} temps, {blocks} blocks, {insts} insts")
+            }
+            TraceEvent::FunctionEnd { name } => format!("end @{name}"),
+            TraceEvent::LifetimesBuilt { live_temps, segments, holes } => {
+                format!("lifetimes: {live_temps} live temps, {segments} segments, {holes} holes")
+            }
+            TraceEvent::Phase { name, seconds } => {
+                format!("phase {name}: {:.3} ms", seconds * 1e3)
+            }
+            TraceEvent::BlockTop { block, first_gi } => {
+                format!("{block}: first inst {first_gi}")
+            }
+            TraceEvent::HoleRestore { block, temp, reg } => {
+                format!("restore {temp} -> {reg} (hole ended at top of {block})")
+            }
+            TraceEvent::Pessimize { block, temp } => {
+                format!("pessimize {temp} -> mem at top of {block}")
+            }
+            TraceEvent::Pressure { gi, int_regs, float_regs } => {
+                format!("pressure at inst {gi}: {int_regs} int, {float_regs} float")
+            }
+            TraceEvent::Assign { temp, reg, at, tier, free_until, lifetime_end } => {
+                // The scan models an unoccupied register as a hole ending
+                // at the sentinel `Point(u32::MAX)`.
+                let until = if free_until.0 == u32::MAX {
+                    "end".to_string()
+                } else {
+                    free_until.to_string()
+                };
+                format!(
+                    "assign {temp} -> {reg} at {at} ({} hole, free until {until}, \
+                     lifetime ends {lifetime_end})",
+                    tier.name()
+                )
+            }
+            TraceEvent::SpillChoice { for_temp, at, candidates, chosen } => {
+                let mut s = format!("spill choice for {for_temp} at {at}:");
+                if candidates.is_empty() {
+                    s.push_str(" no evictable candidate");
+                }
+                for c in candidates {
+                    let next = match c.next_ref {
+                        Some(p) => format!("{p}"),
+                        None => "none".to_string(),
+                    };
+                    s.push_str(&format!(
+                        " {}:{}(prio {:.4}, w {}, next {next})",
+                        c.reg, c.occupant, c.priority, c.weight
+                    ));
+                }
+                match chosen {
+                    Some(r) => s.push_str(&format!(" => evict {r}")),
+                    None => s.push_str(" => fall back to insufficient hole"),
+                }
+                s
+            }
+            TraceEvent::Evict { reg, temp, at, convention, action } => {
+                let why = if *convention { "convention" } else { "pressure" };
+                let act = match action {
+                    EvictAction::Stored => "stored".to_string(),
+                    EvictAction::StoreSuppressed => "store suppressed (consistent)".to_string(),
+                    EvictAction::HoleNoStore => "no store (in hole)".to_string(),
+                    EvictAction::EarlyMove(r) => format!("early second chance -> {r}"),
+                };
+                format!("evict {temp} from {reg} at {at} ({why}): {act}")
+            }
+            TraceEvent::Reload { temp, reg, at } => {
+                format!("second-chance reload {temp} -> {reg} at {at}")
+            }
+            TraceEvent::DefRebind { temp, reg, at } => {
+                format!("def rebind {temp} -> {reg} at {at} (store postponed)")
+            }
+            TraceEvent::CoalesceCheck { dst, src, at, outcome } => {
+                format!("coalesce {dst} with {src} at {at}: {}", outcome.name())
+            }
+            TraceEvent::EdgeOp { pred, succ, op } => {
+                let body = match op {
+                    ResolveOp::Move { temp, src, dst } => format!("move {temp}: {src} -> {dst}"),
+                    ResolveOp::Load { temp, dst } => format!("load {temp} -> {dst}"),
+                    ResolveOp::Store { temp, src } => format!("store {temp} from {src}"),
+                    ResolveOp::ConsistencyStore { temp, src } => {
+                        format!("consistency store {temp} from {src}")
+                    }
+                    ResolveOp::CycleBreak { temp } => {
+                        format!("break swap cycle through memory for {temp}")
+                    }
+                };
+                format!("edge {pred}->{succ}: {body}")
+            }
+            TraceEvent::ConsistencyDone { iterations } => {
+                format!("USED_C dataflow converged in {iterations} iteration(s)")
+            }
+            TraceEvent::PackAssign { temp, reg } => {
+                format!("pack whole lifetime {temp} -> {reg}")
+            }
+            TraceEvent::PackSpill { temp } => format!("pack whole lifetime {temp} -> memory"),
+            TraceEvent::PackUnassign { temp, gi } => {
+                format!("unassign {temp} for point lifetimes at inst {gi}")
+            }
+        }
+    }
+
+    /// The linear point the event is anchored at, when it has one.
+    pub fn point(&self) -> Option<Point> {
+        match self {
+            TraceEvent::Assign { at, .. }
+            | TraceEvent::SpillChoice { at, .. }
+            | TraceEvent::Evict { at, .. }
+            | TraceEvent::Reload { at, .. }
+            | TraceEvent::DefRebind { at, .. }
+            | TraceEvent::CoalesceCheck { at, .. } => Some(*at),
+            _ => None,
+        }
+    }
+
+    /// The global instruction index the event is anchored at: derived from
+    /// [`TraceEvent::point`] (a boundary point `B_i` anchors at `i`), or
+    /// carried directly by per-instruction events.
+    pub fn anchor_gi(&self) -> Option<u32> {
+        match self {
+            TraceEvent::Pressure { gi, .. } => Some(*gi),
+            TraceEvent::PackUnassign { gi, .. } => Some(*gi),
+            // Point layout (see `lsra_analysis::lifetimes`): read(i) = 4i+4,
+            // write(i) = 4i+6, before(i) = 4i+3 — all map to i via (p-3)/4.
+            _ => self.point().map(|p| p.0.saturating_sub(3) / 4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_maps_points_to_instructions() {
+        let ev = TraceEvent::Reload { temp: Temp(0), reg: PhysReg::int(0), at: Point::read(7) };
+        assert_eq!(ev.anchor_gi(), Some(7));
+        let ev = TraceEvent::Assign {
+            temp: Temp(0),
+            reg: PhysReg::int(0),
+            at: Point::write(7),
+            tier: FitTier::Sufficient,
+            free_until: Point(100),
+            lifetime_end: Point(90),
+        };
+        assert_eq!(ev.anchor_gi(), Some(7));
+        let ev = TraceEvent::Evict {
+            reg: PhysReg::int(1),
+            temp: Temp(2),
+            at: Point::before(7),
+            convention: true,
+            action: EvictAction::Stored,
+        };
+        assert_eq!(ev.anchor_gi(), Some(7));
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_decision_events() {
+        let kinds = [
+            TraceEvent::Reload { temp: Temp(0), reg: PhysReg::int(0), at: Point(4) }.kind(),
+            TraceEvent::Evict {
+                reg: PhysReg::int(0),
+                temp: Temp(0),
+                at: Point(4),
+                convention: false,
+                action: EvictAction::Stored,
+            }
+            .kind(),
+            TraceEvent::SpillChoice {
+                for_temp: Temp(0),
+                at: Point(4),
+                candidates: vec![],
+                chosen: None,
+            }
+            .kind(),
+            TraceEvent::CoalesceCheck {
+                dst: Temp(0),
+                src: PhysReg::int(0),
+                at: Point(4),
+                outcome: CoalesceOutcome::Coalesced,
+            }
+            .kind(),
+            TraceEvent::EdgeOp {
+                pred: BlockId(0),
+                succ: BlockId(1),
+                op: ResolveOp::CycleBreak { temp: Temp(0) },
+            }
+            .kind(),
+        ];
+        let mut unique = kinds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

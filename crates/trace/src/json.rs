@@ -1,0 +1,477 @@
+//! A small escaping-safe JSON writer (and syntax checker), shared by every
+//! machine-readable output in the workspace: the JSONL and Chrome-trace
+//! sinks, the metrics report, and the benchmark harness's
+//! `BENCH_alloc_time.json`.
+//!
+//! The workspace deliberately has no serde dependency; before this module,
+//! each JSON producer hand-rolled its formatting and none escaped strings —
+//! a workload or function name containing `"` or `\` produced invalid
+//! output. [`JsonWriter`] centralises comma placement and escaping;
+//! [`validate`] is a strict syntax checker used by tests and the fuzz/CI
+//! smoke paths to prove emitted documents parse.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes) into
+/// `out`: `"`, `\`, and control characters become escape sequences.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The escaped form of `s`, quotes included.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Reverses [`escape_into`] on string *contents*; `None` on a malformed
+/// escape. (Only the escapes the writer produces plus `\/`, `\b`, `\f`, and
+/// `\uXXXX` are understood — enough to round-trip any writer output.)
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'u' => {
+                let hex: String = (0..4).map(|_| it.next()).collect::<Option<_>>()?;
+                let v = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(v)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// What the writer is inside of, for comma placement.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Ctx {
+    Object,
+    Array,
+}
+
+/// An append-only JSON document builder with automatic comma placement and
+/// mandatory string escaping.
+///
+/// ```
+/// use lsra_trace::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("say \"hi\"");
+/// w.key("xs");
+/// w.begin_array();
+/// w.uint(1);
+/// w.uint(2);
+/// w.end_array();
+/// w.end_object();
+/// let doc = w.finish();
+/// assert_eq!(doc, r#"{"name": "say \"hi\"", "xs": [1, 2]}"#);
+/// lsra_trace::json::validate(&doc).unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    stack: Vec<Ctx>,
+    /// A value has already been written at the current nesting level.
+    has_value: bool,
+    /// A key was just written; the next value follows `: ` with no comma.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// The finished document text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed object/array");
+        self.buf
+    }
+
+    /// Bytes written so far (for inspection mid-build).
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    fn pre_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+        } else if self.has_value {
+            self.buf.push_str(", ");
+        }
+        self.has_value = true;
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.stack.push(Ctx::Object);
+        self.has_value = false;
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) {
+        debug_assert_eq!(self.stack.pop(), Some(Ctx::Object));
+        self.buf.push('}');
+        self.has_value = true;
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.stack.push(Ctx::Array);
+        self.has_value = false;
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) {
+        debug_assert_eq!(self.stack.pop(), Some(Ctx::Array));
+        self.buf.push(']');
+        self.has_value = true;
+    }
+
+    /// Writes an object key (escaped); the next call writes its value.
+    pub fn key(&mut self, k: &str) {
+        debug_assert_eq!(self.stack.last(), Some(&Ctx::Object));
+        if self.has_value {
+            self.buf.push_str(", ");
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\": ");
+        self.has_value = true;
+        self.after_key = true;
+    }
+
+    /// Writes a string value (escaped).
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(&mut self.buf, s);
+        self.buf.push('"');
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Writes a signed integer value.
+    pub fn int(&mut self, v: i64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Writes a float value (shortest round-trip form; non-finite values
+    /// become `null`, which JSON requires).
+    pub fn float(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            // `{:?}` guarantees a decimal point or exponent, so the value
+            // reads back as a float, not an integer.
+            let _ = write!(self.buf, "{v:?}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.buf.push_str("null");
+    }
+
+    /// Convenience: `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Convenience: `key` + unsigned value.
+    pub fn field_uint(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.uint(v);
+    }
+
+    /// Convenience: `key` + float value.
+    pub fn field_float(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.float(v);
+    }
+}
+
+/// Strictly checks that `s` is one complete JSON value (objects, arrays,
+/// strings, numbers, `true`/`false`/`null`; trailing whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a byte offset and message for the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                expect(b, i, b':')?;
+                skip_ws(b, i);
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, "true"),
+        Some(b'f') => literal(b, i, "false"),
+        Some(b'n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        _ => Err(format!("expected a value at byte {i}")),
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*i) == Some(&c) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {i}", c as char))
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    expect(b, i, b'"')?;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        *i += 1;
+                        for _ in 0..4 {
+                            if !b.get(*i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {i}"));
+                            }
+                            *i += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control character at byte {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotes_and_backslashes_round_trip() {
+        // The satellite regression: workload and function names containing
+        // `"` and `\` must escape to valid JSON and unescape back exactly.
+        for name in [r#"fn "quoted""#, r"path\to\fn", "tab\there", "\"\\\"", "mixed \\\" end"] {
+            let q = quote(name);
+            validate(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            let inner = &q[1..q.len() - 1];
+            assert_eq!(unescape(inner).as_deref(), Some(name), "round-trip of {name:?}");
+        }
+    }
+
+    #[test]
+    fn writer_builds_valid_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("workload", "we\"ird\\name");
+        w.key("entries");
+        w.begin_array();
+        for k in 0..3 {
+            w.begin_object();
+            w.field_uint("k", k);
+            w.field_float("v", 0.5 * k as f64);
+            w.key("flag");
+            w.bool(k == 1);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("nothing");
+        w.null();
+        w.end_object();
+        let doc = w.finish();
+        validate(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        assert!(doc.contains(r#""workload": "we\"ird\\name""#));
+    }
+
+    #[test]
+    fn floats_are_rereadable() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.float(1.0);
+        w.float(0.1);
+        w.float(f64::NAN);
+        w.end_array();
+        let doc = w.finish();
+        validate(&doc).unwrap();
+        assert_eq!(doc, "[1.0, 0.1, null]");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "\"\\x\"",
+            "01x",
+            "{} extra",
+            "nul",
+            "\"unterminated",
+            "[1 2]",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+        for good in ["{}", "[]", "3.5e-2", "-0", "\"a\\u00e9b\"", "  [null, true]  "] {
+            validate(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
+        }
+    }
+}

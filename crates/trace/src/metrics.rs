@@ -1,0 +1,535 @@
+//! Metrics registry built on the trace event stream: counters and
+//! fixed-bucket histograms, kept per function and merged on demand.
+//!
+//! The registry answers the aggregate questions the raw trace is too
+//! verbose for: how high does register pressure get and where does it sit,
+//! how often does the allocator find a sufficient hole versus settling for
+//! an insufficient one, why do values get spilled, and what the resolution
+//! phase spends its edges on. `lsra report` prints the text form;
+//! `lsra bench` persists the JSON form next to the timing numbers.
+
+use std::fmt::Write as _;
+
+use crate::event::{CoalesceOutcome, EvictAction, FitTier, ResolveOp, TraceEvent};
+use crate::json::JsonWriter;
+use crate::sink::TraceSink;
+
+/// Upper bounds (inclusive) of the pressure histogram buckets; the last
+/// bucket is open-ended. Register files top out at 32 in the machine specs,
+/// so these resolve the interesting low range and lump the saturated tail.
+pub const PRESSURE_BOUNDS: &[u32] = &[0, 1, 2, 4, 6, 8, 12, 16, 24, 32];
+
+/// A histogram over a fixed set of bucket upper bounds (no allocation per
+/// sample, merge = element-wise add).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u32],
+    /// `bounds.len() + 1` buckets; the last one counts samples above every
+    /// bound.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u32,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be strictly increasing).
+    pub fn new(bounds: &'static [u32]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram { bounds, buckets: vec![0; bounds.len() + 1], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u32) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum += v as u64;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds `other`'s samples into `self`. Bounds must match.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merging histograms with different buckets");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// One text line per non-empty bucket, e.g. `  <=4   127  ###`.
+    fn render(&self, out: &mut String, indent: &str) {
+        if self.count == 0 {
+            let _ = writeln!(out, "{indent}(no samples)");
+            return;
+        }
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let label = match self.bounds.get(i) {
+                Some(b) => format!("<={b}"),
+                None => format!(">{}", self.bounds.last().unwrap()),
+            };
+            let bar = "#".repeat(((n * 24).div_ceil(peak)) as usize);
+            let _ = writeln!(out, "{indent}{label:>5} {n:>8}  {bar}");
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_uint("count", self.count);
+        w.field_uint("sum", self.sum);
+        w.field_uint("max", self.max as u64);
+        w.key("buckets");
+        w.begin_array();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            w.begin_object();
+            match self.bounds.get(i) {
+                Some(&b) => w.field_uint("le", b as u64),
+                None => w.field_str("le", "inf"),
+            }
+            w.field_uint("n", n);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// Names for the spill-reason counters, index-aligned with
+/// [`FunctionMetrics::spill_reasons`].
+pub const SPILL_REASON_NAMES: [&str; 6] = [
+    "evict-stored",
+    "evict-store-suppressed",
+    "evict-hole-no-store",
+    "evict-early-move",
+    "resolve-cycle-break",
+    "pack-rejected",
+];
+
+/// Names for the resolution-op counters, index-aligned with
+/// [`FunctionMetrics::resolution_ops`].
+pub const RESOLUTION_OP_NAMES: [&str; 5] =
+    ["move", "load", "store", "consistency-store", "cycle-break"];
+
+/// Names for the hole-fit tiers, index-aligned with
+/// [`FunctionMetrics::fit_tiers`].
+pub const FIT_TIER_NAMES: [&str; 3] =
+    ["sufficient", "insufficient-reg-hole", "insufficient-temp-hole"];
+
+/// Names for the coalesce-check outcomes, index-aligned with
+/// [`FunctionMetrics::coalesce_outcomes`].
+pub const COALESCE_OUTCOME_NAMES: [&str; 5] =
+    ["coalesced", "already-there", "not-fresh", "class-mismatch", "hole-too-small"];
+
+/// Counters and histograms for one function's allocation run.
+#[derive(Clone, Debug)]
+pub struct FunctionMetrics {
+    /// Function name (empty in the merged module total).
+    pub name: String,
+    /// Integer-register pressure at each program point the scan visited.
+    pub pressure_int: Histogram,
+    /// Float-register pressure at each program point the scan visited.
+    pub pressure_float: Histogram,
+    /// Bin assignments by fit tier (see [`FIT_TIER_NAMES`]); the first
+    /// bucket over the total is the hole-fit success rate.
+    pub fit_tiers: [u64; 3],
+    /// Why values left registers (see [`SPILL_REASON_NAMES`]).
+    pub spill_reasons: [u64; 6],
+    /// Resolution edge-op mix (see [`RESOLUTION_OP_NAMES`]).
+    pub resolution_ops: [u64; 5],
+    /// Coalesce-check outcomes (see [`COALESCE_OUTCOME_NAMES`]).
+    pub coalesce_outcomes: [u64; 5],
+    /// Second-chance reloads inserted at uses.
+    pub reloads: u64,
+    /// Definitions re-bound straight to a register while spilled.
+    pub def_rebinds: u64,
+    /// Lifetime-hole restores applied at block entry.
+    pub hole_restores: u64,
+    /// Block-entry pessimizations (value assumed in memory).
+    pub pessimizes: u64,
+    /// Consistency dataflow iterations; merges as `max`, mirroring
+    /// `AllocStats::iterations` (slowest function bounds the module).
+    pub consistency_iterations: u64,
+}
+
+impl FunctionMetrics {
+    /// Fresh, zeroed metrics for `name`.
+    pub fn new(name: &str) -> Self {
+        FunctionMetrics {
+            name: name.to_string(),
+            pressure_int: Histogram::new(PRESSURE_BOUNDS),
+            pressure_float: Histogram::new(PRESSURE_BOUNDS),
+            fit_tiers: [0; 3],
+            spill_reasons: [0; 6],
+            resolution_ops: [0; 5],
+            coalesce_outcomes: [0; 5],
+            reloads: 0,
+            def_rebinds: 0,
+            hole_restores: 0,
+            pessimizes: 0,
+            consistency_iterations: 0,
+        }
+    }
+
+    /// Folds one event into the counters.
+    pub fn record(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Pressure { int_regs, float_regs, .. } => {
+                self.pressure_int.record(*int_regs);
+                self.pressure_float.record(*float_regs);
+            }
+            TraceEvent::Assign { tier, .. } => {
+                let i = match tier {
+                    FitTier::Sufficient => 0,
+                    FitTier::InsufficientRegHole => 1,
+                    FitTier::InsufficientTempHole => 2,
+                };
+                self.fit_tiers[i] += 1;
+            }
+            TraceEvent::Evict { action, .. } => {
+                let i = match action {
+                    EvictAction::Stored => 0,
+                    EvictAction::StoreSuppressed => 1,
+                    EvictAction::HoleNoStore => 2,
+                    EvictAction::EarlyMove(_) => 3,
+                };
+                self.spill_reasons[i] += 1;
+            }
+            TraceEvent::EdgeOp { op, .. } => {
+                let i = match op {
+                    ResolveOp::Move { .. } => 0,
+                    ResolveOp::Load { .. } => 1,
+                    ResolveOp::Store { .. } => 2,
+                    ResolveOp::ConsistencyStore { .. } => 3,
+                    ResolveOp::CycleBreak { .. } => 4,
+                };
+                self.resolution_ops[i] += 1;
+                if matches!(op, ResolveOp::CycleBreak { .. }) {
+                    self.spill_reasons[4] += 1;
+                }
+            }
+            TraceEvent::CoalesceCheck { outcome, .. } => {
+                let i = match outcome {
+                    CoalesceOutcome::Coalesced => 0,
+                    CoalesceOutcome::AlreadyThere => 1,
+                    CoalesceOutcome::NotFresh => 2,
+                    CoalesceOutcome::ClassMismatch => 3,
+                    CoalesceOutcome::HoleTooSmall => 4,
+                };
+                self.coalesce_outcomes[i] += 1;
+            }
+            TraceEvent::Reload { .. } => self.reloads += 1,
+            TraceEvent::DefRebind { .. } => self.def_rebinds += 1,
+            TraceEvent::HoleRestore { .. } => self.hole_restores += 1,
+            TraceEvent::Pessimize { .. } => self.pessimizes += 1,
+            TraceEvent::ConsistencyDone { iterations } => {
+                self.consistency_iterations = self.consistency_iterations.max(*iterations as u64);
+            }
+            TraceEvent::PackSpill { .. } => self.spill_reasons[5] += 1,
+            TraceEvent::PackAssign { .. } => self.fit_tiers[0] += 1,
+            _ => {}
+        }
+    }
+
+    /// Adds `other` into `self`. All counters sum; `consistency_iterations`
+    /// takes the max, like `AllocStats::merge`.
+    pub fn merge(&mut self, other: &FunctionMetrics) {
+        self.pressure_int.merge(&other.pressure_int);
+        self.pressure_float.merge(&other.pressure_float);
+        for (a, b) in self.fit_tiers.iter_mut().zip(&other.fit_tiers) {
+            *a += *b;
+        }
+        for (a, b) in self.spill_reasons.iter_mut().zip(&other.spill_reasons) {
+            *a += *b;
+        }
+        for (a, b) in self.resolution_ops.iter_mut().zip(&other.resolution_ops) {
+            *a += *b;
+        }
+        for (a, b) in self.coalesce_outcomes.iter_mut().zip(&other.coalesce_outcomes) {
+            *a += *b;
+        }
+        self.reloads += other.reloads;
+        self.def_rebinds += other.def_rebinds;
+        self.hole_restores += other.hole_restores;
+        self.pessimizes += other.pessimizes;
+        self.consistency_iterations = self.consistency_iterations.max(other.consistency_iterations);
+    }
+
+    /// Fraction of bin assignments that landed in a sufficient hole
+    /// (`None` when nothing was assigned).
+    pub fn hole_fit_rate(&self) -> Option<f64> {
+        let total: u64 = self.fit_tiers.iter().sum();
+        (total > 0).then(|| self.fit_tiers[0] as f64 / total as f64)
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", &self.name);
+        w.key("pressure_int");
+        self.pressure_int.write_json(w);
+        w.key("pressure_float");
+        self.pressure_float.write_json(w);
+        let named = |w: &mut JsonWriter, key: &str, names: &[&str], vals: &[u64]| {
+            w.key(key);
+            w.begin_object();
+            for (name, v) in names.iter().zip(vals) {
+                w.field_uint(name, *v);
+            }
+            w.end_object();
+        };
+        named(w, "fit_tiers", &FIT_TIER_NAMES, &self.fit_tiers);
+        named(w, "spill_reasons", &SPILL_REASON_NAMES, &self.spill_reasons);
+        named(w, "resolution_ops", &RESOLUTION_OP_NAMES, &self.resolution_ops);
+        named(w, "coalesce_outcomes", &COALESCE_OUTCOME_NAMES, &self.coalesce_outcomes);
+        match self.hole_fit_rate() {
+            Some(r) => w.field_float("hole_fit_rate", r),
+            None => {
+                w.key("hole_fit_rate");
+                w.null();
+            }
+        }
+        w.field_uint("reloads", self.reloads);
+        w.field_uint("def_rebinds", self.def_rebinds);
+        w.field_uint("hole_restores", self.hole_restores);
+        w.field_uint("pessimizes", self.pessimizes);
+        w.field_uint("consistency_iterations", self.consistency_iterations);
+        w.end_object();
+    }
+}
+
+/// Per-function metrics for a whole module, plus the merged total.
+#[derive(Clone, Debug)]
+pub struct ModuleMetrics {
+    /// Metrics per function, in allocation order.
+    pub funcs: Vec<FunctionMetrics>,
+}
+
+impl ModuleMetrics {
+    /// The merged module-wide total.
+    pub fn total(&self) -> FunctionMetrics {
+        let mut t = FunctionMetrics::new("");
+        for f in &self.funcs {
+            t.merge(f);
+        }
+        t
+    }
+
+    /// Human-readable report (the `lsra report` output body).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let t = self.total();
+        let _ = writeln!(out, "functions: {}", self.funcs.len());
+        match t.hole_fit_rate() {
+            Some(r) => {
+                let total: u64 = t.fit_tiers.iter().sum();
+                let _ = writeln!(
+                    out,
+                    "hole-fit success rate: {:.1}% of {} assignments",
+                    r * 100.0,
+                    total
+                );
+            }
+            None => {
+                let _ = writeln!(out, "hole-fit success rate: n/a (no assignments)");
+            }
+        }
+        let section = |out: &mut String, title: &str, names: &[&str], vals: &[u64]| {
+            let _ = writeln!(out, "{title}:");
+            let total: u64 = vals.iter().sum();
+            if total == 0 {
+                let _ = writeln!(out, "  (none)");
+                return;
+            }
+            for (name, &v) in names.iter().zip(vals) {
+                if v > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<24} {v:>8}  ({:.1}%)",
+                        v as f64 * 100.0 / total as f64
+                    );
+                }
+            }
+        };
+        section(&mut out, "assignments by fit tier", &FIT_TIER_NAMES, &t.fit_tiers);
+        section(&mut out, "spill reasons", &SPILL_REASON_NAMES, &t.spill_reasons);
+        section(&mut out, "resolution op mix", &RESOLUTION_OP_NAMES, &t.resolution_ops);
+        section(&mut out, "coalesce checks", &COALESCE_OUTCOME_NAMES, &t.coalesce_outcomes);
+        let _ = writeln!(
+            out,
+            "reloads: {}  def-rebinds: {}  hole-restores: {}  pessimizes: {}",
+            t.reloads, t.def_rebinds, t.hole_restores, t.pessimizes
+        );
+        let _ = writeln!(out, "consistency iterations (max): {}", t.consistency_iterations);
+        let _ = writeln!(
+            out,
+            "int register pressure per program point (mean {:.2}, max {}):",
+            t.pressure_int.mean(),
+            t.pressure_int.max()
+        );
+        t.pressure_int.render(&mut out, "  ");
+        if t.pressure_float.count() > 0 && t.pressure_float.max() > 0 {
+            let _ = writeln!(
+                out,
+                "float register pressure per program point (mean {:.2}, max {}):",
+                t.pressure_float.mean(),
+                t.pressure_float.max()
+            );
+            t.pressure_float.render(&mut out, "  ");
+        }
+        out
+    }
+
+    /// JSON document: `{"total": {...}, "functions": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("total");
+        self.total().write_json(&mut w);
+        w.key("functions");
+        w.begin_array();
+        for f in &self.funcs {
+            f.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Sink that folds the event stream into [`ModuleMetrics`], one
+/// [`FunctionMetrics`] per traced function.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSink {
+    cur: Option<FunctionMetrics>,
+    done: Vec<FunctionMetrics>,
+}
+
+impl MetricsSink {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// The per-function metrics collected so far.
+    pub fn finish(mut self) -> ModuleMetrics {
+        if let Some(f) = self.cur.take() {
+            self.done.push(f);
+        }
+        ModuleMetrics { funcs: self.done }
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::FunctionBegin { name, .. } => {
+                if let Some(f) = self.cur.take() {
+                    self.done.push(f);
+                }
+                self.cur = Some(FunctionMetrics::new(name));
+            }
+            TraceEvent::FunctionEnd { .. } => {
+                if let Some(f) = self.cur.take() {
+                    self.done.push(f);
+                }
+            }
+            ev => {
+                if let Some(f) = self.cur.as_mut() {
+                    f.record(ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use lsra_analysis::Point;
+    use lsra_ir::{PhysReg, Temp};
+
+    #[test]
+    fn histogram_buckets_and_merge() {
+        let mut h = Histogram::new(&[1, 4, 8]);
+        for v in [0, 1, 2, 4, 5, 9, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets, vec![2, 2, 1, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 100);
+        let mut h2 = Histogram::new(&[1, 4, 8]);
+        h2.record(3);
+        h2.merge(&h);
+        assert_eq!(h2.count(), 8);
+        assert_eq!(h2.buckets, vec![2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn per_function_split_and_max_merge_for_iterations() {
+        let mut sink = MetricsSink::new();
+        sink.event(&TraceEvent::FunctionBegin { name: "a".into(), temps: 1, blocks: 1, insts: 1 });
+        sink.event(&TraceEvent::ConsistencyDone { iterations: 3 });
+        sink.event(&TraceEvent::Pressure { gi: 0, int_regs: 2, float_regs: 0 });
+        sink.event(&TraceEvent::FunctionEnd { name: "a".into() });
+        sink.event(&TraceEvent::FunctionBegin { name: "b".into(), temps: 1, blocks: 1, insts: 1 });
+        sink.event(&TraceEvent::ConsistencyDone { iterations: 5 });
+        sink.event(&TraceEvent::Reload { temp: Temp(0), reg: PhysReg::int(0), at: Point::read(0) });
+        sink.event(&TraceEvent::FunctionEnd { name: "b".into() });
+        let m = sink.finish();
+        assert_eq!(m.funcs.len(), 2);
+        assert_eq!(m.funcs[0].consistency_iterations, 3);
+        assert_eq!(m.funcs[1].reloads, 1);
+        let t = m.total();
+        // Sums everywhere, max for the dataflow iteration count.
+        assert_eq!(t.reloads, 1);
+        assert_eq!(t.pressure_int.count(), 1);
+        assert_eq!(t.consistency_iterations, 5);
+    }
+
+    #[test]
+    fn report_and_json_render() {
+        let mut sink = MetricsSink::new();
+        sink.event(&TraceEvent::FunctionBegin { name: "f".into(), temps: 2, blocks: 1, insts: 2 });
+        sink.event(&TraceEvent::Assign {
+            temp: Temp(0),
+            reg: PhysReg::int(0),
+            at: Point::read(0),
+            tier: crate::event::FitTier::Sufficient,
+            free_until: Point(40),
+            lifetime_end: Point(20),
+        });
+        sink.event(&TraceEvent::Pressure { gi: 0, int_regs: 1, float_regs: 0 });
+        sink.event(&TraceEvent::FunctionEnd { name: "f".into() });
+        let m = sink.finish();
+        let text = m.report();
+        assert!(text.contains("hole-fit success rate: 100.0%"), "{text}");
+        let json = m.to_json();
+        validate(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+        assert!(json.contains("\"hole_fit_rate\": 1.0"), "{json}");
+    }
+}

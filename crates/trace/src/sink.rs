@@ -1,0 +1,64 @@
+//! The [`TraceSink`] trait and the two structural sinks (no-op, recorder).
+
+use crate::event::TraceEvent;
+
+/// A consumer of allocation decision events.
+///
+/// The allocator holds a `&mut dyn TraceSink` and guards every emission
+/// with [`TraceSink::enabled`], so a disabled sink costs one predictable
+/// branch per potential event and *zero* payload construction — the
+/// candidate vectors, pressure counts, and strings behind an event are only
+/// built when the gate answers `true`. A sink must never influence the
+/// allocation itself; the determinism suite pins that tracing on/off yields
+/// byte-identical output.
+pub trait TraceSink {
+    /// Cheap gate: when `false`, the allocator skips building event
+    /// payloads entirely and [`TraceSink::event`] is never called.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Events arrive in deterministic program order
+    /// (function by function, instruction by instruction).
+    fn event(&mut self, ev: &TraceEvent);
+}
+
+/// The zero-cost default sink: disabled, receives nothing.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn event(&mut self, _: &TraceEvent) {}
+}
+
+/// Buffers every event in order; the substrate for the renderers that need
+/// the whole stream (annotated IR, Chrome trace) and for tests.
+#[derive(Clone, Debug, Default)]
+pub struct RecordSink {
+    /// The recorded stream, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for RecordSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_record_is_enabled() {
+        assert!(!NoopSink.enabled());
+        let mut r = RecordSink::default();
+        assert!(r.enabled());
+        r.event(&TraceEvent::FunctionEnd { name: "f".into() });
+        assert_eq!(r.events.len(), 1);
+    }
+}

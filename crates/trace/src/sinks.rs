@@ -1,0 +1,302 @@
+//! The streaming text sinks: human-readable decision log and JSONL.
+
+use std::fmt::Write as _;
+
+use crate::event::{ResolveOp, SpillCandidate, TraceEvent};
+use crate::json::JsonWriter;
+use crate::sink::TraceSink;
+
+/// Human-readable decision log: one line per event, indented under
+/// function/block headers. The format is for people; parse the JSONL form
+/// instead.
+#[derive(Clone, Debug, Default)]
+pub struct LogSink {
+    out: String,
+}
+
+impl LogSink {
+    /// An empty log.
+    pub fn new() -> Self {
+        LogSink::default()
+    }
+
+    /// The accumulated log text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl TraceSink for LogSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        let line = ev.describe();
+        match ev {
+            TraceEvent::FunctionBegin { .. } | TraceEvent::FunctionEnd { .. } => {
+                let _ = writeln!(self.out, "{line}");
+            }
+            TraceEvent::BlockTop { .. } => {
+                let _ = writeln!(self.out, "  {line}");
+            }
+            _ => {
+                let prefix = match ev.point() {
+                    Some(p) => format!("[{p}] "),
+                    None => String::new(),
+                };
+                let _ = writeln!(self.out, "    {prefix}{line}");
+            }
+        }
+    }
+}
+
+/// Serialises the payload fields of `ev` into an (already open) JSON
+/// object. Shared between the JSONL sink and the Chrome sink's `args`.
+pub(crate) fn write_event_fields(w: &mut JsonWriter, ev: &TraceEvent) {
+    let point_field = |w: &mut JsonWriter, key: &str, p: &lsra_analysis::Point| {
+        w.field_str(key, &p.to_string());
+    };
+    match ev {
+        TraceEvent::FunctionBegin { name, temps, blocks, insts } => {
+            w.field_str("name", name);
+            w.field_uint("temps", *temps as u64);
+            w.field_uint("blocks", *blocks as u64);
+            w.field_uint("insts", *insts as u64);
+        }
+        TraceEvent::FunctionEnd { name } => w.field_str("name", name),
+        TraceEvent::LifetimesBuilt { live_temps, segments, holes } => {
+            w.field_uint("live_temps", *live_temps as u64);
+            w.field_uint("segments", *segments as u64);
+            w.field_uint("holes", *holes as u64);
+        }
+        TraceEvent::Phase { name, seconds } => {
+            w.field_str("name", name);
+            w.field_float("seconds", *seconds);
+        }
+        TraceEvent::BlockTop { block, first_gi } => {
+            w.field_str("block", &block.to_string());
+            w.field_uint("first_gi", *first_gi as u64);
+        }
+        TraceEvent::HoleRestore { block, temp, reg } => {
+            w.field_str("block", &block.to_string());
+            w.field_str("temp", &temp.to_string());
+            w.field_str("reg", &reg.to_string());
+        }
+        TraceEvent::Pessimize { block, temp } => {
+            w.field_str("block", &block.to_string());
+            w.field_str("temp", &temp.to_string());
+        }
+        TraceEvent::Pressure { gi, int_regs, float_regs } => {
+            w.field_uint("gi", *gi as u64);
+            w.field_uint("int", *int_regs as u64);
+            w.field_uint("float", *float_regs as u64);
+        }
+        TraceEvent::Assign { temp, reg, at, tier, free_until, lifetime_end } => {
+            w.field_str("temp", &temp.to_string());
+            w.field_str("reg", &reg.to_string());
+            point_field(w, "at", at);
+            w.field_str("tier", tier.name());
+            point_field(w, "free_until", free_until);
+            point_field(w, "lifetime_end", lifetime_end);
+        }
+        TraceEvent::SpillChoice { for_temp, at, candidates, chosen } => {
+            w.field_str("for", &for_temp.to_string());
+            point_field(w, "at", at);
+            w.key("candidates");
+            w.begin_array();
+            for SpillCandidate { reg, occupant, next_ref, weight, priority } in candidates {
+                w.begin_object();
+                w.field_str("reg", &reg.to_string());
+                w.field_str("occupant", &occupant.to_string());
+                match next_ref {
+                    Some(p) => point_field(w, "next_ref", p),
+                    None => {
+                        w.key("next_ref");
+                        w.null();
+                    }
+                }
+                w.field_float("weight", *weight);
+                w.field_float("priority", *priority);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("chosen");
+            match chosen {
+                Some(r) => w.string(&r.to_string()),
+                None => w.null(),
+            }
+        }
+        TraceEvent::Evict { reg, temp, at, convention, action } => {
+            w.field_str("reg", &reg.to_string());
+            w.field_str("temp", &temp.to_string());
+            point_field(w, "at", at);
+            w.key("convention");
+            w.bool(*convention);
+            use crate::event::EvictAction::*;
+            let (name, moved_to) = match action {
+                Stored => ("stored", None),
+                StoreSuppressed => ("store-suppressed", None),
+                HoleNoStore => ("hole-no-store", None),
+                EarlyMove(r) => ("early-move", Some(*r)),
+            };
+            w.field_str("action", name);
+            if let Some(r) = moved_to {
+                w.field_str("moved_to", &r.to_string());
+            }
+        }
+        TraceEvent::Reload { temp, reg, at } | TraceEvent::DefRebind { temp, reg, at } => {
+            w.field_str("temp", &temp.to_string());
+            w.field_str("reg", &reg.to_string());
+            point_field(w, "at", at);
+        }
+        TraceEvent::CoalesceCheck { dst, src, at, outcome } => {
+            w.field_str("dst", &dst.to_string());
+            w.field_str("src", &src.to_string());
+            point_field(w, "at", at);
+            w.field_str("outcome", outcome.name());
+        }
+        TraceEvent::EdgeOp { pred, succ, op } => {
+            w.field_str("pred", &pred.to_string());
+            w.field_str("succ", &succ.to_string());
+            match op {
+                ResolveOp::Move { temp, src, dst } => {
+                    w.field_str("op", "move");
+                    w.field_str("temp", &temp.to_string());
+                    w.field_str("src", &src.to_string());
+                    w.field_str("dst", &dst.to_string());
+                }
+                ResolveOp::Load { temp, dst } => {
+                    w.field_str("op", "load");
+                    w.field_str("temp", &temp.to_string());
+                    w.field_str("dst", &dst.to_string());
+                }
+                ResolveOp::Store { temp, src } => {
+                    w.field_str("op", "store");
+                    w.field_str("temp", &temp.to_string());
+                    w.field_str("src", &src.to_string());
+                }
+                ResolveOp::ConsistencyStore { temp, src } => {
+                    w.field_str("op", "consistency-store");
+                    w.field_str("temp", &temp.to_string());
+                    w.field_str("src", &src.to_string());
+                }
+                ResolveOp::CycleBreak { temp } => {
+                    w.field_str("op", "cycle-break");
+                    w.field_str("temp", &temp.to_string());
+                }
+            }
+        }
+        TraceEvent::ConsistencyDone { iterations } => {
+            w.field_uint("iterations", *iterations as u64);
+        }
+        TraceEvent::PackAssign { temp, reg } => {
+            w.field_str("temp", &temp.to_string());
+            w.field_str("reg", &reg.to_string());
+        }
+        TraceEvent::PackSpill { temp } => w.field_str("temp", &temp.to_string()),
+        TraceEvent::PackUnassign { temp, gi } => {
+            w.field_str("temp", &temp.to_string());
+            w.field_uint("gi", *gi as u64);
+        }
+    }
+}
+
+/// JSONL sink: one JSON object per event per line, each tagged with the
+/// event kind (`"ev"`) and the function it belongs to (`"fn"`).
+///
+/// Traces taken with per-phase timing off contain no wall-clock data, so
+/// allocating the same module twice yields byte-identical JSONL — pinned by
+/// the determinism suite.
+#[derive(Clone, Debug, Default)]
+pub struct JsonlSink {
+    out: String,
+    cur_fn: String,
+}
+
+impl JsonlSink {
+    /// An empty JSONL buffer.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// The accumulated JSONL text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        if let TraceEvent::FunctionBegin { name, .. } = ev {
+            self.cur_fn = name.clone();
+        }
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("ev", ev.kind());
+        w.field_str("fn", &self.cur_fn);
+        write_event_fields(&mut w, ev);
+        w.end_object();
+        self.out.push_str(&w.finish());
+        self.out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use lsra_analysis::Point;
+    use lsra_ir::{PhysReg, Temp};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::FunctionBegin { name: "f\"1\\".into(), temps: 3, blocks: 1, insts: 4 },
+            TraceEvent::Assign {
+                temp: Temp(1),
+                reg: PhysReg::int(2),
+                at: Point::read(0),
+                tier: crate::event::FitTier::Sufficient,
+                free_until: Point(40),
+                lifetime_end: Point(30),
+            },
+            TraceEvent::SpillChoice {
+                for_temp: Temp(2),
+                at: Point::read(1),
+                candidates: vec![SpillCandidate {
+                    reg: PhysReg::int(0),
+                    occupant: Temp(0),
+                    next_ref: None,
+                    weight: 10.0,
+                    priority: 0.25,
+                }],
+                chosen: Some(PhysReg::int(0)),
+            },
+            TraceEvent::FunctionEnd { name: "f\"1\\".into() },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let mut sink = JsonlSink::new();
+        for ev in sample_events() {
+            sink.event(&ev);
+        }
+        let out = sink.finish();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            validate(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // The escaped function name survives in the `fn` context field.
+        assert!(lines[1].contains(r#""fn": "f\"1\\""#), "got {}", lines[1]);
+    }
+
+    #[test]
+    fn log_sink_is_line_per_event() {
+        let mut sink = LogSink::new();
+        for ev in sample_events() {
+            sink.event(&ev);
+        }
+        let out = sink.finish();
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("spill choice for t2"));
+        assert!(out.contains("prio 0.25"), "losing distances must be visible: {out}");
+    }
+}

@@ -5,6 +5,8 @@
 //! lsra run <file.lsra> [--input FILE] [--machine SPEC]
 //! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup]
 //!                        [--check] [--run] [--time-phases] [--workers N]
+//!                        [--trace FILE] [--trace-format FMT]
+//! lsra report <file.lsra> [--allocator NAME] [--machine SPEC] [--json FILE]
 //! lsra workloads                              list the built-in benchmarks
 //! lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]
 //! lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]...
@@ -16,6 +18,19 @@
 //! `--time-phases` prints a per-phase wall-clock breakdown and `--workers N`
 //! sets the module-level thread count (0 = all cores, 1 = serial); both
 //! apply to the binpack and two-pass allocators.
+//!
+//! Wherever a `<file.lsra>` is expected, a built-in workload name (see
+//! `lsra workloads`) is accepted too.
+//!
+//! `alloc --trace FILE` records every allocation decision (binpack and
+//! two-pass only) and writes it in `--trace-format FMT`: `log` (human
+//! lines, the default), `jsonl` (one JSON object per event), `chrome`
+//! (Chrome `trace_event` JSON — open in Perfetto; implies per-phase
+//! timing), or `annotate` (the allocated IR with decisions interleaved as
+//! comments). `report` allocates with the metrics registry and prints
+//! counters and histograms — register pressure, hole-fit rate, spill
+//! reasons, resolution op mix; `--json FILE` additionally writes them as
+//! JSON. `bench` writes the same registry to `BENCH_alloc_metrics.json`.
 //!
 //! `alloc --check` proves the allocation with the symbolic checker (and the
 //! VM's static check) before identity-move removal; `alloc --run` executes
@@ -39,10 +54,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lsra print <file.lsra>\n  lsra run <file.lsra> [--input FILE] [--machine SPEC]\n  \
          lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--check] [--run]\n           \
-         [--time-phases] [--workers N]\n  \
+         [--time-phases] [--workers N] [--trace FILE] [--trace-format log|jsonl|chrome|annotate]\n  \
+         lsra report <file.lsra> [--allocator NAME] [--machine SPEC] [--json FILE]\n  \
          lsra workloads\n  lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]\n  \
          lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n\n\
-         SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto"
+         SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto\n\
+         <file.lsra> may also be a built-in workload name (see `lsra workloads`)"
     );
     ExitCode::from(2)
 }
@@ -102,6 +119,12 @@ struct Opts {
     seed: u64,
     iters: u64,
     shrink: bool,
+    /// `--trace FILE`: record allocation decisions into this file.
+    trace: Option<String>,
+    /// `--trace-format`: log | jsonl | chrome | annotate.
+    trace_format: String,
+    /// `--json FILE` (report): also write the metrics registry as JSON.
+    json: Option<String>,
 }
 
 impl Opts {
@@ -128,6 +151,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: 0x5eed_1998,
         iters: 100,
         shrink: false,
+        trace: None,
+        trace_format: "log".to_string(),
+        json: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -160,6 +186,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.iters = v.parse().map_err(|_| "bad iteration count")?;
             }
             "--shrink" => o.shrink = true,
+            "--trace" => o.trace = Some(it.next().ok_or("--trace needs a file")?.clone()),
+            "--trace-format" => {
+                let v = it.next().ok_or("--trace-format needs a value")?;
+                if !["log", "jsonl", "chrome", "annotate"].contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown trace format `{v}` (log | jsonl | chrome | annotate)"
+                    ));
+                }
+                o.trace_format = v.clone();
+            }
+            "--json" => o.json = Some(it.next().ok_or("--json needs a file")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -168,7 +205,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn load_module(path: &str) -> Result<Module, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // A non-existent path that names a built-in workload loads the
+    // workload, so `lsra alloc fpppp --trace ...` works without a file.
+    if !std::path::Path::new(path).exists() {
+        if let Some(w) = lsra_workloads::by_name(path) {
+            return Ok((w.build)());
+        }
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {path}: {e} (and it is not a built-in workload name)"))?;
     let m = lsra_ir::parse_module(&text).map_err(|e| format!("{path}:{e}"))?;
     Ok(m)
 }
@@ -194,12 +239,73 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The allocator's binpack-family config for `name`, or `None` for the
+/// baselines; the traced paths need a concrete [`BinpackAllocator`].
+fn binpack_base(name: &str) -> Option<BinpackConfig> {
+    match name {
+        "binpack" => Some(BinpackConfig::default()),
+        "two-pass" => Some(BinpackConfig::two_pass()),
+        _ => None,
+    }
+}
+
+/// Allocates `m` through the traced binpack path and writes the decision
+/// trace to `--trace FILE` in `--trace-format`. Returns the merged stats
+/// and the allocator's report name.
+fn allocate_traced(
+    o: &Opts,
+    m: &mut Module,
+    spec: &MachineSpec,
+) -> Result<(AllocStats, String), String> {
+    use second_chance_regalloc::trace::{annotate, ChromeSink, JsonlSink, LogSink, RecordSink};
+    let base = binpack_base(o.allocator()).ok_or_else(|| {
+        format!("--trace needs the binpack or two-pass allocator, not `{}`", o.allocator())
+    })?;
+    let mut cfg = BinpackConfig { time_phases: o.time_phases, workers: o.workers, ..base };
+    // Chrome spans come from the per-phase wall-clock marks; the format is
+    // empty without them.
+    if o.trace_format == "chrome" {
+        cfg.time_phases = true;
+    }
+    let alloc = BinpackAllocator::new(cfg);
+    let path = o.trace.as_deref().expect("only called with --trace");
+    let (stats, text) = match o.trace_format.as_str() {
+        "log" => {
+            let mut s = LogSink::new();
+            (alloc.allocate_module_traced(m, spec, &mut s), s.finish())
+        }
+        "jsonl" => {
+            let mut s = JsonlSink::new();
+            (alloc.allocate_module_traced(m, spec, &mut s), s.finish())
+        }
+        "chrome" => {
+            let mut s = ChromeSink::new();
+            (alloc.allocate_module_traced(m, spec, &mut s), s.finish())
+        }
+        "annotate" => {
+            let mut s = RecordSink::default();
+            let stats = alloc.allocate_module_traced(m, spec, &mut s);
+            // Render before identity-move removal: the annotator pairs
+            // untagged instructions 1:1 with the original program order.
+            (stats, annotate(m, &s.events))
+        }
+        other => return Err(format!("unknown trace format `{other}`")),
+    };
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("; trace: {path} ({})", o.trace_format);
+    Ok((stats, alloc.name().to_string()))
+}
+
 fn cmd_alloc(o: &Opts) -> Result<(), String> {
     let original = load_module(o.positional.first().ok_or("missing file")?)?;
     let spec = o.machine();
-    let alloc = make_allocator(o)?;
     let mut m = original.clone();
-    let stats = alloc.allocate_module(&mut m, &spec);
+    let (stats, alloc_name) = if o.trace.is_some() {
+        allocate_traced(o, &mut m, &spec)?
+    } else {
+        let alloc = make_allocator(o)?;
+        (alloc.allocate_module(&mut m, &spec), alloc.name().to_string())
+    };
     // The symbolic checker pairs allocated instructions 1:1 with the
     // original, so it must see the module before identity-move removal.
     if o.check {
@@ -220,7 +326,7 @@ fn cmd_alloc(o: &Opts) -> Result<(), String> {
     print!("{m}");
     eprintln!(
         "; {}: candidates={} spilled={} inserted={} coalesced={} ({:.2} ms)",
-        alloc.name(),
+        alloc_name,
         stats.candidates,
         stats.spilled_temps,
         stats.inserted_total(),
@@ -244,6 +350,33 @@ fn cmd_alloc(o: &Opts) -> Result<(), String> {
             "; verified: return {:?}, {} dynamic instructions ({} original)",
             after.ret, after.counts.total, before.counts.total
         );
+    }
+    Ok(())
+}
+
+fn cmd_report(o: &Opts) -> Result<(), String> {
+    use second_chance_regalloc::trace::MetricsSink;
+    let mut m = load_module(o.positional.first().ok_or("missing file")?)?;
+    let spec = o.machine();
+    let base = binpack_base(o.allocator()).ok_or_else(|| {
+        format!("report needs the binpack or two-pass allocator, not `{}`", o.allocator())
+    })?;
+    let alloc = BinpackAllocator::new(BinpackConfig { workers: o.workers, ..base });
+    let mut sink = MetricsSink::new();
+    let stats = alloc.allocate_module_traced(&mut m, &spec, &mut sink);
+    let metrics = sink.finish();
+    print!("{}", metrics.report());
+    eprintln!(
+        "; {}: candidates={} spilled={} inserted={} ({:.2} ms)",
+        alloc.name(),
+        stats.candidates,
+        stats.spilled_temps,
+        stats.inserted_total(),
+        stats.alloc_seconds * 1e3,
+    );
+    if let Some(path) = &o.json {
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("; metrics json: {path}");
     }
     Ok(())
 }
@@ -293,6 +426,10 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
             }
             None => print!("{}", f.module_text),
         }
+        if let Some(trace) = &f.trace_text {
+            eprintln!("; decision trace of the repro:");
+            print!("{trace}");
+        }
     }
     if report.ok() {
         eprintln!("; ok: no failures");
@@ -333,6 +470,17 @@ fn cmd_bench(o: &Opts) -> Result<(), String> {
         r.counts.evict(),
         r.counts.resolve(),
     );
+    // A separate metrics-instrumented allocation on a fresh clone, so the
+    // sink's cost never lands in the `alloc time` figure above.
+    if let Some(base) = binpack_base(o.allocator()) {
+        let mut sink = second_chance_regalloc::trace::MetricsSink::new();
+        let mut m2 = original.clone();
+        BinpackAllocator::new(base).allocate_module_traced(&mut m2, &spec, &mut sink);
+        let path = "BENCH_alloc_metrics.json";
+        std::fs::write(path, sink.finish().to_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics:    {path}");
+    }
     Ok(())
 }
 
@@ -350,6 +498,7 @@ fn main() -> ExitCode {
         "print" => cmd_print(&opts),
         "run" => cmd_run(&opts),
         "alloc" => cmd_alloc(&opts),
+        "report" => cmd_report(&opts),
         "workloads" => cmd_workloads(),
         "bench" => cmd_bench(&opts),
         "fuzz" => cmd_fuzz(&opts),

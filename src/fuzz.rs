@@ -91,6 +91,10 @@ pub struct FuzzFailure {
     /// The shrunk repro as `.lsra` text, when shrinking was requested and
     /// the minimized module still fails.
     pub shrunk_text: Option<String>,
+    /// Annotated decision trace of the failing case (the shrunk module when
+    /// one exists, else the original). `None` for the baseline allocators,
+    /// which emit no trace events.
+    pub trace_text: Option<String>,
 }
 
 /// Summary of a [`run_fuzz`] run.
@@ -174,6 +178,36 @@ pub fn check_case(original: &Module, allocator: &str, spec: &MachineSpec) -> Res
     compare_runs(&before, &after).map_err(|e| format!("differential run: {e}"))
 }
 
+/// Best-effort annotated decision trace of allocating `original` (binpack
+/// family only — the baselines emit no events). When the allocation panics
+/// or produces an invalid module, the events recorded up to that point are
+/// rendered as plain log lines instead, so the trace still shows the last
+/// decisions before the failure.
+fn trace_failure(original: &Module, allocator: &str, spec: &MachineSpec) -> Option<String> {
+    let cfg = match allocator {
+        "binpack" => lsra_core::BinpackConfig::default(),
+        "two-pass" => lsra_core::BinpackConfig::two_pass(),
+        _ => return None,
+    };
+    let alloc = lsra_core::BinpackAllocator::new(cfg);
+    let mut m = original.clone();
+    let mut sink = lsra_trace::RecordSink::default();
+    let completed = catch_unwind(AssertUnwindSafe(|| {
+        alloc.allocate_module_traced(&mut m, spec, &mut sink);
+    }))
+    .is_ok();
+    if completed && m.validate().is_ok() {
+        Some(lsra_trace::annotate(&m, &sink.events))
+    } else {
+        let mut out = String::from("; allocation died mid-function; decisions so far:\n");
+        for ev in &sink.events {
+            out.push_str(&ev.describe());
+            out.push('\n');
+        }
+        Some(out)
+    }
+}
+
 /// True when the module itself is a sane fuzz subject: structurally valid
 /// and clean under reference execution. Shrink candidates that break this
 /// are uninteresting (the "failure" would be the program's, not the
@@ -194,12 +228,20 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             for name in &cfg.allocators {
                 report.cases += 1;
                 let Err(what) = check_case(&module, name, spec) else { continue };
-                let shrunk_text = cfg.shrink.then(|| {
+                // Trace the smallest module that still fails: the shrunk
+                // repro when shrinking is on, the original otherwise.
+                let mut shrunk_text = None;
+                let shrunk_mod;
+                let mut trace_subject = &module;
+                if cfg.shrink {
                     let mut oracle =
                         |c: &Module| reference_clean(c, spec) && check_case(c, name, spec).is_err();
                     let (small, _) = lsra_checker::shrink_module(&module, &mut oracle);
-                    format!("{small}")
-                });
+                    shrunk_text = Some(format!("{small}"));
+                    shrunk_mod = small;
+                    trace_subject = &shrunk_mod;
+                }
+                let trace_text = trace_failure(trace_subject, name, spec);
                 report.failures.push(FuzzFailure {
                     iter,
                     machine: spec.name().to_string(),
@@ -207,6 +249,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     what,
                     module_text: format!("{module}"),
                     shrunk_text,
+                    trace_text,
                 });
                 if cfg.max_failures != 0 && report.failures.len() >= cfg.max_failures {
                     report.iters = iter + 1;

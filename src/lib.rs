@@ -16,6 +16,9 @@
 //!   programs, plus random-program and scaling generators;
 //! * [`checker`] — the symbolic allocation checker (proves every read sees
 //!   the right temporary's value) and the delta-debugging module shrinker;
+//! * [`trace`] — structured decision tracing: events from the allocator's
+//!   hot path with log/JSONL/Chrome-trace/annotated-IR sinks and a
+//!   per-function metrics registry (`lsra report`);
 //! * [`fuzz`] — differential fuzzing of all four allocators under the
 //!   symbolic checker, static check, and VM differential execution.
 //!
@@ -43,6 +46,7 @@ pub use lsra_coloring as coloring;
 pub use lsra_core as binpack;
 pub use lsra_ir as ir;
 pub use lsra_poletto as poletto;
+pub use lsra_trace as trace;
 pub use lsra_vm as vm;
 pub use lsra_workloads as workloads;
 
