@@ -146,6 +146,27 @@ impl BinpackAllocator {
         stats
     }
 
+    /// Allocates every function of a module serially, reusing `scratch`'s
+    /// working memory across functions *and* across calls.
+    ///
+    /// This is the long-lived-process hook: a server worker that allocates
+    /// many modules in a row keeps one arena for its whole lifetime instead
+    /// of re-growing the per-temp/per-register vectors on every request.
+    /// Output and (wall-clock-free) statistics are identical to
+    /// [`RegisterAllocator::allocate_module`] at any worker count.
+    pub fn allocate_module_reusing(
+        &self,
+        m: &mut Module,
+        spec: &MachineSpec,
+        scratch: &mut AllocScratch,
+    ) -> AllocStats {
+        let mut total = AllocStats::default();
+        for f in &mut m.funcs {
+            total.merge(&self.allocate_function_reusing(f, spec, scratch));
+        }
+        total
+    }
+
     /// Allocates every function of a module with tracing, serially and in
     /// module order so the event stream is deterministic.
     ///

@@ -87,10 +87,26 @@ impl MachineSpec {
     /// # Panics
     ///
     /// Panics if `int < 2` (a return register plus at least one other
-    /// register are required) or `float < 1`.
+    /// register are required) or `float < 1`. Use
+    /// [`MachineSpec::try_small`] when the counts come from user input.
     pub fn small(int: u8, float: u8) -> Self {
-        assert!(int >= 2, "need at least 2 integer registers");
-        assert!(float >= 1, "need at least 1 float register");
+        MachineSpec::try_small(int, float).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MachineSpec::small`]: returns an error message instead of
+    /// panicking on an infeasible register file, so CLI and protocol paths
+    /// can turn bad counts into a usage error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `int < 2` or `float < 1`.
+    pub fn try_small(int: u8, float: u8) -> Result<Self, String> {
+        if int < 2 {
+            return Err("need at least 2 integer registers".to_string());
+        }
+        if float < 1 {
+            return Err("need at least 1 float register".to_string());
+        }
         let args = |n: u8| -> Vec<u8> {
             if n >= 4 {
                 vec![1, 2]
@@ -107,13 +123,45 @@ impl MachineSpec {
             let max_arg = args(n).iter().max().copied().unwrap_or(0);
             (0..n.div_ceil(2).max(max_arg + 1)).collect()
         };
-        MachineSpec::new(
+        Ok(MachineSpec::new(
             format!("small-{int}i{float}f"),
             [int, float],
             [caller(int), caller(float)],
             [args(int), args(float)],
             [vec![0], vec![0]],
-        )
+        ))
+    }
+
+    /// Parses a machine selector as the CLI and the allocation-service
+    /// protocol spell it: `alpha` (the [`MachineSpec::alpha_like`] default)
+    /// or `small:I,F` (a [`MachineSpec::try_small`] configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for unknown selectors, malformed counts, or
+    /// infeasible register files (e.g. `small:1,0`), never panicking on user
+    /// input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "alpha" {
+            return Ok(MachineSpec::alpha_like());
+        }
+        if let Some(rest) = s.strip_prefix("small:") {
+            let (i, f) = rest.split_once(',').ok_or("expected small:I,F")?;
+            let i: u8 = i.parse().map_err(|_| "bad int register count")?;
+            let f: u8 = f.parse().map_err(|_| "bad float register count")?;
+            return MachineSpec::try_small(i, f);
+        }
+        Err(format!("unknown machine `{s}` (alpha | small:I,F)"))
+    }
+
+    /// The selector string [`MachineSpec::parse`] maps back to this spec:
+    /// `alpha` for the Alpha-like machine, `small:I,F` for small files.
+    pub fn selector(&self) -> String {
+        if self.name == "alpha-like" {
+            "alpha".to_string()
+        } else {
+            format!("small:{},{}", self.num_regs(RegClass::Int), self.num_regs(RegClass::Float))
+        }
     }
 
     /// The machine's name (for reports).
@@ -244,6 +292,27 @@ mod tests {
         assert_eq!(m.ret_reg(RegClass::Float), PhysReg::float(0));
         assert!(m.is_caller_saved(PhysReg::float(0)), "return register must be caller-saved");
         assert_eq!(m.arg_reg(RegClass::Int, 0), Some(PhysReg::int(1)));
+    }
+
+    #[test]
+    fn try_small_rejects_infeasible_files_without_panicking() {
+        assert!(MachineSpec::try_small(1, 0).is_err());
+        assert!(MachineSpec::try_small(2, 0).is_err());
+        assert!(MachineSpec::try_small(0, 3).is_err());
+        assert_eq!(MachineSpec::try_small(2, 1).unwrap(), MachineSpec::small(2, 1));
+    }
+
+    #[test]
+    fn parse_and_selector_round_trip() {
+        for sel in ["alpha", "small:2,1", "small:4,2", "small:25,28"] {
+            let m = MachineSpec::parse(sel).unwrap();
+            assert_eq!(m.selector(), sel);
+            assert_eq!(MachineSpec::parse(&m.selector()).unwrap(), m);
+        }
+        assert!(MachineSpec::parse("small:1,0").is_err(), "infeasible file is an error");
+        assert!(MachineSpec::parse("small:4").is_err());
+        assert!(MachineSpec::parse("vax").is_err());
+        assert!(MachineSpec::parse("small:x,y").is_err());
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! The allocation service: a batched, cached, backpressured server over
+//! the register allocators, plus the load generator that verifies it.
+//!
+//! The subsystem turns the allocator library into a long-lived process
+//! speaking a line-delimited JSON protocol (one request line in, one
+//! response line out — see [`protocol`]):
+//!
+//! - [`protocol`] — request parsing (a small dependency-free JSON reader,
+//!   [`json_in`]) and byte-deterministic response rendering through the
+//!   shared `lsra_trace::json::JsonWriter`.
+//! - [`cache`] — a content-addressed result cache keyed by the canonical
+//!   program text plus allocator/machine/options, FNV-addressed,
+//!   LRU-evicted under a byte budget, collision-safe by full-key compare.
+//! - [`service`] — the bounded work queue and worker pool (one reused
+//!   `AllocScratch` per worker), per-request deadlines, immediate
+//!   `overloaded` backpressure, and `catch_unwind` panic isolation.
+//! - [`net`] — the stdio and TCP transports behind `lsra serve`.
+//! - [`loadgen`] — the deterministic load generator behind `lsra loadgen`,
+//!   which verifies every response byte-for-byte against a direct,
+//!   cache-free `allocate_module` run and emits `BENCH_serve.json`.
+//!
+//! Responses never include wall-clock or cache-state fields, so the same
+//! request always yields the same bytes — hit or miss, served or direct —
+//! which is what makes both the load generator's comparison and the fuzz
+//! harness's service stage exact.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json_in;
+pub mod loadgen;
+pub mod net;
+pub mod protocol;
+pub mod service;
+
+pub use cache::{fnv64, Cache, Outcome};
+pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
+pub use net::{serve_lines, serve_stdio, serve_tcp};
+pub use protocol::{expected_response_line, parse_request, ParsedLine, Request};
+pub use service::{CountersSnapshot, ServeConfig, Service};

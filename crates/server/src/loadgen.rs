@@ -1,0 +1,439 @@
+//! The verifying load generator behind `lsra loadgen`.
+//!
+//! Builds a deterministic request mix over the named workloads — each
+//! non-duplicate request is a *unique* program (the workload module plus a
+//! uniquely-named tag function), and `dup_percent` of requests repeat an
+//! earlier request verbatim to exercise the result cache — then drives a
+//! server from `concurrency` client threads. Every `ok`/`error` response is
+//! compared **byte-for-byte** against [`protocol::expected_response_line`],
+//! a direct cache-free `allocate_module` execution of the same request, so
+//! a cache-key collision, a stale entry, a protocol escaping bug, or any
+//! allocator nondeterminism shows up as a mismatch. Results (throughput,
+//! latency percentiles, hit rate, rejection counts, mismatches) are
+//! serialized to `BENCH_serve.json` through the shared JSON writer and
+//! checked with the shared validator before being written.
+//!
+//! The driver works against an in-process [`Service`] (the default: the
+//! benchmark includes no network stack) or over TCP against a running
+//! `lsra serve --addr` instance (`--addr`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsra_ir::{FunctionBuilder, MachineSpec};
+use lsra_trace::json::JsonWriter;
+use lsra_workloads::{Lcg, Workload};
+
+use crate::json_in::{self, JsonValue};
+use crate::protocol::{self, ParsedLine};
+use crate::service::{ServeConfig, Service};
+
+/// Load-generator configuration; every knob has an `lsra loadgen` flag.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Workload names the request mix draws from (at least one).
+    pub workloads: Vec<String>,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Percentage of requests (after the first) that repeat an earlier
+    /// request verbatim.
+    pub dup_percent: u64,
+    /// Mix seed (the run is deterministic in it, modulo scheduling).
+    pub seed: u64,
+    /// Allocator every request names.
+    pub allocator: String,
+    /// Machine selector every request names (`alpha` | `small:I,F`).
+    pub machine: String,
+    /// Drive a remote `lsra serve --addr` instance instead of an
+    /// in-process service.
+    pub addr: Option<String>,
+    /// In-process service configuration (ignored with `addr`).
+    pub serve: ServeConfig,
+    /// Where to write the benchmark document (`None` = don't write).
+    pub out_path: Option<String>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            workloads: Vec::new(),
+            requests: 200,
+            concurrency: 8,
+            dup_percent: 50,
+            seed: 0x5eed_1998,
+            allocator: "binpack".to_string(),
+            machine: "alpha".to_string(),
+            addr: None,
+            serve: ServeConfig::default(),
+            out_path: Some("BENCH_serve.json".to_string()),
+        }
+    }
+}
+
+/// Latency summary in milliseconds.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Slowest request.
+    pub max: f64,
+}
+
+/// What a load-generation run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Requests issued.
+    pub requests: usize,
+    /// `ok` responses.
+    pub ok: u64,
+    /// Structured `error` responses.
+    pub errors: u64,
+    /// Backpressure responses (`timeout` / `overloaded` / `too_large`) —
+    /// not verified byte-for-byte (they depend on load, not the program),
+    /// but counted.
+    pub rejected: u64,
+    /// Responses that differed from the direct execution, byte-for-byte.
+    pub mismatches: u64,
+    /// The first mismatch, abbreviated, for diagnostics.
+    pub first_mismatch: Option<String>,
+    /// Wall-clock for the whole run.
+    pub elapsed_seconds: f64,
+    /// Requests per second over the run.
+    pub throughput_rps: f64,
+    /// Client-observed latency percentiles.
+    pub latency_ms: LatencySummary,
+    /// Cache hits over the run (delta of server counters).
+    pub cache_hits: u64,
+    /// Cache misses over the run (delta of server counters).
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups.
+    pub hit_rate: f64,
+    /// The `BENCH_serve.json` document for this run.
+    pub json: String,
+}
+
+/// One client endpoint: the in-process service or a TCP connection.
+enum Client {
+    Local(Arc<Service>),
+    Tcp(BufReader<TcpStream>),
+}
+
+impl Client {
+    fn connect(service: &Option<Arc<Service>>, addr: &Option<String>) -> Result<Client, String> {
+        match (service, addr) {
+            (Some(s), _) => Ok(Client::Local(Arc::clone(s))),
+            (None, Some(a)) => {
+                let stream =
+                    TcpStream::connect(a).map_err(|e| format!("connecting to {a}: {e}"))?;
+                Ok(Client::Tcp(BufReader::new(stream)))
+            }
+            (None, None) => Err("loadgen needs an in-process service or an address".to_string()),
+        }
+    }
+
+    fn call(&mut self, line: &str) -> Result<String, String> {
+        match self {
+            Client::Local(s) => Ok(s.call(line)),
+            Client::Tcp(reader) => {
+                let stream = reader.get_mut();
+                stream
+                    .write_all(line.as_bytes())
+                    .and_then(|()| stream.write_all(b"\n"))
+                    .map_err(|e| format!("send: {e}"))?;
+                let mut resp = String::new();
+                let n = reader.read_line(&mut resp).map_err(|e| format!("recv: {e}"))?;
+                if n == 0 {
+                    return Err("server closed the connection".to_string());
+                }
+                while resp.ends_with('\n') || resp.ends_with('\r') {
+                    resp.pop();
+                }
+                Ok(resp)
+            }
+        }
+    }
+}
+
+/// The workload module plus a uniquely-named tag function, as program
+/// text: structurally the same allocation problem, but a distinct cache
+/// key per `tag` — which is what lets `dup_percent` control the hit rate.
+fn unique_program(w: &Workload, spec: &MachineSpec, tag: usize) -> String {
+    let mut m = (w.build)();
+    let mut b = FunctionBuilder::new(spec, format!("uniq_{tag}"), &[]);
+    let t = b.int_temp("t");
+    b.movi(t, tag as i64);
+    b.ret(Some(t.into()));
+    m.add_func(b.finish());
+    format!("{m}")
+}
+
+fn request_line(id: &str, program: &str, cfg: &LoadgenConfig) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("id", id);
+    w.field_str("program", program);
+    w.field_str("allocator", &cfg.allocator);
+    w.field_str("machine", &cfg.machine);
+    w.key("emit_module");
+    w.bool(true);
+    w.end_object();
+    w.finish()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn cache_counters(client: &mut Client) -> Result<(u64, u64), String> {
+    let resp = client.call(r#"{"id": "loadgen-stats", "op": "stats"}"#)?;
+    let v = json_in::parse(&resp).map_err(|e| format!("stats response: {e}"))?;
+    let get = |k: &str| {
+        v.get(k)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("stats response missing `{k}`: {resp}"))
+    };
+    Ok((get("cache_hits")?, get("cache_misses")?))
+}
+
+fn render_bench_json(cfg: &LoadgenConfig, r: &LoadgenReport) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("workloads");
+    w.begin_array();
+    for name in &cfg.workloads {
+        w.string(name);
+    }
+    w.end_array();
+    w.field_uint("requests", r.requests as u64);
+    w.field_uint("concurrency", cfg.concurrency as u64);
+    w.field_uint("dup_percent", cfg.dup_percent);
+    w.field_str("allocator", &cfg.allocator);
+    w.field_str("machine", &cfg.machine);
+    w.field_str("mode", if cfg.addr.is_some() { "tcp" } else { "in-process" });
+    w.field_float("elapsed_seconds", r.elapsed_seconds);
+    w.field_float("throughput_rps", r.throughput_rps);
+    w.key("latency_ms");
+    w.begin_object();
+    w.field_float("p50", r.latency_ms.p50);
+    w.field_float("p95", r.latency_ms.p95);
+    w.field_float("p99", r.latency_ms.p99);
+    w.field_float("mean", r.latency_ms.mean);
+    w.field_float("max", r.latency_ms.max);
+    w.end_object();
+    w.key("responses");
+    w.begin_object();
+    w.field_uint("ok", r.ok);
+    w.field_uint("error", r.errors);
+    w.field_uint("rejected", r.rejected);
+    w.end_object();
+    w.key("cache");
+    w.begin_object();
+    w.field_uint("hits", r.cache_hits);
+    w.field_uint("misses", r.cache_misses);
+    w.field_float("hit_rate", r.hit_rate);
+    w.end_object();
+    w.field_uint("mismatches", r.mismatches);
+    w.end_object();
+    w.finish()
+}
+
+/// Runs the load generator: build the mix, precompute the expected
+/// responses, drive the server, verify, summarize.
+///
+/// # Errors
+///
+/// Returns a message for configuration problems (unknown workload, bad
+/// machine), transport failures, or a failure to write the benchmark
+/// document. Response *mismatches* are reported in the returned
+/// [`LoadgenReport`], not as an `Err` — the caller decides how loud to be.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.workloads.is_empty() {
+        return Err("loadgen needs at least one workload name".to_string());
+    }
+    if cfg.requests == 0 {
+        return Err("loadgen needs --requests >= 1".to_string());
+    }
+    let spec = MachineSpec::parse(&cfg.machine)?;
+    let workloads: Vec<Workload> = cfg
+        .workloads
+        .iter()
+        .map(|n| lsra_workloads::by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
+        .collect::<Result<_, _>>()?;
+
+    // Deterministic request mix: uniques get their own program + id; dups
+    // repeat an earlier line verbatim (same id, same bytes) so their
+    // expected response is shared too.
+    let mut rng = Lcg::new(cfg.seed);
+    let mut lines: Vec<Arc<String>> = Vec::with_capacity(cfg.requests);
+    let mut expected: Vec<Arc<String>> = Vec::with_capacity(cfg.requests);
+    for i in 0..cfg.requests {
+        if i > 0 && rng.below(100) < cfg.dup_percent {
+            let j = rng.below(i as u64) as usize;
+            lines.push(Arc::clone(&lines[j]));
+            expected.push(Arc::clone(&expected[j]));
+            continue;
+        }
+        let w = &workloads[rng.below(workloads.len() as u64) as usize];
+        let program = unique_program(w, &spec, i);
+        let line = request_line(&format!("r{i}"), &program, cfg);
+        let req = match protocol::parse_request(&line) {
+            Ok(ParsedLine::Alloc(r)) => *r,
+            Ok(_) => unreachable!("loadgen builds alloc requests"),
+            Err((_, msg)) => return Err(format!("loadgen built an invalid request: {msg}")),
+        };
+        expected.push(Arc::new(protocol::expected_response_line(&req)));
+        lines.push(Arc::new(line));
+    }
+
+    let service =
+        if cfg.addr.is_none() { Some(Arc::new(Service::start(cfg.serve.clone()))) } else { None };
+    let (hits0, misses0) = cache_counters(&mut Client::connect(&service, &cfg.addr)?)?;
+
+    // Drive: `concurrency` clients pull request indices off a shared
+    // cursor, so issue order matches mix order (dups mostly land after
+    // their originals) while completion interleaves freely.
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+    let results: Vec<(usize, f64, String)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..cfg.concurrency.max(1) {
+            let cursor = &cursor;
+            let lines = &lines;
+            let service = &service;
+            let addr = &cfg.addr;
+            handles.push(s.spawn(move || -> Result<Vec<(usize, f64, String)>, String> {
+                let mut client = Client::connect(service, addr)?;
+                let mut out = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= lines.len() {
+                        return Ok(out);
+                    }
+                    let t0 = Instant::now();
+                    let resp = client.call(&lines[i])?;
+                    out.push((i, t0.elapsed().as_secs_f64(), resp));
+                }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("loadgen client panicked")).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, String>>()?
+    .into_iter()
+    .flatten()
+    .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let (hits1, misses1) = cache_counters(&mut Client::connect(&service, &cfg.addr)?)?;
+
+    let mut report =
+        LoadgenReport { requests: cfg.requests, elapsed_seconds: elapsed, ..Default::default() };
+    let mut latencies: Vec<f64> = Vec::with_capacity(results.len());
+    for (i, secs, resp) in &results {
+        latencies.push(secs * 1e3);
+        let status = json_in::parse(resp)
+            .ok()
+            .and_then(|v| v.get("status").and_then(JsonValue::as_str).map(str::to_string))
+            .unwrap_or_else(|| "unparseable".to_string());
+        match status.as_str() {
+            "timeout" | "overloaded" | "too_large" => {
+                report.rejected += 1;
+                continue;
+            }
+            "ok" => report.ok += 1,
+            _ => report.errors += 1,
+        }
+        if resp != expected[*i].as_str() {
+            report.mismatches += 1;
+            if report.first_mismatch.is_none() {
+                let truncate = |s: &str| -> String { s.chars().take(400).collect() };
+                report.first_mismatch = Some(format!(
+                    "request {i} ({}): got {} …, want {} …",
+                    truncate(&lines[*i]),
+                    truncate(resp),
+                    truncate(&expected[*i])
+                ));
+            }
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    report.latency_ms = LatencySummary {
+        p50: percentile(&latencies, 50.0),
+        p95: percentile(&latencies, 95.0),
+        p99: percentile(&latencies, 99.0),
+        mean: latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
+        max: latencies.last().copied().unwrap_or(0.0),
+    };
+    report.throughput_rps = if elapsed > 0.0 { cfg.requests as f64 / elapsed } else { 0.0 };
+    report.cache_hits = hits1.saturating_sub(hits0);
+    report.cache_misses = misses1.saturating_sub(misses0);
+    let lookups = report.cache_hits + report.cache_misses;
+    report.hit_rate = if lookups == 0 { 0.0 } else { report.cache_hits as f64 / lookups as f64 };
+
+    report.json = render_bench_json(cfg, &report);
+    lsra_trace::json::validate(&report.json)
+        .map_err(|e| format!("BENCH_serve.json failed validation: {e}"))?;
+    if let Some(path) = &cfg.out_path {
+        std::fs::write(path, format!("{}\n", report.json))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_in_process_run_verifies_and_hits_cache() {
+        let cfg = LoadgenConfig {
+            workloads: vec!["wc".to_string()],
+            requests: 12,
+            concurrency: 3,
+            dup_percent: 60,
+            serve: ServeConfig { workers: 2, ..ServeConfig::default() },
+            out_path: None,
+            ..LoadgenConfig::default()
+        };
+        let r = run_loadgen(&cfg).unwrap();
+        assert_eq!(r.requests, 12);
+        assert_eq!(r.mismatches, 0, "{:?}", r.first_mismatch);
+        assert_eq!(r.ok, 12);
+        assert!(r.cache_hits > 0, "dup-heavy mix must hit: {r:?}");
+        lsra_trace::json::validate(&r.json).unwrap();
+    }
+
+    #[test]
+    fn unique_programs_differ_and_parse() {
+        let w = lsra_workloads::by_name("wc").unwrap();
+        let spec = MachineSpec::alpha_like();
+        let a = unique_program(&w, &spec, 1);
+        let b = unique_program(&w, &spec, 2);
+        assert_ne!(a, b);
+        lsra_ir::parse_module(&a).unwrap();
+    }
+
+    #[test]
+    fn percentiles_pick_sane_indices() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 50.0), 6.0);
+        assert_eq!(percentile(&xs, 99.0), 10.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Transport: the service over stdio or TCP.
+//!
+//! Both transports speak the same line protocol and share one
+//! [`Service`], so TCP clients on different connections share the worker
+//! pool, the bounded queue, and the result cache. Responses on a single
+//! connection are written in request order (the handler calls
+//! [`Service::call`] synchronously); cross-connection parallelism comes
+//! from the worker pool.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::service::Service;
+
+/// Serves one line-oriented connection: every request line gets exactly one
+/// response line, malformed input included. Returns at EOF or once the
+/// service enters shutdown (graceful drain: the response to the request
+/// that triggered shutdown is still written).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport (not protocol errors, which
+/// become structured responses).
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &Service,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.call(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if service.is_shutting_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves stdin→stdout until EOF (the stdio transport of `lsra serve
+/// --stdio`). EOF is the graceful-drain signal: queued requests were all
+/// answered synchronously, so returning is the drain.
+///
+/// # Errors
+///
+/// Propagates stdout write failures.
+pub fn serve_stdio(service: &Service) -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout().lock();
+    serve_lines(service, stdin.lock(), &mut stdout)
+}
+
+/// Accepts connections on `listener` until a `{"op": "shutdown"}` request
+/// arrives on any of them, handling each connection on its own thread.
+///
+/// # Errors
+///
+/// Propagates accept failures; per-connection I/O errors only end that
+/// connection.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if service.is_shutting_down() {
+            break;
+        }
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let mut writer = stream;
+            let _ = serve_lines(&service, reader, &mut writer);
+            if service.is_shutting_down() {
+                // Unblock the accept loop so it observes the shutdown.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    #[test]
+    fn stdio_style_stream_answers_every_line() {
+        let service = Service::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+        let input = concat!(
+            "{\"id\": \"1\", \"workload\": \"wc\"}\n",
+            "this is not json\n",
+            "\n", // blank lines are skipped, not answered
+            "{\"id\": \"2\", \"workload\": \"wc\"}\n",
+        );
+        let mut out = Vec::new();
+        serve_lines(&service, input.as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        for l in &lines {
+            lsra_trace::json::validate(l).unwrap_or_else(|e| panic!("{l}: {e}"));
+        }
+        assert!(lines[1].contains("\"status\": \"error\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"status\": \"ok\""), "malformed line must not end serving");
+    }
+}

@@ -1,0 +1,492 @@
+//! The allocation service's line protocol: request parsing, request
+//! execution, and byte-deterministic response rendering.
+//!
+//! One request per line, one response per line, both JSON objects. A
+//! request names a program (inline `.lsra` text via `"program"`, or a
+//! built-in workload via `"workload"`), an allocator, a machine, and
+//! options; the response carries a `"status"` plus the allocation
+//! statistics, optional dynamic counts, and optionally the allocated
+//! module text. Responses contain no wall-clock or cache-state fields, so
+//! the same request always yields the same bytes — whether computed or
+//! served from cache — which is what lets the load generator and the fuzz
+//! service stage compare them byte-for-byte against a direct
+//! `allocate_module` run.
+//!
+//! ## Request
+//!
+//! ```json
+//! {"id": "r1", "workload": "wc", "allocator": "binpack", "machine": "small:4,2",
+//!  "cleanup": false, "run": true, "emit_module": true, "timeout_ms": 5000}
+//! ```
+//!
+//! * `id` — echoed back verbatim (default `""`);
+//! * `op` — `"alloc"` (default), `"stats"` (server counters), or
+//!   `"shutdown"` (graceful drain);
+//! * exactly one of `program` (inline `.lsra` text) or `workload` (a
+//!   built-in benchmark name) for `alloc`;
+//! * `allocator` — `binpack` (default), `two-pass`, `coloring`, `poletto`;
+//! * `machine` — `alpha` (default) or `small:I,F`;
+//! * `cleanup` — run identity-move removal and the spill-code post-pass on
+//!   the result (default `false`: the response reflects the raw
+//!   `allocate_module` output);
+//! * `run` — execute the allocated module in the VM and report dynamic
+//!   counts (workload requests use the workload's input, inline programs
+//!   run with empty input);
+//! * `emit_module` — include the allocated module text in the response;
+//! * `timeout_ms` — per-request deadline override;
+//! * `inject_panic` / `inject_sleep_ms` — fault-injection knobs for
+//!   testing panic isolation and deadline/backpressure behaviour.
+//!
+//! Unknown fields are rejected, so typos fail loudly instead of silently
+//! selecting defaults.
+//!
+//! ## Response
+//!
+//! ```json
+//! {"id": "r1", "status": "ok", "stats": {"candidates": 12, "...": 0}, "module": "..."}
+//! {"id": "r2", "status": "error", "error": "program:3: expected opcode"}
+//! {"id": "r3", "status": "timeout"}
+//! {"id": "r4", "status": "overloaded"}
+//! {"id": "r5", "status": "too_large"}
+//! ```
+
+use lsra_core::{AllocScratch, BinpackAllocator, BinpackConfig, RegisterAllocator};
+use lsra_ir::{MachineSpec, Module};
+use lsra_trace::json::JsonWriter;
+use lsra_vm::{Vm, VmOptions};
+
+use crate::cache::Outcome;
+use crate::json_in::{self, JsonValue};
+
+/// Allocator names the service accepts, in CLI order.
+pub const ALLOCATOR_NAMES: [&str; 4] = ["binpack", "two-pass", "coloring", "poletto"];
+
+/// Where a request's program comes from.
+#[derive(Clone, Debug)]
+pub enum Source {
+    /// Inline `.lsra` module text.
+    Program(String),
+    /// A built-in workload name (see `lsra workloads`).
+    Workload(String),
+}
+
+/// One parsed allocation request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client correlation id, echoed into the response.
+    pub id: String,
+    /// The program to allocate.
+    pub source: Source,
+    /// Allocator name (one of [`ALLOCATOR_NAMES`]).
+    pub allocator: String,
+    /// Target machine.
+    pub machine: MachineSpec,
+    /// Run identity-move removal plus the spill post-pass on the result.
+    pub cleanup: bool,
+    /// Execute the allocated module and report [`lsra_vm::DynCounts`].
+    pub run: bool,
+    /// Include the allocated module text in the response.
+    pub emit_module: bool,
+    /// Per-request deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Fault injection: panic inside the worker (tests panic isolation).
+    pub inject_panic: bool,
+    /// Fault injection: sleep this long before allocating (tests deadlines
+    /// and backpressure).
+    pub inject_sleep_ms: u64,
+}
+
+/// One parsed protocol line.
+#[derive(Clone, Debug)]
+pub enum ParsedLine {
+    /// An allocation request.
+    Alloc(Box<Request>),
+    /// A server-counters query.
+    Stats {
+        /// Echoed correlation id.
+        id: String,
+    },
+    /// A graceful-drain request.
+    Shutdown {
+        /// Echoed correlation id.
+        id: String,
+    },
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns `(id, message)` — the id is whatever could be recovered from the
+/// malformed request (possibly empty), so the error response still
+/// correlates when the envelope itself was readable.
+pub fn parse_request(line: &str) -> Result<ParsedLine, (String, String)> {
+    let v = json_in::parse(line).map_err(|e| (String::new(), format!("parse: {e}")))?;
+    let JsonValue::Object(fields) = &v else {
+        return Err((
+            String::new(),
+            format!("request must be a JSON object, got {}", v.type_name()),
+        ));
+    };
+    let id = v.get("id").and_then(JsonValue::as_str).unwrap_or("").to_string();
+    let fail = |msg: String| (id.clone(), msg);
+
+    let mut op = "alloc";
+    let mut program: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut allocator = "binpack".to_string();
+    let mut machine = "alpha".to_string();
+    let mut cleanup = false;
+    let mut run = false;
+    let mut emit_module = false;
+    let mut timeout_ms = None;
+    let mut inject_panic = false;
+    let mut inject_sleep_ms = 0;
+
+    let str_field = |key: &str, val: &JsonValue| -> Result<String, (String, String)> {
+        val.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| fail(format!("field `{key}` must be a string, got {}", val.type_name())))
+    };
+    let bool_field = |key: &str, val: &JsonValue| -> Result<bool, (String, String)> {
+        val.as_bool().ok_or_else(|| {
+            fail(format!("field `{key}` must be a boolean, got {}", val.type_name()))
+        })
+    };
+    let uint_field = |key: &str, val: &JsonValue| -> Result<u64, (String, String)> {
+        val.as_u64().ok_or_else(|| {
+            fail(format!("field `{key}` must be a non-negative integer, got {}", val.type_name()))
+        })
+    };
+
+    let mut seen: Vec<&str> = Vec::new();
+    for (key, val) in fields {
+        if seen.contains(&key.as_str()) {
+            return Err(fail(format!("duplicate field `{key}`")));
+        }
+        match key.as_str() {
+            "id" => {
+                str_field("id", val)?;
+            }
+            "op" => {
+                let o = str_field("op", val)?;
+                op = match o.as_str() {
+                    "alloc" => "alloc",
+                    "stats" => "stats",
+                    "shutdown" => "shutdown",
+                    other => {
+                        return Err(fail(format!(
+                            "unknown op `{other}` (alloc | stats | shutdown)"
+                        )))
+                    }
+                };
+            }
+            "program" => program = Some(str_field("program", val)?),
+            "workload" => workload = Some(str_field("workload", val)?),
+            "allocator" => allocator = str_field("allocator", val)?,
+            "machine" => machine = str_field("machine", val)?,
+            "cleanup" => cleanup = bool_field("cleanup", val)?,
+            "run" => run = bool_field("run", val)?,
+            "emit_module" => emit_module = bool_field("emit_module", val)?,
+            "timeout_ms" => timeout_ms = Some(uint_field("timeout_ms", val)?),
+            "inject_panic" => inject_panic = bool_field("inject_panic", val)?,
+            "inject_sleep_ms" => inject_sleep_ms = uint_field("inject_sleep_ms", val)?,
+            other => return Err(fail(format!("unknown field `{other}`"))),
+        }
+        seen.push(key.as_str());
+    }
+
+    match op {
+        "stats" => return Ok(ParsedLine::Stats { id }),
+        "shutdown" => return Ok(ParsedLine::Shutdown { id }),
+        _ => {}
+    }
+
+    let source = match (program, workload) {
+        (Some(p), None) => Source::Program(p),
+        (None, Some(w)) => {
+            if lsra_workloads::by_name(&w).is_none() {
+                return Err(fail(format!("unknown workload `{w}` (see `lsra workloads`)")));
+            }
+            Source::Workload(w)
+        }
+        (Some(_), Some(_)) => {
+            return Err(fail("`program` and `workload` are mutually exclusive".to_string()))
+        }
+        (None, None) => {
+            return Err(fail("request needs `program` or `workload`".to_string()));
+        }
+    };
+    if !ALLOCATOR_NAMES.contains(&allocator.as_str()) {
+        return Err(fail(format!(
+            "unknown allocator `{allocator}` ({})",
+            ALLOCATOR_NAMES.join(" | ")
+        )));
+    }
+    let machine = MachineSpec::parse(&machine).map_err(|e| fail(format!("machine: {e}")))?;
+    Ok(ParsedLine::Alloc(Box::new(Request {
+        id,
+        source,
+        allocator,
+        machine,
+        cleanup,
+        run,
+        emit_module,
+        timeout_ms,
+        inject_panic,
+        inject_sleep_ms,
+    })))
+}
+
+/// Builds the request's module, its VM input, and the canonical program
+/// text (the display form of the parsed module — the cache key's program
+/// component, so formatting differences never split cache entries).
+///
+/// # Errors
+///
+/// Returns a message for unparseable or invalid inline programs and
+/// unknown workloads.
+pub fn materialize(req: &Request) -> Result<(Module, Vec<u8>, String), String> {
+    match &req.source {
+        Source::Program(text) => {
+            let m = lsra_ir::parse_module(text).map_err(|e| format!("program:{e}"))?;
+            m.validate().map_err(|e| format!("program: {e}"))?;
+            let canonical = format!("{m}");
+            Ok((m, Vec::new(), canonical))
+        }
+        Source::Workload(name) => {
+            let w = lsra_workloads::by_name(name)
+                .ok_or_else(|| format!("unknown workload `{name}`"))?;
+            let m = (w.build)();
+            let canonical = format!("{m}");
+            Ok((m, (w.input)(), canonical))
+        }
+    }
+}
+
+/// The full cache-key string for `req` given its canonical program text:
+/// every input that shapes the cached [`Outcome`] — program, allocator,
+/// machine, and the result-shaping options (`emit_module` is *not* part of
+/// the key; the module text is always cached and dropped at render time).
+pub fn cache_key(req: &Request, canonical: &str) -> String {
+    format!(
+        "{canonical}\u{0}{}\u{0}{}\u{0}cleanup={},run={}",
+        req.allocator,
+        req.machine.name(),
+        req.cleanup as u8,
+        req.run as u8
+    )
+}
+
+/// Allocates `m` as `req` asks, reusing `scratch` for the binpack family.
+///
+/// # Errors
+///
+/// Returns a message when the requested VM run faults.
+pub fn run_allocation(
+    mut m: Module,
+    input: &[u8],
+    req: &Request,
+    scratch: &mut AllocScratch,
+) -> Result<Outcome, String> {
+    let spec = &req.machine;
+    let stats = match req.allocator.as_str() {
+        "binpack" => BinpackAllocator::new(BinpackConfig { workers: 1, ..Default::default() })
+            .allocate_module_reusing(&mut m, spec, scratch),
+        "two-pass" => {
+            BinpackAllocator::new(BinpackConfig { workers: 1, ..BinpackConfig::two_pass() })
+                .allocate_module_reusing(&mut m, spec, scratch)
+        }
+        "coloring" => lsra_coloring::ColoringAllocator.allocate_module(&mut m, spec),
+        "poletto" => lsra_poletto::PolettoAllocator.allocate_module(&mut m, spec),
+        other => return Err(format!("unknown allocator `{other}`")),
+    };
+    if req.cleanup {
+        for id in m.func_ids().collect::<Vec<_>>() {
+            lsra_analysis::remove_identity_moves(m.func_mut(id));
+            lsra_core::optimize_spill_code(m.func_mut(id), spec);
+            lsra_analysis::remove_identity_moves(m.func_mut(id));
+        }
+    }
+    let dyn_counts = if req.run {
+        let r = Vm::new(&m, spec, input, VmOptions::default())
+            .run()
+            .map_err(|e| format!("run faulted: {e}"))?;
+        Some(r.counts)
+    } else {
+        None
+    };
+    Ok(Outcome { stats: stats.without_wall_clock(), dyn_counts, module_text: format!("{m}") })
+}
+
+/// Renders a successful response. Deterministic: two renders of the same
+/// outcome and id are byte-identical, and carry no wall-clock or
+/// cache-state fields.
+pub fn render_ok(id: &str, outcome: &Outcome, emit_module: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("id", id);
+    w.field_str("status", "ok");
+    w.key("stats");
+    w.begin_object();
+    w.field_uint("candidates", outcome.stats.candidates as u64);
+    w.field_uint("spilled_temps", outcome.stats.spilled_temps as u64);
+    w.field_uint("inserted", outcome.stats.inserted_total());
+    w.field_uint("evictions", outcome.stats.evictions);
+    w.field_uint("moves_coalesced", outcome.stats.moves_coalesced);
+    w.field_uint("lifetime_splits", outcome.stats.lifetime_splits);
+    w.field_uint("stores_suppressed", outcome.stats.stores_suppressed);
+    w.field_uint("iterations", outcome.stats.iterations as u64);
+    w.end_object();
+    if let Some(d) = &outcome.dyn_counts {
+        w.key("dyn");
+        w.begin_object();
+        w.field_uint("total", d.total);
+        w.field_uint("spill", d.spill_total());
+        w.field_uint("calls", d.calls);
+        w.field_uint("memory_ops", d.memory_ops);
+        w.field_uint("moves", d.moves);
+        w.end_object();
+    }
+    if emit_module {
+        w.field_str("module", &outcome.module_text);
+    }
+    w.end_object();
+    w.finish()
+}
+
+/// Renders an error response.
+pub fn render_error(id: &str, msg: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("id", id);
+    w.field_str("status", "error");
+    w.field_str("error", msg);
+    w.end_object();
+    w.finish()
+}
+
+/// Renders a bare status response (`timeout`, `overloaded`, `too_large`).
+pub fn render_status(id: &str, status: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("id", id);
+    w.field_str("status", status);
+    w.end_object();
+    w.finish()
+}
+
+/// The response the service *must* produce for `req`: a direct, cache-free,
+/// queue-free execution with a fresh scratch arena. The load generator and
+/// the fuzz service stage compare live responses byte-for-byte against
+/// this.
+pub fn expected_response_line(req: &Request) -> String {
+    let direct = materialize(req)
+        .and_then(|(m, input, _)| run_allocation(m, &input, req, &mut AllocScratch::default()));
+    match direct {
+        Ok(outcome) => render_ok(&req.id, &outcome, req.emit_module),
+        Err(msg) => render_error(&req.id, &msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let line = r#"{"id": "r1", "workload": "wc", "allocator": "poletto",
+                       "machine": "small:4,2", "run": true, "emit_module": true}"#;
+        let ParsedLine::Alloc(req) = parse_request(line).unwrap() else { panic!("not alloc") };
+        assert_eq!(req.id, "r1");
+        assert!(matches!(req.source, Source::Workload(ref w) if w == "wc"));
+        assert_eq!(req.allocator, "poletto");
+        assert_eq!(req.machine.name(), "small-4i2f");
+        assert!(req.run && req.emit_module && !req.cleanup);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_recovered_id() {
+        for (line, what) in [
+            (r#"{"id": "x", "workload": "nope"}"#, "unknown workload"),
+            (r#"{"id": "x", "program": "m", "workload": "wc"}"#, "mutually exclusive"),
+            (r#"{"id": "x"}"#, "needs `program` or `workload`"),
+            (r#"{"id": "x", "workload": "wc", "allocator": "llvm"}"#, "unknown allocator"),
+            (r#"{"id": "x", "workload": "wc", "machine": "small:1,0"}"#, "machine:"),
+            (r#"{"id": "x", "workload": "wc", "frobnicate": 1}"#, "unknown field"),
+            (r#"{"id": "x", "workload": "wc", "run": "yes"}"#, "must be a boolean"),
+            (r#"{"id": "x", "id": "y", "workload": "wc"}"#, "duplicate field"),
+        ] {
+            let (id, msg) = parse_request(line).expect_err(line);
+            assert_eq!(id, "x", "{line}");
+            assert!(msg.contains(what), "{line}: {msg}");
+        }
+        let (id, msg) = parse_request("not json").expect_err("garbage");
+        assert!(id.is_empty());
+        assert!(msg.starts_with("parse:"), "{msg}");
+    }
+
+    #[test]
+    fn cache_key_separates_what_it_must() {
+        let base = match parse_request(r#"{"workload": "wc"}"#).unwrap() {
+            ParsedLine::Alloc(r) => *r,
+            _ => unreachable!(),
+        };
+        let canonical = "module m (0 words data)\n";
+        let k0 = cache_key(&base, canonical);
+        let mut other = base.clone();
+        other.allocator = "poletto".to_string();
+        assert_ne!(k0, cache_key(&other, canonical));
+        let mut other = base.clone();
+        other.machine = MachineSpec::small(4, 2);
+        assert_ne!(k0, cache_key(&other, canonical));
+        let mut other = base.clone();
+        other.cleanup = true;
+        assert_ne!(k0, cache_key(&other, canonical));
+        let mut other = base.clone();
+        other.run = true;
+        assert_ne!(k0, cache_key(&other, canonical));
+        // emit_module and id shape the response, not the outcome.
+        let mut other = base.clone();
+        other.emit_module = true;
+        other.id = "different".to_string();
+        assert_eq!(k0, cache_key(&other, canonical));
+    }
+
+    #[test]
+    fn responses_are_valid_json_and_deterministic() {
+        let ParsedLine::Alloc(req) =
+            parse_request(r#"{"id": "d", "workload": "wc", "run": true, "emit_module": true}"#)
+                .unwrap()
+        else {
+            panic!()
+        };
+        let a = expected_response_line(&req);
+        let b = expected_response_line(&req);
+        assert_eq!(a, b, "direct execution must be byte-deterministic");
+        lsra_trace::json::validate(&a).unwrap();
+        let v = json_in::parse(&a).unwrap();
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert!(v.get("stats").is_some());
+        assert!(v.get("dyn").unwrap().get("total").and_then(JsonValue::as_u64).unwrap() > 0);
+        let module = v.get("module").and_then(JsonValue::as_str).unwrap();
+        lsra_ir::parse_module(module).expect("emitted module text parses back");
+    }
+
+    #[test]
+    fn inline_program_round_trips() {
+        // An inline program: take a workload's display text and submit it.
+        let w = lsra_workloads::by_name("wc").unwrap();
+        let text = format!("{}", (w.build)());
+        let mut line = JsonWriter::new();
+        line.begin_object();
+        line.field_str("id", "p");
+        line.field_str("program", &text);
+        line.field_str("machine", "small:6,4");
+        line.end_object();
+        let ParsedLine::Alloc(req) = parse_request(&line.finish()).unwrap() else { panic!() };
+        let resp = expected_response_line(&req);
+        let v = json_in::parse(&resp).unwrap();
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"), "{resp}");
+    }
+}

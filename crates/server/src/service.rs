@@ -1,0 +1,470 @@
+//! The allocation service: a bounded work queue feeding a worker pool,
+//! fronted by the content-addressed result cache.
+//!
+//! One [`Service`] owns `workers` OS threads. [`Service::call`] is the
+//! whole client API: hand it one request line, get one response line back.
+//! It never blocks on a full queue (queue-full requests are answered
+//! `"status":"overloaded"` immediately) and never waits past the request's
+//! deadline (the caller gets `"status":"timeout"` and the queued job is
+//! cancelled; a worker that already started it finishes and discards the
+//! result, but still populates the cache so a retry hits). Worker panics
+//! are confined to the failing request by `catch_unwind` — the worker
+//! thread, its scratch arena, and every other request survive.
+//!
+//! Each worker owns one [`AllocScratch`] arena for its whole lifetime, so
+//! steady-state serving does no per-request growth of the allocator's
+//! working vectors (the server-shaped version of PR 1's per-module reuse).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use lsra_core::AllocScratch;
+use lsra_trace::json::JsonWriter;
+
+use crate::cache::Cache;
+use crate::protocol::{self, ParsedLine, Request};
+
+/// Service configuration; every knob has a `lsra serve` flag.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Bounded queue depth; requests beyond it are answered `overloaded`.
+    pub max_queue: usize,
+    /// Default per-request deadline, milliseconds (requests may override).
+    pub default_timeout_ms: u64,
+    /// Requests longer than this many bytes are answered `too_large`
+    /// without being parsed.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            cache_bytes: 64 << 20,
+            max_queue: 256,
+            default_timeout_ms: 30_000,
+            max_request_bytes: 4 << 20,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Monotonic service counters (all responses ever produced, by status).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    overloaded: AtomicU64,
+    too_large: AtomicU64,
+    panics: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Request lines received (including rejected ones).
+    pub requests: u64,
+    /// Successful allocation responses.
+    pub ok: u64,
+    /// Structured error responses (parse, validation, run faults, panics).
+    pub errors: u64,
+    /// Requests answered `timeout`.
+    pub timeouts: u64,
+    /// Requests answered `overloaded`.
+    pub overloaded: u64,
+    /// Requests answered `too_large`.
+    pub too_large: u64,
+    /// Worker panics confined by `catch_unwind` (each also counts as one
+    /// error response).
+    pub panics: u64,
+    /// Gauge: jobs a worker has dequeued and not yet answered. A job is
+    /// in flight from the moment it leaves the queue, so `in_flight > 0`
+    /// implies the queue had drained by that amount.
+    pub in_flight: u64,
+    /// Gauge: jobs waiting in the bounded queue right now.
+    pub queue_depth: u64,
+    /// Cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Cache lookups that computed.
+    pub cache_misses: u64,
+    /// Entries resident in the cache.
+    pub cache_entries: u64,
+    /// Bytes charged against the cache budget.
+    pub cache_bytes: u64,
+}
+
+impl CountersSnapshot {
+    /// Cache hit rate over all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+enum JobState {
+    Pending,
+    Cancelled,
+    Done(String),
+}
+
+struct Job {
+    req: Request,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    cache: Mutex<Cache>,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// Locks `m`, recovering from poisoning: the service's locks are never held
+/// across request computation, so inner state behind a poisoned lock is
+/// still consistent and one panicked worker must not wedge the server.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running allocation service. Dropping it drains the queue and joins
+/// the workers.
+pub struct Service {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service").field("cfg", &self.inner.cfg).finish()
+    }
+}
+
+impl Service {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let workers = cfg.effective_workers().max(1);
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(Cache::new(cfg.cache_bytes)),
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lsra-serve-{i}"))
+                    .spawn(move || worker(&inner))
+                    .expect("spawning service worker")
+            })
+            .collect();
+        Service { inner, handles: Mutex::new(handles) }
+    }
+
+    /// True once a shutdown request was received (or [`Service::shutdown`]
+    /// called); queued work still drains, new work is refused.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: lets queued jobs finish, then joins every worker.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        let handles = std::mem::take(&mut *lock(&self.handles));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// A snapshot of the service counters and cache occupancy.
+    pub fn counters(&self) -> CountersSnapshot {
+        let c = &self.inner.counters;
+        let (hits, misses, entries, bytes) = {
+            let cache = lock(&self.inner.cache);
+            (cache.hits(), cache.misses(), cache.len() as u64, cache.bytes() as u64)
+        };
+        let queue_depth = lock(&self.inner.queue).len() as u64;
+        CountersSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            ok: c.ok.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            overloaded: c.overloaded.load(Ordering::Relaxed),
+            too_large: c.too_large.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            queue_depth,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_entries: entries,
+            cache_bytes: bytes,
+        }
+    }
+
+    /// Handles one request line, returning one response line.
+    ///
+    /// Every outcome is a structured JSON response — malformed requests,
+    /// oversized requests, full queues, deadlines, and worker panics
+    /// included — so a client never kills the conversation by sending one
+    /// bad line. Blocks until the response is ready or the request's
+    /// deadline passes, never on a full queue.
+    pub fn call(&self, line: &str) -> String {
+        let c = &self.inner.counters;
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if line.len() > self.inner.cfg.max_request_bytes {
+            c.too_large.fetch_add(1, Ordering::Relaxed);
+            return protocol::render_status("", "too_large");
+        }
+        let req = match protocol::parse_request(line) {
+            Ok(ParsedLine::Stats { id }) => return self.stats_response(&id),
+            Ok(ParsedLine::Shutdown { id }) => {
+                self.inner.shutdown.store(true, Ordering::SeqCst);
+                self.inner.queue_cv.notify_all();
+                let mut w = JsonWriter::new();
+                w.begin_object();
+                w.field_str("id", &id);
+                w.field_str("status", "ok");
+                w.field_str("op", "shutdown");
+                w.end_object();
+                return w.finish();
+            }
+            Ok(ParsedLine::Alloc(req)) => req,
+            Err((id, msg)) => {
+                c.errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::render_error(&id, &msg);
+            }
+        };
+        if self.is_shutting_down() {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+            return protocol::render_error(&req.id, "server is shutting down");
+        }
+        let timeout = req.timeout_ms.unwrap_or(self.inner.cfg.default_timeout_ms);
+        let deadline = Instant::now() + Duration::from_millis(timeout);
+        let job =
+            Arc::new(Job { req: *req, state: Mutex::new(JobState::Pending), done: Condvar::new() });
+        {
+            let mut q = lock(&self.inner.queue);
+            if q.len() >= self.inner.cfg.max_queue {
+                c.overloaded.fetch_add(1, Ordering::Relaxed);
+                return protocol::render_status(&job.req.id, "overloaded");
+            }
+            q.push_back(Arc::clone(&job));
+        }
+        self.inner.queue_cv.notify_one();
+        let mut st = lock(&job.state);
+        loop {
+            if let JobState::Done(resp) = &*st {
+                return resp.clone();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                *st = JobState::Cancelled;
+                c.timeouts.fetch_add(1, Ordering::Relaxed);
+                return protocol::render_status(&job.req.id, "timeout");
+            }
+            let (guard, _) =
+                job.done.wait_timeout(st, deadline - now).unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    fn stats_response(&self, id: &str) -> String {
+        let s = self.counters();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("id", id);
+        w.field_str("status", "ok");
+        w.field_str("op", "stats");
+        w.field_uint("requests", s.requests);
+        w.field_uint("ok", s.ok);
+        w.field_uint("errors", s.errors);
+        w.field_uint("timeouts", s.timeouts);
+        w.field_uint("overloaded", s.overloaded);
+        w.field_uint("too_large", s.too_large);
+        w.field_uint("panics", s.panics);
+        w.field_uint("in_flight", s.in_flight);
+        w.field_uint("queue_depth", s.queue_depth);
+        w.field_uint("cache_hits", s.cache_hits);
+        w.field_uint("cache_misses", s.cache_misses);
+        w.field_uint("cache_entries", s.cache_entries);
+        w.field_uint("cache_bytes", s.cache_bytes);
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker: dequeue, compute (through the cache), publish. Lives until
+/// shutdown *and* an empty queue, so accepted work drains on shutdown.
+fn worker(inner: &Inner) {
+    let mut scratch = AllocScratch::default();
+    loop {
+        let job = {
+            let mut q = lock(&inner.queue);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    // Counted while the queue lock is still held, so an
+                    // observer never sees the job in neither place.
+                    inner.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+                    break j;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = inner.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let result = if matches!(*lock(&job.state), JobState::Cancelled) {
+            None
+        } else {
+            Some(handle(inner, &job.req, &mut scratch))
+        };
+        // Decremented before the response is published: once a caller has
+        // its answer, the gauge no longer counts that job.
+        inner.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if let Some((response, is_ok)) = result {
+            let mut st = lock(&job.state);
+            if !matches!(*st, JobState::Cancelled) {
+                let field = if is_ok { &inner.counters.ok } else { &inner.counters.errors };
+                field.fetch_add(1, Ordering::Relaxed);
+                *st = JobState::Done(response);
+                job.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Computes one response, isolating panics to this request. Returns the
+/// response line and whether it is a success.
+fn handle(inner: &Inner, req: &Request, scratch: &mut AllocScratch) -> (String, bool) {
+    if req.inject_sleep_ms > 0 {
+        std::thread::sleep(Duration::from_millis(req.inject_sleep_ms));
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if req.inject_panic {
+            panic!("injected panic (inject_panic)");
+        }
+        compute(inner, req, scratch)
+    }));
+    match result {
+        Ok(Ok(resp)) => (resp, true),
+        Ok(Err(msg)) => (protocol::render_error(&req.id, &msg), false),
+        Err(p) => {
+            inner.counters.panics.fetch_add(1, Ordering::Relaxed);
+            (protocol::render_error(&req.id, &format!("panic: {}", panic_message(p))), false)
+        }
+    }
+}
+
+/// The cache-fronted execution path. Locks are held only around the cache
+/// probe and insert, never across allocation.
+fn compute(inner: &Inner, req: &Request, scratch: &mut AllocScratch) -> Result<String, String> {
+    let (module, input, canonical) = match protocol::materialize(req) {
+        Ok(x) => x,
+        Err(e) => {
+            lock(&inner.cache).note_miss();
+            return Err(e);
+        }
+    };
+    let key = protocol::cache_key(req, &canonical);
+    if let Some(outcome) = lock(&inner.cache).get(&key) {
+        return Ok(protocol::render_ok(&req.id, &outcome, req.emit_module));
+    }
+    match protocol::run_allocation(module, &input, req, scratch) {
+        Ok(outcome) => {
+            let resp = protocol::render_ok(&req.id, &outcome, req.emit_module);
+            lock(&inner.cache).insert(key, outcome);
+            Ok(resp)
+        }
+        Err(e) => {
+            lock(&inner.cache).note_miss();
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_service(workers: usize) -> Service {
+        Service::start(ServeConfig {
+            workers,
+            cache_bytes: 1 << 20,
+            max_queue: 8,
+            default_timeout_ms: 10_000,
+            max_request_bytes: 1 << 16,
+        })
+    }
+
+    #[test]
+    fn serves_and_caches_a_workload_request() {
+        let s = small_service(2);
+        let line = r#"{"id": "a", "workload": "wc", "emit_module": true}"#;
+        let first = s.call(line);
+        let second = s.call(line);
+        assert_eq!(first, second, "cache hit must be byte-identical");
+        let snap = s.counters();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.ok, 2);
+    }
+
+    #[test]
+    fn stats_and_shutdown_ops() {
+        let s = small_service(1);
+        let stats = s.call(r#"{"id": "s", "op": "stats"}"#);
+        assert!(stats.contains("\"op\": \"stats\""), "{stats}");
+        let bye = s.call(r#"{"id": "q", "op": "shutdown"}"#);
+        assert!(bye.contains("\"op\": \"shutdown\""), "{bye}");
+        assert!(s.is_shutting_down());
+        let refused = s.call(r#"{"id": "late", "workload": "wc"}"#);
+        assert!(refused.contains("shutting down"), "{refused}");
+        s.shutdown();
+    }
+}

@@ -10,7 +10,11 @@
 //! lsra workloads                              list the built-in benchmarks
 //! lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]
 //! lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]...
-//!           [--shrink]
+//!           [--shrink] [--no-serve]
+//! lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B]
+//!            [--max-queue N] [--timeout-ms T]
+//! lsra loadgen <workload>... [--requests N] [--concurrency C] [--dup-percent P]
+//!              [--allocator NAME] [--machine SPEC] [--seed N] [--addr HOST:PORT]
 //! ```
 //!
 //! `SPEC` is `alpha` (default) or `small:I,F` (e.g. `small:4,2`).
@@ -40,9 +44,22 @@
 //! `fuzz` generates random adversarial modules and runs each requested
 //! allocator (default: all four) on each requested machine (default:
 //! `small:2,1`, `small:4,2`, `alpha`) under the full oracle — static check,
-//! symbolic checker, and differential execution. `--shrink` minimizes any
-//! failing module with delta debugging before printing it. Runs are
-//! deterministic in `--seed`.
+//! symbolic checker, differential execution, and a service round-trip
+//! (each case is also sent through an in-process allocation server and the
+//! response compared byte-for-byte against direct allocation; disable with
+//! `--no-serve`). `--shrink` minimizes any failing module with delta
+//! debugging before printing it. Runs are deterministic in `--seed`.
+//!
+//! `serve` starts the allocation service: one line-delimited JSON request
+//! per line in, one JSON response per line out, over stdin/stdout (the
+//! default) or TCP (`--addr`). Requests name a program (inline text or a
+//! built-in workload), an allocator, and a machine; responses carry status
+//! and allocation statistics, and results are cached content-addressed
+//! under `--cache-bytes`. `loadgen` drives a server (in-process by
+//! default, `--addr` for a remote one) with a deterministic request mix —
+//! `--dup-percent` of requests repeat earlier ones to exercise the cache —
+//! verifies every response byte-for-byte against direct allocation, and
+//! writes throughput/latency/hit-rate figures to `BENCH_serve.json`.
 
 use std::process::ExitCode;
 
@@ -57,7 +74,12 @@ fn usage() -> ExitCode {
          [--time-phases] [--workers N] [--trace FILE] [--trace-format log|jsonl|chrome|annotate]\n  \
          lsra report <file.lsra> [--allocator NAME] [--machine SPEC] [--json FILE]\n  \
          lsra workloads\n  lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]\n  \
-         lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n\n\
+         lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n       \
+         [--no-serve]\n  \
+         lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B] [--max-queue N]\n           \
+         [--timeout-ms T]\n  \
+         lsra loadgen <workload>... [--requests N] [--concurrency C] [--dup-percent P]\n             \
+         [--allocator NAME] [--machine SPEC] [--seed N] [--addr HOST:PORT]\n\n\
          SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto\n\
          <file.lsra> may also be a built-in workload name (see `lsra workloads`)"
     );
@@ -65,16 +87,8 @@ fn usage() -> ExitCode {
 }
 
 fn parse_machine(s: &str) -> Result<MachineSpec, String> {
-    if s == "alpha" {
-        return Ok(MachineSpec::alpha_like());
-    }
-    if let Some(rest) = s.strip_prefix("small:") {
-        let (i, f) = rest.split_once(',').ok_or("expected small:I,F")?;
-        let i: u8 = i.parse().map_err(|_| "bad int register count")?;
-        let f: u8 = f.parse().map_err(|_| "bad float register count")?;
-        return Ok(MachineSpec::small(i, f));
-    }
-    Err(format!("unknown machine `{s}`"))
+    // Fallible all the way down: `small:1,0` is a flag error, not a panic.
+    MachineSpec::parse(s)
 }
 
 fn make_allocator(o: &Opts) -> Result<Box<dyn RegisterAllocator>, String> {
@@ -125,6 +139,24 @@ struct Opts {
     trace_format: String,
     /// `--json FILE` (report): also write the metrics registry as JSON.
     json: Option<String>,
+    /// `--stdio` (serve): explicit stdin/stdout transport (the default).
+    stdio: bool,
+    /// `--addr HOST:PORT`: TCP transport (serve) or remote server (loadgen).
+    addr: Option<String>,
+    /// `--cache-bytes B` (serve/loadgen): result-cache budget.
+    cache_bytes: usize,
+    /// `--max-queue N` (serve/loadgen): bounded work-queue depth.
+    max_queue: usize,
+    /// `--timeout-ms T` (serve/loadgen): default per-request deadline.
+    timeout_ms: u64,
+    /// `--requests N` (loadgen): total requests to issue.
+    requests: usize,
+    /// `--concurrency C` (loadgen): client threads.
+    concurrency: usize,
+    /// `--dup-percent P` (loadgen): share of repeated requests.
+    dup_percent: u64,
+    /// `--no-serve` (fuzz): skip the service round-trip stage.
+    no_serve: bool,
 }
 
 impl Opts {
@@ -154,6 +186,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace: None,
         trace_format: "log".to_string(),
         json: None,
+        stdio: false,
+        addr: None,
+        cache_bytes: 64 << 20,
+        max_queue: 256,
+        timeout_ms: 30_000,
+        requests: 200,
+        concurrency: 8,
+        dup_percent: 50,
+        no_serve: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -197,6 +238,36 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.trace_format = v.clone();
             }
             "--json" => o.json = Some(it.next().ok_or("--json needs a file")?.clone()),
+            "--stdio" => o.stdio = true,
+            "--addr" => o.addr = Some(it.next().ok_or("--addr needs HOST:PORT")?.clone()),
+            "--cache-bytes" => {
+                let v = it.next().ok_or("--cache-bytes needs a byte count")?;
+                o.cache_bytes = v.parse().map_err(|_| "bad cache byte budget")?;
+            }
+            "--max-queue" => {
+                let v = it.next().ok_or("--max-queue needs a count")?;
+                o.max_queue = v.parse().map_err(|_| "bad queue depth")?;
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a count")?;
+                o.timeout_ms = v.parse().map_err(|_| "bad timeout")?;
+            }
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a count")?;
+                o.requests = v.parse().map_err(|_| "bad request count")?;
+            }
+            "--concurrency" => {
+                let v = it.next().ok_or("--concurrency needs a count")?;
+                o.concurrency = v.parse().map_err(|_| "bad concurrency")?;
+            }
+            "--dup-percent" => {
+                let v = it.next().ok_or("--dup-percent needs 0..=100")?;
+                o.dup_percent = v.parse().map_err(|_| "bad duplicate percentage")?;
+                if o.dup_percent > 100 {
+                    return Err("--dup-percent must be 0..=100".to_string());
+                }
+            }
+            "--no-serve" => o.no_serve = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -393,6 +464,7 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
             o.allocators.clone()
         },
         shrink: o.shrink,
+        serve: !o.no_serve,
         ..defaults
     };
     for name in &cfg.allocators {
@@ -437,6 +509,79 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
     } else {
         Err(format!("{} failing case(s)", report.failures.len()))
     }
+}
+
+/// The service configuration shared by `serve` and in-process `loadgen`.
+fn serve_config(o: &Opts) -> second_chance_regalloc::server::ServeConfig {
+    second_chance_regalloc::server::ServeConfig {
+        workers: o.workers,
+        cache_bytes: o.cache_bytes,
+        max_queue: o.max_queue,
+        default_timeout_ms: o.timeout_ms,
+        ..second_chance_regalloc::server::ServeConfig::default()
+    }
+}
+
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    use second_chance_regalloc::server::{serve_stdio, serve_tcp, Service};
+    if o.stdio && o.addr.is_some() {
+        return Err("--stdio and --addr are mutually exclusive".to_string());
+    }
+    let service = Service::start(serve_config(o));
+    match &o.addr {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            if let Ok(local) = listener.local_addr() {
+                eprintln!("; serving on {local}");
+            }
+            serve_tcp(std::sync::Arc::new(service), listener).map_err(|e| format!("serve: {e}"))
+        }
+        None => serve_stdio(&service).map_err(|e| format!("serve: {e}")),
+    }
+}
+
+fn cmd_loadgen(o: &Opts) -> Result<(), String> {
+    use second_chance_regalloc::server::{run_loadgen, LoadgenConfig};
+    if o.positional.is_empty() {
+        return Err("loadgen needs at least one workload name".to_string());
+    }
+    let cfg = LoadgenConfig {
+        workloads: o.positional.clone(),
+        requests: o.requests,
+        concurrency: o.concurrency,
+        dup_percent: o.dup_percent,
+        seed: o.seed,
+        allocator: o.allocator().to_string(),
+        machine: o.machine().selector(),
+        addr: o.addr.clone(),
+        serve: serve_config(o),
+        out_path: Some("BENCH_serve.json".to_string()),
+    };
+    let r = run_loadgen(&cfg)?;
+    println!(
+        "requests:    {} ({} clients, {}% dups)",
+        r.requests, cfg.concurrency, cfg.dup_percent
+    );
+    println!("responses:   ok={} error={} rejected={}", r.ok, r.errors, r.rejected);
+    println!("throughput:  {:.0} req/s over {:.3} s", r.throughput_rps, r.elapsed_seconds);
+    println!(
+        "latency:     p50={:.3} ms  p95={:.3} ms  p99={:.3} ms  max={:.3} ms",
+        r.latency_ms.p50, r.latency_ms.p95, r.latency_ms.p99, r.latency_ms.max
+    );
+    println!(
+        "cache:       {} hits / {} misses (hit rate {:.2})",
+        r.cache_hits, r.cache_misses, r.hit_rate
+    );
+    println!("mismatches:  {}", r.mismatches);
+    println!("report:      BENCH_serve.json");
+    if r.mismatches > 0 {
+        if let Some(m) = &r.first_mismatch {
+            eprintln!("first mismatch: {m}");
+        }
+        return Err(format!("{} response(s) differed from direct allocation", r.mismatches));
+    }
+    Ok(())
 }
 
 fn cmd_workloads() -> Result<(), String> {
@@ -502,6 +647,8 @@ fn main() -> ExitCode {
         "workloads" => cmd_workloads(),
         "bench" => cmd_bench(&opts),
         "fuzz" => cmd_fuzz(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         _ => return usage(),
     };
     match result {

@@ -11,7 +11,14 @@
 //! 3. the symbolic checker ([`lsra_checker::check_module`]) must prove every
 //!    read sees the right temporary's value;
 //! 4. differential execution against the pre-allocation module must agree on
-//!    return value, output trace, and final memory.
+//!    return value, output trace, and final memory;
+//! 5. (cases that pass 1–4) a service round-trip: the module is sent as an
+//!    inline-program request through a shared in-process allocation server
+//!    ([`lsra_server::Service`]) and the response — allocation statistics
+//!    and allocated module text — must match a direct, cache-free
+//!    execution of the same request **byte-for-byte**. This hammers the
+//!    protocol's parse/render paths and the content-addressed result cache
+//!    (repeated and colliding keys must never change a response).
 //!
 //! Failures optionally go through the delta-debugging shrinker
 //! ([`lsra_checker::shrink_module`]), producing a minimal `.lsra` text
@@ -56,6 +63,9 @@ pub struct FuzzConfig {
     pub shrink: bool,
     /// Stop after this many failures (0 = collect every failure).
     pub max_failures: usize,
+    /// Round-trip every passing case through an in-process allocation
+    /// server and require a byte-identical response to direct allocation.
+    pub serve: bool,
 }
 
 impl Default for FuzzConfig {
@@ -71,6 +81,7 @@ impl Default for FuzzConfig {
             allocators: ALLOCATOR_NAMES.iter().map(|s| s.to_string()).collect(),
             shrink: false,
             max_failures: 5,
+            serve: true,
         }
     }
 }
@@ -208,6 +219,41 @@ fn trace_failure(original: &Module, allocator: &str, spec: &MachineSpec) -> Opti
     }
 }
 
+/// Oracle stage 5: sends the case through `service` as an inline-program
+/// request (`emit_module: true`, machine named by its selector) and
+/// compares the served response byte-for-byte against
+/// [`lsra_server::expected_response_line`] — a direct, cache-free
+/// execution of the same request. Only called for cases that passed the
+/// in-process oracle, so direct allocation is known not to panic.
+fn check_serve_case(
+    service: &lsra_server::Service,
+    module: &Module,
+    allocator: &str,
+    spec: &MachineSpec,
+) -> Result<(), String> {
+    let mut w = lsra_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.field_str("id", "fuzz");
+    w.field_str("program", &format!("{module}"));
+    w.field_str("allocator", allocator);
+    w.field_str("machine", &spec.selector());
+    w.key("emit_module");
+    w.bool(true);
+    w.end_object();
+    let line = w.finish();
+    let req = match lsra_server::parse_request(&line) {
+        Ok(lsra_server::ParsedLine::Alloc(r)) => *r,
+        Ok(_) => return Err("fuzz built a non-alloc service request".to_string()),
+        Err((_, msg)) => return Err(format!("service rejected the fuzz request: {msg}")),
+    };
+    let want = lsra_server::expected_response_line(&req);
+    let got = service.call(&line);
+    if got != want {
+        return Err(format!("service round-trip mismatch:\n  served: {got}\n  direct: {want}"));
+    }
+    Ok(())
+}
+
 /// True when the module itself is a sane fuzz subject: structurally valid
 /// and clean under reference execution. Shrink candidates that break this
 /// are uninteresting (the "failure" would be the program's, not the
@@ -219,6 +265,14 @@ fn reference_clean(m: &Module, spec: &MachineSpec) -> bool {
 /// Runs the fuzz loop described in the module docs.
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let mut report = FuzzReport::default();
+    // One shared server for the whole run, so its result cache sees every
+    // case and repeated lookups are part of what the oracle exercises.
+    let service = cfg.serve.then(|| {
+        lsra_server::Service::start(lsra_server::ServeConfig {
+            workers: 1,
+            ..lsra_server::ServeConfig::default()
+        })
+    });
     'iters: for iter in 0..cfg.iters {
         let sub_seed = cfg.seed ^ iter.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         for spec in &cfg.machines {
@@ -227,13 +281,24 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             debug_assert!(reference_clean(&module, spec), "generator produced a faulting module");
             for name in &cfg.allocators {
                 report.cases += 1;
-                let Err(what) = check_case(&module, name, spec) else { continue };
+                let (what, serve_stage) = match check_case(&module, name, spec) {
+                    Err(e) => (e, false),
+                    Ok(()) => {
+                        let Some(service) = service.as_ref() else { continue };
+                        match check_serve_case(service, &module, name, spec) {
+                            Ok(()) => continue,
+                            Err(e) => (e, true),
+                        }
+                    }
+                };
                 // Trace the smallest module that still fails: the shrunk
-                // repro when shrinking is on, the original otherwise.
+                // repro when shrinking is on, the original otherwise. A
+                // serve-stage mismatch passes `check_case`, so the shrink
+                // oracle (which reruns it) cannot minimize those.
                 let mut shrunk_text = None;
                 let shrunk_mod;
                 let mut trace_subject = &module;
-                if cfg.shrink {
+                if cfg.shrink && !serve_stage {
                     let mut oracle =
                         |c: &Module| reference_clean(c, spec) && check_case(c, name, spec).is_err();
                     let (small, _) = lsra_checker::shrink_module(&module, &mut oracle);

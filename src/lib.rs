@@ -20,7 +20,11 @@
 //!   hot path with log/JSONL/Chrome-trace/annotated-IR sinks and a
 //!   per-function metrics registry (`lsra report`);
 //! * [`fuzz`] — differential fuzzing of all four allocators under the
-//!   symbolic checker, static check, and VM differential execution.
+//!   symbolic checker, static check, VM differential execution, and a
+//!   service round-trip against the allocation server;
+//! * [`server`] — the allocation service: a line-delimited JSON protocol
+//!   over a cached, backpressured worker pool (`lsra serve`), plus the
+//!   byte-for-byte verifying load generator (`lsra loadgen`).
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@ pub use lsra_coloring as coloring;
 pub use lsra_core as binpack;
 pub use lsra_ir as ir;
 pub use lsra_poletto as poletto;
+pub use lsra_server as server;
 pub use lsra_trace as trace;
 pub use lsra_vm as vm;
 pub use lsra_workloads as workloads;

@@ -1,0 +1,178 @@
+//! Failure-path tests for the allocation service: every abnormal outcome
+//! must be a structured JSON response, and none may take the server down.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use second_chance_regalloc::server::{serve_tcp, ServeConfig, Service};
+use second_chance_regalloc::trace::json::validate;
+
+fn service(cfg: ServeConfig) -> Service {
+    Service::start(cfg)
+}
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig { workers: 2, cache_bytes: 1 << 20, ..ServeConfig::default() }
+}
+
+/// Every response the service produces must pass the shared JSON validator.
+fn call(s: &Service, line: &str) -> String {
+    let resp = s.call(line);
+    validate(&resp).unwrap_or_else(|e| panic!("invalid response JSON {resp}: {e}"));
+    resp
+}
+
+#[test]
+fn malformed_json_gets_an_error_and_serving_continues() {
+    let s = service(small_cfg());
+    for bad in [
+        "this is not json",
+        "{\"id\": \"x\"",                                            // truncated
+        "{\"id\": \"x\", \"op\": \"nope\"}",                         // unknown op
+        "{\"id\": \"x\", \"workload\": 7}",                          // wrong type
+        "{\"id\": \"x\", \"bogus\": true}",                          // unknown field
+        "{\"id\": \"x\"}",                                           // no program at all
+        "{\"id\": \"x\", \"workload\": \"wc\", \"program\": \"x\"}", // both sources
+    ] {
+        let resp = call(&s, bad);
+        assert!(resp.contains("\"status\": \"error\""), "{bad} => {resp}");
+    }
+    // The connection-level invariant: after any amount of garbage, a good
+    // request still succeeds.
+    let ok = call(&s, r#"{"id": "after", "workload": "wc"}"#);
+    assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+    let snap = s.counters();
+    assert_eq!(snap.errors, 7, "one structured error per bad line");
+    assert_eq!(snap.ok, 1);
+}
+
+#[test]
+fn oversized_requests_are_rejected_before_parsing() {
+    let s = service(ServeConfig { max_request_bytes: 128, ..small_cfg() });
+    let huge = format!(r#"{{"id": "big", "program": "{}"}}"#, "x".repeat(4096));
+    let resp = call(&s, &huge);
+    assert!(resp.contains("\"status\": \"too_large\""), "{resp}");
+    assert_eq!(s.counters().too_large, 1);
+    // Still serving.
+    let ok = call(&s, r#"{"id": "n", "workload": "wc"}"#);
+    assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+}
+
+#[test]
+fn deadline_overrun_times_out_but_the_worker_survives() {
+    let s = service(ServeConfig { workers: 1, ..small_cfg() });
+    let resp =
+        call(&s, r#"{"id": "slow", "workload": "wc", "timeout_ms": 20, "inject_sleep_ms": 400}"#);
+    assert!(resp.contains("\"status\": \"timeout\""), "{resp}");
+    assert_eq!(s.counters().timeouts, 1);
+    // The worker that slept through the deadline keeps serving afterwards.
+    let ok = call(&s, r#"{"id": "next", "workload": "wc"}"#);
+    assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+}
+
+#[test]
+fn queue_overflow_is_answered_overloaded_immediately() {
+    // One worker, queue depth one: occupy the worker, fill the queue, and
+    // the next request must bounce without blocking. Each occupancy step is
+    // confirmed through the service's own gauges before the next request is
+    // sent, so neither occupying request can race the other into the bounce.
+    let s = Arc::new(service(ServeConfig { workers: 1, max_queue: 1, ..small_cfg() }));
+    let spawn_slow = |i: usize| {
+        let s = Arc::clone(&s);
+        std::thread::spawn(move || {
+            s.call(&format!(r#"{{"id": "slow{i}", "workload": "wc", "inject_sleep_ms": 800}}"#))
+        })
+    };
+    let wait_for = |what: &str, pred: &dyn Fn() -> bool| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !pred() {
+            assert!(std::time::Instant::now() < deadline, "{what} never happened");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    };
+    // First slow request: wait until the worker has dequeued it. The gauge
+    // is bumped under the queue lock, so in_flight == 1 implies the queue
+    // is empty again and the second request cannot bounce.
+    let first = spawn_slow(0);
+    wait_for("worker pickup", &|| s.counters().in_flight == 1);
+    let second = spawn_slow(1);
+    wait_for("queue fill", &|| s.counters().queue_depth == 1);
+    // Worker busy, queue full: the probe must bounce, and immediately —
+    // well inside the 800 ms the worker still has to sleep.
+    let t0 = std::time::Instant::now();
+    let resp = call(&s, r#"{"id": "probe", "workload": "wc"}"#);
+    assert!(resp.contains("\"status\": \"overloaded\""), "{resp}");
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(250),
+        "overloaded must be immediate, took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(s.counters().overloaded, 1);
+    for h in [first, second] {
+        let resp = h.join().unwrap();
+        assert!(resp.contains("\"status\": \"ok\""), "occupying request failed: {resp}");
+    }
+}
+
+#[test]
+fn a_panicking_request_is_confined_to_its_response() {
+    let s = service(ServeConfig { workers: 1, ..small_cfg() });
+    let resp = call(&s, r#"{"id": "boom", "workload": "wc", "inject_panic": true}"#);
+    assert!(resp.contains("\"status\": \"error\""), "{resp}");
+    assert!(resp.contains("injected panic"), "{resp}");
+    // Same single worker thread, next request: the pool survived the panic.
+    let ok = call(&s, r#"{"id": "next", "workload": "wc"}"#);
+    assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+    let snap = s.counters();
+    assert_eq!(snap.panics, 1);
+    assert_eq!(snap.errors, 1);
+    assert_eq!(snap.ok, 1);
+}
+
+#[test]
+fn repeated_requests_are_byte_identical_and_hit_the_cache() {
+    let s = service(small_cfg());
+    let line = r#"{"id": "r", "workload": "compress", "emit_module": true, "run": true}"#;
+    let first = call(&s, line);
+    let second = call(&s, line);
+    assert_eq!(first, second, "hit and miss must render identically");
+    let snap = s.counters();
+    assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+    // Textually different spellings of the same request body (field order,
+    // whitespace) share the canonical cache entry.
+    let respaced = r#"{ "run": true, "emit_module": true, "workload": "compress", "id": "r" }"#;
+    let third = call(&s, respaced);
+    assert_eq!(third, first);
+    assert_eq!(s.counters().cache_hits, 2);
+}
+
+#[test]
+fn tcp_round_trip_serves_and_shuts_down() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let svc = Arc::new(service(small_cfg()));
+    let server = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || serve_tcp(svc, listener))
+    };
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| {
+        reader.get_mut().write_all(line.as_bytes()).unwrap();
+        reader.get_mut().write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let resp = resp.trim_end().to_string();
+        validate(&resp).unwrap_or_else(|e| panic!("invalid response JSON {resp}: {e}"));
+        resp
+    };
+    let ok = send(r#"{"id": "tcp1", "workload": "wc"}"#);
+    assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+    let err = send("garbage over tcp");
+    assert!(err.contains("\"status\": \"error\""), "{err}");
+    let bye = send(r#"{"id": "bye", "op": "shutdown"}"#);
+    assert!(bye.contains("\"op\": \"shutdown\""), "{bye}");
+    server.join().unwrap().unwrap();
+    assert!(svc.is_shutting_down());
+}
