@@ -12,6 +12,7 @@
 use lsra_ir::{BlockId, Function};
 
 use crate::bitset::BitSet;
+use crate::order::Order;
 
 /// The result of a backward gen/kill solve.
 #[derive(Clone, Debug)]
@@ -62,6 +63,93 @@ pub fn solve_backward(
     BackwardSolution { live_in, live_out, iterations }
 }
 
+/// The result of a forward *must* (all-paths) gen/kill solve.
+#[derive(Clone, Debug)]
+pub struct ForwardMustSolution {
+    /// `in[b] = ∩ out[p]` over reachable predecessors at the fixed point
+    /// (`entry_in` for the entry block). Unreachable blocks keep an empty
+    /// set — callers should consult [`Order::is_reachable`].
+    pub must_in: Vec<BitSet>,
+    /// `out[b] = gen[b] ∪ (in[b] ∖ kill[b])`.
+    pub must_out: Vec<BitSet>,
+    /// Iterations taken to converge.
+    pub iterations: u32,
+}
+
+/// Solves a forward gen/kill problem with *intersection* as the meet: a bit
+/// holds at a block entry only if it holds along **every** path from the
+/// entry block. This is the meet the symbolic allocation checker uses, and
+/// here it backs must-be-defined analyses (use-before-def, redundant
+/// reloads).
+///
+/// The solver is optimistic: a predecessor whose out-set has not been
+/// computed yet contributes ⊤ (everything) to the meet, and the fixpoint
+/// iterates over `order.rpo` until nothing changes. Only reachable blocks
+/// participate.
+pub fn solve_forward_must(
+    f: &Function,
+    universe: usize,
+    gen: &[BitSet],
+    kill: &[BitSet],
+    entry_in: &BitSet,
+    order: &Order,
+) -> ForwardMustSolution {
+    let nb = f.num_blocks();
+    debug_assert_eq!(gen.len(), nb);
+    debug_assert_eq!(kill.len(), nb);
+    let preds = f.compute_preds();
+    let mut outs: Vec<Option<BitSet>> = vec![None; nb];
+    let mut ins: Vec<Option<BitSet>> = vec![None; nb];
+    let entry = f.entry();
+    let mut iterations = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        iterations += 1;
+        for &b in &order.rpo {
+            let bi = b.index();
+            let mut inb = if b == entry {
+                entry_in.clone()
+            } else {
+                let mut acc: Option<BitSet> = None;
+                for p in &preds[bi] {
+                    if !order.is_reachable(*p) {
+                        continue;
+                    }
+                    if let Some(out) = &outs[p.index()] {
+                        match &mut acc {
+                            Some(a) => {
+                                a.intersect_with(out);
+                            }
+                            None => acc = Some(out.clone()),
+                        }
+                    }
+                }
+                acc.unwrap_or_else(|| {
+                    let mut top = BitSet::new(universe);
+                    top.fill();
+                    top
+                })
+            };
+            let mut out = BitSet::new(universe);
+            out.assign_transfer(&gen[bi], &inb, &kill[bi]);
+            if outs[bi].as_ref() != Some(&out) {
+                outs[bi] = Some(out);
+                changed = true;
+            }
+            if ins[bi].as_ref() != Some(&inb) {
+                // Reuse the buffer rather than cloning on every iteration.
+                std::mem::swap(&mut inb, ins[bi].get_or_insert_with(|| BitSet::new(0)));
+                changed = true;
+            }
+        }
+    }
+    let unwrap = |v: Vec<Option<BitSet>>| {
+        v.into_iter().map(|s| s.unwrap_or_else(|| BitSet::new(universe))).collect()
+    };
+    ForwardMustSolution { must_in: unwrap(ins), must_out: unwrap(outs), iterations }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +184,70 @@ mod tests {
         assert!(sol.live_out[1].contains(0), "propagates around the back edge");
         assert!(!sol.live_in[2].contains(0));
         assert!(sol.iterations <= 3);
+    }
+
+    /// Diamond: a def on only one arm must NOT reach the join (must-meet),
+    /// while a def before the branch must.
+    #[test]
+    fn forward_must_meets_with_intersection() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "d", &[]);
+        let t = b.int_temp("t");
+        b.movi(t, 1);
+        let l = b.block();
+        let r = b.block();
+        let j = b.block();
+        b.branch(Cond::Ne, t, l, r);
+        b.switch_to(l);
+        b.jump(j);
+        b.switch_to(r);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+
+        let universe = 2;
+        let mut gen = vec![BitSet::new(universe); f.num_blocks()];
+        let kill = vec![BitSet::new(universe); f.num_blocks()];
+        gen[0].insert(0); // defined before the branch
+        gen[1].insert(1); // defined on the left arm only
+        let order = Order::compute(&f);
+        let sol = solve_forward_must(&f, universe, &gen, &kill, &BitSet::new(universe), &order);
+        assert!(sol.must_in[3].contains(0), "all-paths def reaches the join");
+        assert!(!sol.must_in[3].contains(1), "one-arm def does not");
+        assert!(sol.must_in[1].contains(0) && sol.must_in[2].contains(0));
+        assert!(sol.iterations <= 3);
+    }
+
+    /// A loop back edge must not destroy facts established before the loop,
+    /// and the entry's in-set is exactly `entry_in`.
+    #[test]
+    fn forward_must_handles_back_edges() {
+        let spec = MachineSpec::alpha_like();
+        let mut b = FunctionBuilder::new(&spec, "l", &[]);
+        let t = b.int_temp("t");
+        b.movi(t, 3);
+        let head = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(Cond::Gt, t, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+
+        let universe = 2;
+        let mut gen = vec![BitSet::new(universe); f.num_blocks()];
+        let kill = vec![BitSet::new(universe); f.num_blocks()];
+        gen[0].insert(0);
+        let mut entry_in = BitSet::new(universe);
+        entry_in.insert(1);
+        let order = Order::compute(&f);
+        let sol = solve_forward_must(&f, universe, &gen, &kill, &entry_in, &order);
+        assert_eq!(sol.must_in[0], entry_in);
+        assert!(sol.must_in[1].contains(0), "survives the back-edge meet");
+        assert!(sol.must_in[1].contains(1), "entry facts flow through");
+        assert!(sol.must_in[2].contains(0));
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod order;
 mod peephole;
 
 pub use bitset::BitSet;
-pub use dataflow::{solve_backward, BackwardSolution};
+pub use dataflow::{solve_backward, solve_forward_must, BackwardSolution, ForwardMustSolution};
 pub use dce::eliminate_dead_code;
 pub use dominators::Dominators;
 pub use edges::{is_critical, retarget, split_critical_edges, split_edge};

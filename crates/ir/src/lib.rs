@@ -57,5 +57,8 @@ pub use function::{Function, SlotId, TempInfo, ValidateError};
 pub use inst::{Callee, Cond, ExtFn, FuncId, Ins, Inst, OpCode, SpillTag};
 pub use machine::MachineSpec;
 pub use module::Module;
-pub use parse::{parse_function, parse_module, ParseError};
+pub use parse::{
+    parse_function, parse_function_with_lines, parse_module, parse_module_with_lines,
+    FunctionLines, ModuleLines, ParseError,
+};
 pub use reg::{PhysReg, Reg, RegClass, Temp};

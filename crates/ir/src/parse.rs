@@ -27,6 +27,52 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Source lines recorded while parsing one function: where the header sits
+/// and, per block, the 1-based line of every instruction. Line numbers are
+/// relative to the text handed to the parser — [`parse_module_with_lines`]
+/// offsets them so they are file-relative.
+///
+/// This is what lets diagnostics (validation errors, lints) point at the
+/// offending *source line* instead of just a `(block, inst)` pair.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FunctionLines {
+    /// Line of the `func @name(...) {` header.
+    pub header: usize,
+    /// `insts[b][i]` is the line of block `b`'s `i`-th instruction.
+    pub insts: Vec<Vec<usize>>,
+}
+
+impl FunctionLines {
+    /// The source line of `block`'s `inst`-th instruction, if recorded.
+    pub fn line_of(&self, block: BlockId, inst: usize) -> Option<usize> {
+        self.insts.get(block.index()).and_then(|b| b.get(inst)).copied()
+    }
+
+    fn offset(&mut self, by: usize) {
+        self.header += by;
+        for b in &mut self.insts {
+            for l in b.iter_mut() {
+                *l += by;
+            }
+        }
+    }
+}
+
+/// Per-function [`FunctionLines`] for a parsed module, indexed like
+/// `Module::funcs`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleLines {
+    /// One entry per function, in `Module::funcs` order.
+    pub funcs: Vec<FunctionLines>,
+}
+
+impl ModuleLines {
+    /// The source line of instruction `inst` in `block` of function `func`.
+    pub fn line_of(&self, func: usize, block: BlockId, inst: usize) -> Option<usize> {
+        self.funcs.get(func).and_then(|f| f.line_of(block, inst))
+    }
+}
+
 type Result<T> = std::result::Result<T, ParseError>;
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T> {
@@ -371,6 +417,17 @@ impl FuncParser {
 /// Returns a [`ParseError`] naming the offending line; additionally the
 /// result is validated structurally.
 pub fn parse_function(text: &str) -> Result<Function> {
+    parse_function_with_lines(text).map(|(f, _)| f)
+}
+
+/// [`parse_function`] plus the [`FunctionLines`] source map; validation
+/// errors point at the offending instruction's line rather than the closing
+/// brace.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_function_with_lines(text: &str) -> Result<(Function, FunctionLines)> {
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
     let (lineno, header) = lines
         .by_ref()
@@ -378,6 +435,7 @@ pub fn parse_function(text: &str) -> Result<Function> {
         .find(|(_, l)| !l.is_empty() && !l.starts_with(';'))
         .ok_or_else(|| ParseError { line: 1, msg: "empty input".into() })?;
     let mut p = FuncParser::start(header, lineno)?;
+    let mut map = FunctionLines { header: lineno, insts: Vec::new() };
     for (lineno, raw) in lines {
         let (body, tag) = split_tag(raw);
         let line = body.trim();
@@ -386,8 +444,11 @@ pub fn parse_function(text: &str) -> Result<Function> {
         }
         if line == "}" {
             let f = p.func;
-            f.validate().map_err(|e| ParseError { line: lineno, msg: e.to_string() })?;
-            return Ok(f);
+            f.validate().map_err(|e| ParseError {
+                line: map.line_of(e.block, e.inst).unwrap_or(lineno),
+                msg: e.to_string(),
+            })?;
+            return Ok((f, map));
         }
         if let Some(rest) = line.strip_prefix("temps ") {
             p.temps_line(rest, lineno)?;
@@ -397,11 +458,13 @@ pub fn parse_function(text: &str) -> Result<Function> {
             let id = parse_block(label, lineno)?;
             while p.func.num_blocks() <= id.index() {
                 p.func.add_block();
+                map.insts.push(Vec::new());
             }
             p.current = Some(id);
             continue;
         }
         p.inst_line(line, tag, lineno)?;
+        map.insts[p.current.expect("inst_line checked this").index()].push(lineno);
     }
     err(text.lines().count(), "missing closing `}`")
 }
@@ -412,7 +475,20 @@ pub fn parse_function(text: &str) -> Result<Function> {
 ///
 /// Returns a [`ParseError`]; the module is validated before returning.
 pub fn parse_module(text: &str) -> Result<Module> {
+    parse_module_with_lines(text).map(|(m, _)| m)
+}
+
+/// [`parse_module`] plus the per-function [`ModuleLines`] source map. All
+/// line numbers (including those in errors raised while parsing a function
+/// body) are file-relative, not function-relative.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`]; the module is validated before returning, and
+/// validation errors are mapped back to the offending instruction's line.
+pub fn parse_module_with_lines(text: &str) -> Result<(Module, ModuleLines)> {
     let mut module: Option<Module> = None;
+    let mut mlines = ModuleLines::default();
     let mut func_start: Option<usize> = None;
     let mut depth = 0usize;
     let all_lines: Vec<&str> = text.lines().collect();
@@ -425,7 +501,12 @@ pub fn parse_module(text: &str) -> Result<Module> {
                 if depth == 0 {
                     let start = func_start.take().unwrap();
                     let ftext = all_lines[start..=i].join("\n");
-                    let f = parse_function(&ftext)?;
+                    // Line 1 of `ftext` is file line `start + 1`: offset both
+                    // error lines and the recorded source map by `start`.
+                    let (f, mut fl) = parse_function_with_lines(&ftext)
+                        .map_err(|e| ParseError { line: e.line + start, msg: e.msg })?;
+                    fl.offset(start);
+                    mlines.funcs.push(fl);
                     module
                         .as_mut()
                         .ok_or_else(|| ParseError {
@@ -479,8 +560,18 @@ pub fn parse_module(text: &str) -> Result<Module> {
         }
     }
     let m = module.ok_or_else(|| ParseError { line: 1, msg: "no module header".into() })?;
-    m.validate().map_err(|e| ParseError { line: 0, msg: e.to_string() })?;
-    Ok(m)
+    m.validate().map_err(|e| {
+        // Map the (function, block, inst) coordinates back to a source line;
+        // fall back to the function header for errors without one.
+        let idx = m.funcs.iter().position(|f| f.name == e.func);
+        let line = idx
+            .and_then(|fi| {
+                mlines.line_of(fi, e.block, e.inst).or(mlines.funcs.get(fi).map(|fl| fl.header))
+            })
+            .unwrap_or(0);
+        ParseError { line, msg: e.to_string() }
+    })?;
+    Ok((m, mlines))
 }
 
 #[cfg(test)]
@@ -585,8 +676,58 @@ mod tests {
 
     #[test]
     fn rejects_invalid_parsed_function() {
-        // Block without terminator fails validation at the closing brace.
+        // Block without terminator: validation fires at the closing brace,
+        // but the error points at the offending instruction's line.
         let text = "func @inv() {\n  temps t0:i\nb0:\n  t0 = 3\n}\n";
-        assert!(parse_function(text).is_err());
+        let e = parse_function(text).unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+        assert!(e.msg.contains("malformed block"), "{e}");
+    }
+
+    #[test]
+    fn validation_errors_point_at_the_offending_instruction() {
+        // t1 is a float; the add on line 5 is the class mismatch.
+        let text = "func @cls() {\n  temps t0:i t1:f\nb0:\n  t0 = 1\n  t1 = add t0, t0\n  ret\n}\n";
+        let e = parse_function(text).unwrap_err();
+        assert_eq!(e.line, 5, "{e}");
+    }
+
+    #[test]
+    fn function_lines_map_every_instruction() {
+        let f = sample_function();
+        let text = f.to_string();
+        let (parsed, lines) = parse_function_with_lines(&text).unwrap();
+        assert_eq!(lines.header, 1);
+        let num_lines = text.lines().count();
+        let mut mapped = 0;
+        for b in parsed.block_ids() {
+            let mut prev = 0;
+            for i in 0..parsed.block(b).insts.len() {
+                let l = lines.line_of(b, i).unwrap_or_else(|| panic!("no line for {b} inst {i}"));
+                assert!(l > prev && l <= num_lines, "{b} inst {i} -> line {l}");
+                prev = l;
+                mapped += 1;
+            }
+        }
+        assert_eq!(mapped, parsed.num_insts());
+        assert_eq!(lines.line_of(BlockId(99), 0), None);
+    }
+
+    #[test]
+    fn module_errors_are_file_relative() {
+        // The bad opcode sits on file line 8, inside the second function.
+        let text = "module m (0 words data)\nentry @0\nfunc @a() {\nb0:\n  ret\n}\nfunc @b() {\nb0:\n  t0 = frobnicate t1\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 9, "{e}");
+        assert!(e.msg.contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn module_validation_errors_are_file_relative() {
+        // Parses fine; validation rejects the float move into an int temp on
+        // line 10 of the file (line 4 of the second function).
+        let text = "module m (0 words data)\nentry @0\nfunc @a() {\nb0:\n  ret\n}\nfunc @b() {\n  temps t0:i\nb0:\n  t0 = 2.5\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 10, "{e}");
     }
 }

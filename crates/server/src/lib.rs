@@ -36,5 +36,7 @@ pub mod service;
 pub use cache::{fnv64, Cache, Outcome};
 pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
 pub use net::{serve_lines, serve_stdio, serve_tcp};
-pub use protocol::{expected_response_line, parse_request, ParsedLine, Request};
+pub use protocol::{
+    expected_response_line, parse_request, render_lint, run_lint, ParsedLine, Request,
+};
 pub use service::{CountersSnapshot, ServeConfig, Service};

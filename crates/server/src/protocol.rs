@@ -20,10 +20,11 @@
 //! ```
 //!
 //! * `id` — echoed back verbatim (default `""`);
-//! * `op` — `"alloc"` (default), `"stats"` (server counters), or
-//!   `"shutdown"` (graceful drain);
+//! * `op` — `"alloc"` (default), `"lint"` (static diagnostics for the
+//!   program), `"stats"` (server counters), or `"shutdown"` (graceful
+//!   drain);
 //! * exactly one of `program` (inline `.lsra` text) or `workload` (a
-//!   built-in benchmark name) for `alloc`;
+//!   built-in benchmark name) for `alloc` and `lint`;
 //! * `allocator` — `binpack` (default), `two-pass`, `coloring`, `poletto`;
 //! * `machine` — `alpha` (default) or `small:I,F`;
 //! * `cleanup` — run identity-move removal and the spill-code post-pass on
@@ -48,6 +49,17 @@
 //! {"id": "r3", "status": "timeout"}
 //! {"id": "r4", "status": "overloaded"}
 //! {"id": "r5", "status": "too_large"}
+//! ```
+//!
+//! A `lint` response carries per-severity counts and every diagnostic (the
+//! Family A input lints, plus — when the input has no errors — the Family B
+//! quality lints over the requested allocator's output before identity-move
+//! removal). Like every other response it has no wall-clock fields: the
+//! same request always yields the same bytes.
+//!
+//! ```json
+//! {"id": "r6", "status": "ok", "op": "lint", "errors": 1, "warnings": 0, "notes": 0,
+//!  "diagnostics": [{"code": "L001", "line": 4, "...": "..."}]}
 //! ```
 
 use lsra_core::{AllocScratch, BinpackAllocator, BinpackConfig, RegisterAllocator};
@@ -101,6 +113,9 @@ pub struct Request {
 pub enum ParsedLine {
     /// An allocation request.
     Alloc(Box<Request>),
+    /// A static-diagnostics request (same shape as `alloc`; the
+    /// result-shaping flags are ignored).
+    Lint(Box<Request>),
     /// A server-counters query.
     Stats {
         /// Echoed correlation id.
@@ -172,11 +187,12 @@ pub fn parse_request(line: &str) -> Result<ParsedLine, (String, String)> {
                 let o = str_field("op", val)?;
                 op = match o.as_str() {
                     "alloc" => "alloc",
+                    "lint" => "lint",
                     "stats" => "stats",
                     "shutdown" => "shutdown",
                     other => {
                         return Err(fail(format!(
-                            "unknown op `{other}` (alloc | stats | shutdown)"
+                            "unknown op `{other}` (alloc | lint | stats | shutdown)"
                         )))
                     }
                 };
@@ -224,7 +240,7 @@ pub fn parse_request(line: &str) -> Result<ParsedLine, (String, String)> {
         )));
     }
     let machine = MachineSpec::parse(&machine).map_err(|e| fail(format!("machine: {e}")))?;
-    Ok(ParsedLine::Alloc(Box::new(Request {
+    let req = Box::new(Request {
         id,
         source,
         allocator,
@@ -235,7 +251,8 @@ pub fn parse_request(line: &str) -> Result<ParsedLine, (String, String)> {
         timeout_ms,
         inject_panic,
         inject_sleep_ms,
-    })))
+    });
+    Ok(if op == "lint" { ParsedLine::Lint(req) } else { ParsedLine::Alloc(req) })
 }
 
 /// Builds the request's module, its VM input, and the canonical program
@@ -351,6 +368,79 @@ pub fn render_ok(id: &str, outcome: &Outcome, emit_module: bool) -> String {
     if emit_module {
         w.field_str("module", &outcome.module_text);
     }
+    w.end_object();
+    w.finish()
+}
+
+/// Runs the `lint` op: the Family A input lints, then — when the input has
+/// no errors and validates — the Family B quality lints over the requested
+/// allocator's output *before* identity-move removal. Inline programs are
+/// parsed with a source-line map so diagnostics carry the offending line.
+///
+/// # Errors
+///
+/// Returns a message for unparseable inline programs and unknown workloads
+/// (diagnostics are not errors — a program that parses always lints).
+pub fn run_lint(req: &Request) -> Result<String, String> {
+    let (m, lines) = match &req.source {
+        Source::Program(text) => {
+            let (m, lines) =
+                lsra_ir::parse_module_with_lines(text).map_err(|e| format!("program:{e}"))?;
+            (m, Some(lines))
+        }
+        Source::Workload(name) => {
+            let w = lsra_workloads::by_name(name)
+                .ok_or_else(|| format!("unknown workload `{name}`"))?;
+            ((w.build)(), None)
+        }
+    };
+    let mut report = lsra_lint::lint_input(&m, lines.as_ref());
+    // Quality lints need a sound allocation; `validate` additionally rules
+    // out the module-level breakage (bad call targets, bad entry) that the
+    // per-function lints don't model.
+    if report.count_severity(lsra_lint::Severity::Error) == 0 && m.validate().is_ok() {
+        let mut allocated = m;
+        let spec = &req.machine;
+        match req.allocator.as_str() {
+            "binpack" => {
+                BinpackAllocator::new(BinpackConfig { workers: 1, ..Default::default() })
+                    .allocate_module(&mut allocated, spec);
+            }
+            "two-pass" => {
+                BinpackAllocator::new(BinpackConfig { workers: 1, ..BinpackConfig::two_pass() })
+                    .allocate_module(&mut allocated, spec);
+            }
+            "coloring" => {
+                lsra_coloring::ColoringAllocator.allocate_module(&mut allocated, spec);
+            }
+            "poletto" => {
+                lsra_poletto::PolettoAllocator.allocate_module(&mut allocated, spec);
+            }
+            other => return Err(format!("unknown allocator `{other}`")),
+        }
+        report.merge(lsra_lint::lint_quality(&allocated, spec));
+    }
+    Ok(render_lint(&req.id, &report))
+}
+
+/// Renders a `lint` response: per-severity counts plus every diagnostic in
+/// canonical order. Deterministic — no wall-clock fields.
+pub fn render_lint(id: &str, report: &lsra_lint::LintReport) -> String {
+    use lsra_lint::Severity;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("id", id);
+    w.field_str("status", "ok");
+    w.field_str("op", "lint");
+    w.field_uint("errors", report.count_severity(Severity::Error) as u64);
+    w.field_uint("warnings", report.count_severity(Severity::Warning) as u64);
+    w.field_uint("notes", report.count_severity(Severity::Note) as u64);
+    w.key("diagnostics");
+    w.begin_array();
+    for d in &report.diags {
+        d.write_json(&mut w);
+    }
+    w.end_array();
     w.end_object();
     w.finish()
 }
@@ -471,6 +561,58 @@ mod tests {
         assert!(v.get("dyn").unwrap().get("total").and_then(JsonValue::as_u64).unwrap() > 0);
         let module = v.get("module").and_then(JsonValue::as_str).unwrap();
         lsra_ir::parse_module(module).expect("emitted module text parses back");
+    }
+
+    #[test]
+    fn lint_op_reports_the_offending_line() {
+        // `t0` is read before any definition on file line 6.
+        let program = "module m (0 words data)\nentry @0\nfunc @f() {\n  temps t0:i t1:i\nb0:\n  t1 = add t0, t0\n  ret\n}\n";
+        let mut line = JsonWriter::new();
+        line.begin_object();
+        line.field_str("id", "l");
+        line.field_str("op", "lint");
+        line.field_str("program", program);
+        line.end_object();
+        let ParsedLine::Lint(req) = parse_request(&line.finish()).unwrap() else {
+            panic!("not lint")
+        };
+        let a = run_lint(&req).unwrap();
+        let b = run_lint(&req).unwrap();
+        assert_eq!(a, b, "lint responses must be byte-deterministic");
+        lsra_trace::json::validate(&a).unwrap();
+        let v = json_in::parse(&a).unwrap();
+        assert_eq!(v.get("op").and_then(JsonValue::as_str), Some("lint"));
+        assert_eq!(v.get("errors").and_then(JsonValue::as_u64), Some(1));
+        assert!(a.contains(r#""code": "L001""#), "{a}");
+        assert!(a.contains(r#""line": 6"#), "{a}");
+    }
+
+    #[test]
+    fn lint_op_runs_quality_lints_on_clean_input() {
+        let line = r#"{"id": "q", "op": "lint", "workload": "wc", "machine": "small:2,1"}"#;
+        let ParsedLine::Lint(req) = parse_request(line).unwrap() else { panic!("not lint") };
+        let resp = run_lint(&req).unwrap();
+        let v = json_in::parse(&resp).unwrap();
+        assert_eq!(v.get("errors").and_then(JsonValue::as_u64), Some(0), "{resp}");
+        // Under this much register pressure the pre-postopt allocation
+        // always carries at least an identity-move or spill note.
+        assert!(v.get("notes").and_then(JsonValue::as_u64).unwrap() > 0, "{resp}");
+    }
+
+    #[test]
+    fn lint_op_parse_errors_carry_the_line() {
+        let program =
+            "module m (0 words data)\nentry @0\nfunc @f() {\nb0:\n  t0 = frobnicate t1\n  ret\n}\n";
+        let mut line = JsonWriter::new();
+        line.begin_object();
+        line.field_str("op", "lint");
+        line.field_str("program", program);
+        line.end_object();
+        let ParsedLine::Lint(req) = parse_request(&line.finish()).unwrap() else {
+            panic!("not lint")
+        };
+        let msg = run_lint(&req).unwrap_err();
+        assert!(msg.starts_with("program:line 5:"), "{msg}");
     }
 
     #[test]

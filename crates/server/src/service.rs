@@ -259,6 +259,27 @@ impl Service {
                 return w.finish();
             }
             Ok(ParsedLine::Alloc(req)) => req,
+            Ok(ParsedLine::Lint(req)) => {
+                // Lint is cheap and cacheless; answer inline (like stats)
+                // with the same panic isolation the workers give alloc.
+                if self.is_shutting_down() {
+                    c.errors.fetch_add(1, Ordering::Relaxed);
+                    return protocol::render_error(&req.id, "server is shutting down");
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| protocol::run_lint(&req)));
+                let (resp, is_ok) = match result {
+                    Ok(Ok(resp)) => (resp, true),
+                    Ok(Err(msg)) => (protocol::render_error(&req.id, &msg), false),
+                    Err(p) => {
+                        c.panics.fetch_add(1, Ordering::Relaxed);
+                        let msg = format!("panic: {}", panic_message(p));
+                        (protocol::render_error(&req.id, &msg), false)
+                    }
+                };
+                let field = if is_ok { &c.ok } else { &c.errors };
+                field.fetch_add(1, Ordering::Relaxed);
+                return resp;
+            }
             Err((id, msg)) => {
                 c.errors.fetch_add(1, Ordering::Relaxed);
                 return protocol::render_error(&id, &msg);
@@ -453,6 +474,20 @@ mod tests {
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.ok, 2);
+    }
+
+    #[test]
+    fn lint_op_is_answered_inline() {
+        let s = small_service(1);
+        let resp = s.call(r#"{"id": "l", "op": "lint", "workload": "wc"}"#);
+        assert!(resp.contains("\"op\": \"lint\""), "{resp}");
+        assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+        let snap = s.counters();
+        assert_eq!(snap.ok, 1);
+        assert_eq!(snap.cache_misses, 0, "lint responses are not cached");
+        let err = s.call(r#"{"id": "e", "op": "lint", "program": "not a module"}"#);
+        assert!(err.contains("\"status\": \"error\""), "{err}");
+        assert!(err.contains("program:"), "{err}");
     }
 
     #[test]

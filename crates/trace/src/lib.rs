@@ -36,6 +36,6 @@ pub use annotate::annotate;
 pub use chrome::ChromeSink;
 pub use event::{CoalesceOutcome, EvictAction, FitTier, ResolveOp, SpillCandidate, TraceEvent};
 pub use json::JsonWriter;
-pub use metrics::{FunctionMetrics, Histogram, MetricsSink, ModuleMetrics};
+pub use metrics::{FunctionMetrics, Histogram, MetricsSink, ModuleMetrics, QualityLintSummary};
 pub use sink::{NoopSink, RecordSink, TraceSink};
 pub use sinks::{JsonlSink, LogSink};

@@ -321,11 +321,48 @@ impl FunctionMetrics {
     }
 }
 
+/// Summary of the allocation-quality lints (`lsra-lint` Family B) over an
+/// allocated module, threaded into [`ModuleMetrics`] by the report paths.
+///
+/// Kept generic — severity totals plus `(code, count)` pairs — so this crate
+/// does not depend on the lint crate (which depends on this one for JSON).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QualityLintSummary {
+    /// Diagnostics at error severity.
+    pub errors: u64,
+    /// Diagnostics at warning severity.
+    pub warnings: u64,
+    /// Diagnostics at note severity.
+    pub notes: u64,
+    /// `(code, count)` for every code that fired, in code order.
+    pub by_code: Vec<(String, u64)>,
+}
+
+impl QualityLintSummary {
+    /// Serialises as one JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_uint("errors", self.errors);
+        w.field_uint("warnings", self.warnings);
+        w.field_uint("notes", self.notes);
+        w.key("by_code");
+        w.begin_object();
+        for (code, n) in &self.by_code {
+            w.field_uint(code, *n);
+        }
+        w.end_object();
+        w.end_object();
+    }
+}
+
 /// Per-function metrics for a whole module, plus the merged total.
 #[derive(Clone, Debug)]
 pub struct ModuleMetrics {
     /// Metrics per function, in allocation order.
     pub funcs: Vec<FunctionMetrics>,
+    /// Quality-lint summary, when the caller ran the Family B lints over the
+    /// allocated output (see `lsra report`).
+    pub quality_lints: Option<QualityLintSummary>,
 }
 
 impl ModuleMetrics {
@@ -384,6 +421,16 @@ impl ModuleMetrics {
             t.reloads, t.def_rebinds, t.hole_restores, t.pessimizes
         );
         let _ = writeln!(out, "consistency iterations (max): {}", t.consistency_iterations);
+        if let Some(q) = &self.quality_lints {
+            let _ = writeln!(
+                out,
+                "quality lints: {} errors, {} warnings, {} notes",
+                q.errors, q.warnings, q.notes
+            );
+            for (code, n) in &q.by_code {
+                let _ = writeln!(out, "  {code:<24} {n:>8}");
+            }
+        }
         let _ = writeln!(
             out,
             "int register pressure per program point (mean {:.2}, max {}):",
@@ -415,6 +462,11 @@ impl ModuleMetrics {
             f.write_json(&mut w);
         }
         w.end_array();
+        w.key("quality_lints");
+        match &self.quality_lints {
+            Some(q) => q.write_json(&mut w),
+            None => w.null(),
+        }
         w.end_object();
         w.finish()
     }
@@ -439,7 +491,7 @@ impl MetricsSink {
         if let Some(f) = self.cur.take() {
             self.done.push(f);
         }
-        ModuleMetrics { funcs: self.done }
+        ModuleMetrics { funcs: self.done, quality_lints: None }
     }
 }
 

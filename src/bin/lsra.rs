@@ -4,8 +4,11 @@
 //! lsra print <file.lsra>                      parse, validate, pretty-print
 //! lsra run <file.lsra> [--input FILE] [--machine SPEC]
 //! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup]
-//!                        [--check] [--run] [--time-phases] [--workers N]
+//!                        [--check] [--run] [--lint] [--deny CODE]...
+//!                        [--time-phases] [--workers N]
 //!                        [--trace FILE] [--trace-format FMT]
+//! lsra lint <file.lsra> [--allocator NAME] [--machine SPEC]
+//!                       [--format human|json] [--deny CODE]...
 //! lsra report <file.lsra> [--allocator NAME] [--machine SPEC] [--json FILE]
 //! lsra workloads                              list the built-in benchmarks
 //! lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]
@@ -41,6 +44,18 @@
 //! both the original and the allocated module and reports any observational
 //! mismatch (return value, output trace, final memory).
 //!
+//! `lint` runs the static diagnostics engine: the input-IR validation lints
+//! (`L0xx` — use-before-def, unreachable blocks, bad branch targets,
+//! register-class misuse, malformed blocks, critical-edge advisories) and,
+//! when the input has no errors, the allocation-quality lints (`Q1xx` —
+//! dead spill stores, redundant reloads, identity moves and move chains,
+//! low-pressure spills) over the chosen allocator's output *before*
+//! identity-move removal. `--format json` emits one JSON object per
+//! diagnostic (JSONL, byte-deterministic); `--deny CODE` (repeatable, code
+//! or kebab-case name) makes that lint's diagnostics fail the run with a
+//! nonzero exit. `alloc --lint` runs the same quality lints on the
+//! allocation it prints, reporting to stderr and honouring `--deny`.
+//!
 //! `fuzz` generates random adversarial modules and runs each requested
 //! allocator (default: all four) on each requested machine (default:
 //! `small:2,1`, `small:4,2`, `alpha`) under the full oracle — static check,
@@ -65,13 +80,17 @@ use std::process::ExitCode;
 
 use second_chance_regalloc::allocate_and_cleanup;
 use second_chance_regalloc::binpack::optimize_spill_code;
+use second_chance_regalloc::lint::LintCode;
 use second_chance_regalloc::prelude::*;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lsra print <file.lsra>\n  lsra run <file.lsra> [--input FILE] [--machine SPEC]\n  \
          lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--check] [--run]\n           \
-         [--time-phases] [--workers N] [--trace FILE] [--trace-format log|jsonl|chrome|annotate]\n  \
+         [--lint] [--deny CODE]... [--time-phases] [--workers N] [--trace FILE]\n           \
+         [--trace-format log|jsonl|chrome|annotate]\n  \
+         lsra lint <file.lsra> [--allocator NAME] [--machine SPEC] [--format human|json]\n          \
+         [--deny CODE]...\n  \
          lsra report <file.lsra> [--allocator NAME] [--machine SPEC] [--json FILE]\n  \
          lsra workloads\n  lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]\n  \
          lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n       \
@@ -157,6 +176,12 @@ struct Opts {
     dup_percent: u64,
     /// `--no-serve` (fuzz): skip the service round-trip stage.
     no_serve: bool,
+    /// `--lint` (alloc): run the quality lints on the allocation.
+    lint: bool,
+    /// `--format human|json` (lint): diagnostic rendering.
+    format: String,
+    /// `--deny CODE` occurrences: lints whose diagnostics fail the run.
+    deny: Vec<LintCode>,
 }
 
 impl Opts {
@@ -195,6 +220,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         concurrency: 8,
         dup_percent: 50,
         no_serve: false,
+        lint: false,
+        format: "human".to_string(),
+        deny: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -268,6 +296,20 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--no-serve" => o.no_serve = true,
+            "--lint" => o.lint = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                if !["human", "json"].contains(&v.as_str()) {
+                    return Err(format!("unknown format `{v}` (human | json)"));
+                }
+                o.format = v.clone();
+            }
+            "--deny" => {
+                let v = it.next().ok_or("--deny needs a lint code or name")?;
+                let code = LintCode::parse(v)
+                    .ok_or_else(|| format!("unknown lint `{v}` (L001..L007, Q101..Q105)"))?;
+                o.deny.push(code);
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -276,17 +318,24 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn load_module(path: &str) -> Result<Module, String> {
+    load_module_with_lines(path).map(|(m, _)| m)
+}
+
+/// Like [`load_module`], but text files also return the source-line map so
+/// lint diagnostics can point at the offending line (built-in workloads are
+/// programmatic IR and have no lines).
+fn load_module_with_lines(path: &str) -> Result<(Module, Option<lsra_ir::ModuleLines>), String> {
     // A non-existent path that names a built-in workload loads the
     // workload, so `lsra alloc fpppp --trace ...` works without a file.
     if !std::path::Path::new(path).exists() {
         if let Some(w) = lsra_workloads::by_name(path) {
-            return Ok((w.build)());
+            return Ok(((w.build)(), None));
         }
     }
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("reading {path}: {e} (and it is not a built-in workload name)"))?;
-    let m = lsra_ir::parse_module(&text).map_err(|e| format!("{path}:{e}"))?;
-    Ok(m)
+    let (m, lines) = lsra_ir::parse_module_with_lines(&text).map_err(|e| format!("{path}:{e}"))?;
+    Ok((m, Some(lines)))
 }
 
 fn cmd_print(o: &Opts) -> Result<(), String> {
@@ -385,6 +434,16 @@ fn cmd_alloc(o: &Opts) -> Result<(), String> {
             .map_err(|e| format!("symbolic check: {e}"))?;
         eprintln!("; checked: static + symbolic");
     }
+    // Quality lints see the allocation before identity-move removal, or the
+    // Q103/Q104 findings are already gone.
+    if o.lint {
+        let report = second_chance_regalloc::lint::lint_quality(&m, &spec);
+        eprint!("{}", report.render_human());
+        let denied = report.denied(&o.deny);
+        if denied > 0 {
+            return Err(format!("{denied} denied quality diagnostic(s)"));
+        }
+    }
     for id in m.func_ids().collect::<Vec<_>>() {
         lsra_analysis::remove_identity_moves(m.func_mut(id));
     }
@@ -435,7 +494,11 @@ fn cmd_report(o: &Opts) -> Result<(), String> {
     let alloc = BinpackAllocator::new(BinpackConfig { workers: o.workers, ..base });
     let mut sink = MetricsSink::new();
     let stats = alloc.allocate_module_traced(&mut m, &spec, &mut sink);
-    let metrics = sink.finish();
+    let mut metrics = sink.finish();
+    // `m` is still pre-postopt here, exactly the stage the quality lints
+    // are defined over.
+    metrics.quality_lints =
+        Some(second_chance_regalloc::lint::lint_quality(&m, &spec).quality_summary());
     print!("{}", metrics.report());
     eprintln!(
         "; {}: candidates={} spilled={} inserted={} ({:.2} ms)",
@@ -448,6 +511,35 @@ fn cmd_report(o: &Opts) -> Result<(), String> {
     if let Some(path) = &o.json {
         std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("; metrics json: {path}");
+    }
+    Ok(())
+}
+
+fn cmd_lint(o: &Opts) -> Result<(), String> {
+    use second_chance_regalloc::lint::{lint_input, lint_quality, Severity};
+    let path = o.positional.first().ok_or("missing file")?;
+    let (m, lines) = load_module_with_lines(path)?;
+    let spec = o.machine();
+    let mut report = lint_input(&m, lines.as_ref());
+    let input_errors = report.count_severity(Severity::Error);
+    if input_errors == 0 {
+        // The input is sound; allocate a copy and lint the physical code
+        // (before identity-move removal — the postopt pass would erase the
+        // very residues Q103/Q104 exist to count).
+        let alloc = make_allocator(o)?;
+        let mut allocated = m.clone();
+        alloc.allocate_module(&mut allocated, &spec);
+        report.merge(lint_quality(&allocated, &spec));
+    } else {
+        eprintln!("; skipping quality lints: {input_errors} input error(s)");
+    }
+    match o.format.as_str() {
+        "json" => print!("{}", report.render_jsonl()),
+        _ => print!("{}", report.render_human()),
+    }
+    let denied = report.denied(&o.deny);
+    if denied > 0 {
+        return Err(format!("{denied} denied diagnostic(s)"));
     }
     Ok(())
 }
@@ -486,6 +578,16 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
         cfg.allocators.join(","),
         report.cases,
     );
+    let fired: Vec<String> = LintCode::ALL
+        .into_iter()
+        .filter(|c| report.quality_lints[c.index()] > 0)
+        .map(|c| format!("{}={}", c.code(), report.quality_lints[c.index()]))
+        .collect();
+    if fired.is_empty() {
+        eprintln!("; quality lints (advisory): none");
+    } else {
+        eprintln!("; quality lints (advisory): {}", fired.join(" "));
+    }
     for f in &report.failures {
         eprintln!(
             "FAIL iter={} machine={} allocator={}: {}",
@@ -643,6 +745,7 @@ fn main() -> ExitCode {
         "print" => cmd_print(&opts),
         "run" => cmd_run(&opts),
         "alloc" => cmd_alloc(&opts),
+        "lint" => cmd_lint(&opts),
         "report" => cmd_report(&opts),
         "workloads" => cmd_workloads(),
         "bench" => cmd_bench(&opts),

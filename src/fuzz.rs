@@ -20,6 +20,13 @@
 //!    protocol's parse/render paths and the content-addressed result cache
 //!    (repeated and colliding keys must never change a response).
 //!
+//! Alongside the hard oracle, every allocation that reaches stage 3 is run
+//! through the Family B quality lints ([`lsra_lint::lint_quality`], before
+//! identity-move removal) and the per-code counts are accumulated into
+//! [`FuzzReport::quality_lints`]. These are **advisory** — a dead spill
+//! store is wasted work, not a wrong answer — so they never fail a case;
+//! the driver prints the tally at the end of the run.
+//!
 //! Failures optionally go through the delta-debugging shrinker
 //! ([`lsra_checker::shrink_module`]), producing a minimal `.lsra` text
 //! repro. Everything is deterministic in the base seed.
@@ -117,6 +124,9 @@ pub struct FuzzReport {
     pub cases: u64,
     /// Failures found (empty on a clean run).
     pub failures: Vec<FuzzFailure>,
+    /// Advisory Family B quality-lint tallies across all valid allocations,
+    /// indexed by [`lsra_lint::LintCode::index`].
+    pub quality_lints: [u64; lsra_lint::NUM_CODES],
 }
 
 impl FuzzReport {
@@ -166,6 +176,18 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// Returns a description of the first failing oracle stage.
 pub fn check_case(original: &Module, allocator: &str, spec: &MachineSpec) -> Result<(), String> {
+    check_case_tallying(original, allocator, spec, &mut [0; lsra_lint::NUM_CODES])
+}
+
+/// [`check_case`], additionally accumulating the advisory Family B
+/// quality-lint tally (run on the validated allocation *before*
+/// identity-move removal) into `lints`. Lint findings never fail the case.
+pub fn check_case_tallying(
+    original: &Module,
+    allocator: &str,
+    spec: &MachineSpec,
+    lints: &mut [u64; lsra_lint::NUM_CODES],
+) -> Result<(), String> {
     let alloc =
         allocator_by_name(allocator).ok_or_else(|| format!("unknown allocator `{allocator}`"))?;
     let mut m = original.clone();
@@ -177,6 +199,9 @@ pub fn check_case(original: &Module, allocator: &str, spec: &MachineSpec) -> Res
     lsra_vm::check_module(&m, spec).map_err(|e| format!("static check failed: {e}"))?;
     lsra_checker::check_module(original, &m, spec)
         .map_err(|e| format!("symbolic check failed: {e}"))?;
+    for (slot, n) in lints.iter_mut().zip(lsra_lint::lint_quality(&m, spec).tally()) {
+        *slot += n;
+    }
     for id in m.func_ids().collect::<Vec<_>>() {
         lsra_analysis::remove_identity_moves(m.func_mut(id));
     }
@@ -281,16 +306,17 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             debug_assert!(reference_clean(&module, spec), "generator produced a faulting module");
             for name in &cfg.allocators {
                 report.cases += 1;
-                let (what, serve_stage) = match check_case(&module, name, spec) {
-                    Err(e) => (e, false),
-                    Ok(()) => {
-                        let Some(service) = service.as_ref() else { continue };
-                        match check_serve_case(service, &module, name, spec) {
-                            Ok(()) => continue,
-                            Err(e) => (e, true),
+                let (what, serve_stage) =
+                    match check_case_tallying(&module, name, spec, &mut report.quality_lints) {
+                        Err(e) => (e, false),
+                        Ok(()) => {
+                            let Some(service) = service.as_ref() else { continue };
+                            match check_serve_case(service, &module, name, spec) {
+                                Ok(()) => continue,
+                                Err(e) => (e, true),
+                            }
                         }
-                    }
-                };
+                    };
                 // Trace the smallest module that still fails: the shrunk
                 // repro when shrinking is on, the original otherwise. A
                 // serve-stage mismatch passes `check_case`, so the shrink

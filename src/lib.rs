@@ -16,6 +16,9 @@
 //!   programs, plus random-program and scaling generators;
 //! * [`checker`] — the symbolic allocation checker (proves every read sees
 //!   the right temporary's value) and the delta-debugging module shrinker;
+//! * [`lint`] — the static diagnostics engine (`lsra lint`): input-IR
+//!   validation lints (`L0xx`) and allocation-quality lints (`Q1xx`) over
+//!   physical-register dataflow;
 //! * [`trace`] — structured decision tracing: events from the allocator's
 //!   hot path with log/JSONL/Chrome-trace/annotated-IR sinks and a
 //!   per-function metrics registry (`lsra report`);
@@ -49,6 +52,7 @@ pub use lsra_checker as checker;
 pub use lsra_coloring as coloring;
 pub use lsra_core as binpack;
 pub use lsra_ir as ir;
+pub use lsra_lint as lint;
 pub use lsra_poletto as poletto;
 pub use lsra_server as server;
 pub use lsra_trace as trace;
