@@ -82,6 +82,14 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Re-sizes the universe to `0..len` and empties the set, reusing the
+    /// word buffer (for scratch arenas recycled across functions).
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        self.len = len;
+    }
+
     /// Sets every element of the universe.
     pub fn fill(&mut self) {
         self.words.fill(!0);
@@ -159,6 +167,27 @@ impl BitSet {
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter { set: self, word_idx: 0, word: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the word buffer.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Calls `f` for each element of `self ∖ other`, in increasing order —
+    /// a word-at-a-time set difference that never materializes the result.
+    pub fn for_each_difference(&self, other: &BitSet, mut f: impl FnMut(usize)) {
+        debug_assert_eq!(self.len, other.len);
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut word = a & !b;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                f(wi * WORD_BITS + bit);
+            }
+        }
     }
 }
 

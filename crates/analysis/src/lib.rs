@@ -7,6 +7,8 @@
 //! infrastructure. This crate is that infrastructure:
 //!
 //! * [`BitSet`] — dense bit vectors for the iterative dataflow problems;
+//! * [`collections`] — flat hot-path containers (CSR rows, inline small
+//!   vectors, sorted-vec interval maps, epoch-stamped sets);
 //! * [`Liveness`] — live-in/live-out per block, excluding block-local
 //!   temporaries from the bit vectors as the paper does;
 //! * [`Dominators`], [`LoopInfo`] — loop nesting for spill-cost weighting;
@@ -41,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bitset;
+pub mod collections;
 mod dataflow;
 mod dce;
 mod dominators;
@@ -52,11 +55,12 @@ mod order;
 mod peephole;
 
 pub use bitset::BitSet;
+pub use collections::{Csr, EpochSet, IntervalMap, SmallVec};
 pub use dataflow::{solve_backward, solve_forward_must, BackwardSolution, ForwardMustSolution};
 pub use dce::eliminate_dead_code;
 pub use dominators::Dominators;
 pub use edges::{is_critical, retarget, split_critical_edges, split_edge};
-pub use lifetimes::{check_phys_block_local, Lifetimes, Point, RefPoint, Segment};
+pub use lifetimes::{check_phys_block_local, AnalysisScratch, Lifetimes, Point, RefPoint, Segment};
 pub use liveness::Liveness;
 pub use loops::LoopInfo;
 pub use order::Order;

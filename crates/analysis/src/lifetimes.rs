@@ -23,6 +23,8 @@
 
 use lsra_ir::{BlockId, Function, Inst, MachineSpec, PhysReg, Reg, RegClass, Temp};
 
+use crate::bitset::BitSet;
+use crate::collections::Csr;
 use crate::liveness::Liveness;
 use crate::loops::LoopInfo;
 
@@ -109,12 +111,46 @@ pub struct RefPoint {
     pub weight: f64,
 }
 
+/// Reusable buffers for [`Lifetimes::compute_in`]: the reverse-pass working
+/// state plus the CSR backing arrays a recycled [`Lifetimes`] hands back
+/// through [`Lifetimes::recycle`]. One per worker thread; dead state between
+/// functions.
+#[derive(Debug, Default)]
+pub struct AnalysisScratch {
+    /// Reverse-chronological `(temp, segment)` events from the pass.
+    seg_events: Vec<(u32, Segment)>,
+    /// Reverse-chronological `(temp, ref)` events from the pass.
+    ref_events: Vec<(u32, RefPoint)>,
+    /// Per-temp event counts, then (in place) the counting-sort cursors.
+    seg_cursor: Vec<u32>,
+    ref_cursor: Vec<u32>,
+    /// Recycled CSR backing arrays.
+    seg_offsets: Vec<u32>,
+    seg_data: Vec<Segment>,
+    ref_offsets: Vec<u32>,
+    ref_data: Vec<RefPoint>,
+    /// End point of each temp's currently open segment.
+    open_t: Vec<Option<Point>>,
+    /// End point of each register's currently open blocked segment, plus
+    /// the list of registers possibly open (so block boundaries don't scan
+    /// the whole register file).
+    open_r: Vec<Option<Point>>,
+    open_r_list: Vec<u32>,
+    /// The global temporaries with an open segment, kept exactly in sync
+    /// with `open_t` so block boundaries are word-wise set differences
+    /// instead of an O(temps) sweep.
+    open_globals: BitSet,
+}
+
 /// Lifetimes, lifetime holes, reference lists, and register blocked
 /// segments, for one function.
+///
+/// Per-temp segment and reference rows live in CSR containers — one flat
+/// backing array each — rather than a `Vec` per temp.
 #[derive(Clone, Debug)]
 pub struct Lifetimes {
-    segments: Vec<Vec<Segment>>,
-    refs: Vec<Vec<RefPoint>>,
+    segments: Csr<Segment>,
+    refs: Csr<RefPoint>,
     block_first: Vec<u32>,
     block_last: Vec<u32>,
     reg_blocked: Vec<Vec<Segment>>,
@@ -126,6 +162,19 @@ impl Lifetimes {
     /// Computes lifetime information in one reverse pass over the linear
     /// order (plus the liveness analysis supplied by the caller).
     pub fn compute(f: &Function, live: &Liveness, loops: &LoopInfo, spec: &MachineSpec) -> Self {
+        Lifetimes::compute_in(f, live, loops, spec, &mut AnalysisScratch::default())
+    }
+
+    /// Like [`Lifetimes::compute`], but drawing every working buffer and the
+    /// result's CSR backing from `scratch`; pair with
+    /// [`Lifetimes::recycle`] to reuse the backing across functions.
+    pub fn compute_in(
+        f: &Function,
+        live: &Liveness,
+        loops: &LoopInfo,
+        spec: &MachineSpec,
+        scratch: &mut AnalysisScratch,
+    ) -> Self {
         let nt = f.num_temps();
         let num_int = spec.num_regs(RegClass::Int) as usize;
         let num_float = spec.num_regs(RegClass::Float) as usize;
@@ -148,17 +197,31 @@ impl Lifetimes {
         }
         let num_insts = next;
 
-        // Reverse pass state.
-        let mut segments: Vec<Vec<Segment>> = vec![Vec::new(); nt];
-        let mut refs: Vec<Vec<RefPoint>> = vec![Vec::new(); nt];
+        // Reverse pass state, recycled from the scratch arena. Segment and
+        // reference rows are not built directly: the pass appends to flat
+        // event lists (with per-temp counts), and a counting sort lays the
+        // rows out afterwards.
         let mut reg_blocked: Vec<Vec<Segment>> = vec![Vec::new(); num_int + num_float];
-        // For each temp/reg: the end point of the currently open segment.
-        let mut open_t: Vec<Option<Point>> = vec![None; nt];
-        let mut open_r: Vec<Option<Point>> = vec![None; num_int + num_float];
-        // Allocated once and cleared via the touched list, not rebuilt per
-        // block.
-        let mut live_here = vec![false; nt];
-        let mut live_here_touched: Vec<usize> = Vec::new();
+        scratch.seg_events.clear();
+        scratch.ref_events.clear();
+        let seg_events = &mut scratch.seg_events;
+        let ref_events = &mut scratch.ref_events;
+        scratch.seg_cursor.clear();
+        scratch.seg_cursor.resize(nt, 0);
+        scratch.ref_cursor.clear();
+        scratch.ref_cursor.resize(nt, 0);
+        let seg_count = &mut scratch.seg_cursor;
+        let ref_count = &mut scratch.ref_cursor;
+        scratch.open_t.clear();
+        scratch.open_t.resize(nt, None);
+        let open_t = &mut scratch.open_t;
+        scratch.open_r.clear();
+        scratch.open_r.resize(num_int + num_float, None);
+        let open_r = &mut scratch.open_r;
+        scratch.open_r_list.clear();
+        let open_r_list = &mut scratch.open_r_list;
+        scratch.open_globals.reset(live.num_globals());
+        let open_globals = &mut scratch.open_globals;
 
         for b in f.block_ids().rev() {
             let bi = b.index();
@@ -168,30 +231,26 @@ impl Lifetimes {
             // Align the open-temp set with this block's live-out: temps live
             // out of b continue (or open) here; temps that were open (live
             // into the linearly-following block) but are not live out of b
-            // close at this block's bottom boundary.
-            for t in live.live_out_temps(b) {
-                live_here[t.index()] = true;
-                live_here_touched.push(t.index());
-            }
-            for t in 0..nt {
-                match (open_t[t], live_here[t]) {
-                    (None, true) => open_t[t] = Some(bottom),
-                    (Some(end), false) => {
-                        segments[t].push(Segment::new(bottom, end));
-                        open_t[t] = None;
-                    }
-                    _ => {}
-                }
-            }
-            for t in live_here_touched.drain(..) {
-                live_here[t] = false;
-            }
+            // close at this block's bottom boundary. Only globals can be
+            // open at a boundary (block-locals always close within their
+            // block), so both transitions are bitset differences.
+            let out = live.live_out(b);
+            open_globals.for_each_difference(out, |g| {
+                let t = live.temp_of(g).index();
+                let end = open_t[t].take().expect("open global with no open segment");
+                seg_count[t] += 1;
+                seg_events.push((t as u32, Segment::new(bottom, end)));
+            });
+            out.for_each_difference(open_globals, |g| {
+                open_t[live.temp_of(g).index()] = Some(bottom);
+            });
+            open_globals.copy_from(out);
             // Precolored registers must not be live across block boundaries
             // (an IR invariant; see `check_phys_block_local`): close any
             // still-open register segment at this boundary.
-            for r in 0..open_r.len() {
-                if let Some(end) = open_r[r].take() {
-                    reg_blocked[r].push(Segment::new(bottom, end));
+            for r in open_r_list.drain(..) {
+                if let Some(end) = open_r[r as usize].take() {
+                    reg_blocked[r as usize].push(Segment::new(bottom, end));
                 }
             }
 
@@ -215,10 +274,18 @@ impl Lifetimes {
                 // Definitions first (they come later on the point scale).
                 ins.inst.for_each_def(|r| match r {
                     Reg::Temp(t) => {
-                        refs[t.index()].push(RefPoint { point: wp, is_def: true, weight });
+                        ref_count[t.index()] += 1;
+                        ref_events.push((t.0, RefPoint { point: wp, is_def: true, weight }));
+                        seg_count[t.index()] += 1;
                         match open_t[t.index()].take() {
-                            Some(end) => segments[t.index()].push(Segment::new(wp, end)),
-                            None => segments[t.index()].push(Segment::new(wp, wp)), // dead def
+                            Some(end) => {
+                                seg_events.push((t.0, Segment::new(wp, end)));
+                                if let Some(g) = live.global_of(t) {
+                                    open_globals.remove(g);
+                                }
+                            }
+                            // Dead def: a point segment, nothing was open.
+                            None => seg_events.push((t.0, Segment::new(wp, wp))),
                         }
                     }
                     Reg::Phys(p) => {
@@ -232,15 +299,20 @@ impl Lifetimes {
                 // Then uses.
                 ins.inst.for_each_use(|r| match r {
                     Reg::Temp(t) => {
-                        refs[t.index()].push(RefPoint { point: rp, is_def: false, weight });
+                        ref_count[t.index()] += 1;
+                        ref_events.push((t.0, RefPoint { point: rp, is_def: false, weight }));
                         if open_t[t.index()].is_none() {
                             open_t[t.index()] = Some(rp);
+                            if let Some(g) = live.global_of(t) {
+                                open_globals.insert(g);
+                            }
                         }
                     }
                     Reg::Phys(p) => {
                         let i = phys_index(p);
                         if open_r[i].is_none() {
                             open_r[i] = Some(rp);
+                            open_r_list.push(i as u32);
                         }
                     }
                 });
@@ -250,25 +322,41 @@ impl Lifetimes {
         // Close anything still live at the top of the entry block
         // (upward-exposed temporaries; argument registers).
         let top = Point::before(0);
-        for t in 0..nt {
+        for g in open_globals.iter() {
+            let t = live.temp_of(g).index();
             if let Some(end) = open_t[t].take() {
-                segments[t].push(Segment::new(top, end));
+                seg_count[t] += 1;
+                seg_events.push((t as u32, Segment::new(top, end)));
             }
         }
-        for r in 0..open_r.len() {
-            if let Some(end) = open_r[r].take() {
-                reg_blocked[r].push(Segment::new(top, end));
+        debug_assert!(open_t.iter().all(Option::is_none), "non-global temp open at entry");
+        for r in open_r_list.drain(..) {
+            if let Some(end) = open_r[r as usize].take() {
+                reg_blocked[r as usize].push(Segment::new(top, end));
             }
         }
 
-        // Segments and refs were built in reverse; flip them and coalesce
-        // adjacent register blocks.
-        for s in &mut segments {
-            s.reverse();
-        }
-        for r in &mut refs {
-            r.reverse();
-        }
+        // Counting sort: prefix-sum the per-temp counts into row offsets,
+        // then back-fill the flat rows by walking the events in reverse —
+        // which is chronological order, so every row comes out sorted
+        // without a per-row reverse.
+        let segments = csr_from_events(
+            seg_count,
+            seg_events,
+            std::mem::take(&mut scratch.seg_offsets),
+            std::mem::take(&mut scratch.seg_data),
+            Segment::new(Point(0), Point(0)),
+        );
+        let refs = csr_from_events(
+            ref_count,
+            ref_events,
+            std::mem::take(&mut scratch.ref_offsets),
+            std::mem::take(&mut scratch.ref_data),
+            RefPoint { point: Point(0), is_def: false, weight: 0.0 },
+        );
+
+        // Coalesce adjacent register blocks (these rows were built in
+        // reverse and stay nested: the register file is small and fixed).
         for blocked in &mut reg_blocked {
             blocked.reverse();
             let mut merged: Vec<Segment> = Vec::with_capacity(blocked.len());
@@ -301,6 +389,17 @@ impl Lifetimes {
         Lifetimes::compute(f, &live, &loops, spec)
     }
 
+    /// Hands the CSR backing arrays back to `scratch` so the next
+    /// [`Lifetimes::compute_in`] call allocates nothing.
+    pub fn recycle(self, scratch: &mut AnalysisScratch) {
+        let (so, sd) = self.segments.into_parts();
+        scratch.seg_offsets = so;
+        scratch.seg_data = sd;
+        let (ro, rd) = self.refs.into_parts();
+        scratch.ref_offsets = ro;
+        scratch.ref_data = rd;
+    }
+
     fn phys_index(&self, p: PhysReg) -> usize {
         match p.class {
             RegClass::Int => p.index as usize,
@@ -311,12 +410,12 @@ impl Lifetimes {
     /// The live segments of `t`, in increasing order.
     #[inline]
     pub fn segments(&self, t: Temp) -> &[Segment] {
-        &self.segments[t.index()]
+        self.segments.row(t.index())
     }
 
     /// The overall lifetime of `t` (`None` if `t` is never referenced).
     pub fn lifetime(&self, t: Temp) -> Option<Segment> {
-        let s = &self.segments[t.index()];
+        let s = self.segments.row(t.index());
         match (s.first(), s.last()) {
             (Some(a), Some(b)) => Some(Segment::new(a.start, b.end)),
             _ => None,
@@ -326,14 +425,14 @@ impl Lifetimes {
     /// The lifetime holes of `t`: the gaps strictly between consecutive live
     /// segments, as `(end of previous, start of next)` exclusive bounds.
     pub fn holes(&self, t: Temp) -> Vec<(Point, Point)> {
-        let s = &self.segments[t.index()];
+        let s = self.segments.row(t.index());
         s.windows(2).map(|w| (w[0].end, w[1].start)).collect()
     }
 
     /// The references of `t` in increasing point order.
     #[inline]
     pub fn refs(&self, t: Temp) -> &[RefPoint] {
-        &self.refs[t.index()]
+        self.refs.row(t.index())
     }
 
     /// The blocked segments of physical register `p` (precolored values and
@@ -370,8 +469,38 @@ impl Lifetimes {
 
     /// True if `t` is live at `p`.
     pub fn live_at(&self, t: Temp, p: Point) -> bool {
-        self.segments[t.index()].iter().any(|s| s.contains(p))
+        self.segments.row(t.index()).iter().any(|s| s.contains(p))
     }
+}
+
+/// Lays per-temp rows out in one flat array from a reverse-chronological
+/// event list: `counts[t]` is rewritten in place into the row cursor, and
+/// walking the events backwards fills each row in increasing point order.
+fn csr_from_events<T: Copy>(
+    counts: &mut [u32],
+    events: &[(u32, T)],
+    mut offsets: Vec<u32>,
+    mut data: Vec<T>,
+    fill: T,
+) -> Csr<T> {
+    offsets.clear();
+    offsets.reserve(counts.len() + 1);
+    offsets.push(0);
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let n = *c;
+        *c = acc; // becomes the cursor for this row
+        acc += n;
+        offsets.push(acc);
+    }
+    data.clear();
+    data.resize(acc as usize, fill);
+    for &(t, v) in events.iter().rev() {
+        let cur = &mut counts[t as usize];
+        data[*cur as usize] = v;
+        *cur += 1;
+    }
+    Csr::from_parts(offsets, data)
 }
 
 /// Checks the IR invariant that precolored physical registers are never live

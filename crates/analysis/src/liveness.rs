@@ -43,50 +43,138 @@ pub struct Liveness {
     pub iterations: u32,
 }
 
+/// Per-chunk classification state for pass 1.
+struct ChunkClass {
+    seen: Vec<bool>,
+    multi_block: Vec<bool>,
+    upward_exposed: Vec<bool>,
+}
+
+/// Pass 1 over a contiguous run of blocks: classifies each temporary as
+/// seen / multi-block / upward-exposed *within these blocks*. The
+/// "defined in this block before this use" test uses an epoch stamp (one
+/// u32 per temp, allocated once) instead of a per-block boolean buffer,
+/// making the pass O(blocks + insts) instead of O(blocks × temps).
+fn classify_blocks(f: &Function, blocks: &[BlockId], nt: usize) -> ChunkClass {
+    let mut seen_in: Vec<Option<BlockId>> = vec![None; nt];
+    let mut multi_block = vec![false; nt];
+    let mut upward_exposed = vec![false; nt];
+    let mut defined_epoch = vec![0u32; nt];
+    for &b in blocks {
+        let epoch = b.index() as u32 + 1; // 0 means "never defined"
+        for ins in &f.block(b).insts {
+            ins.inst.for_each_use(|r| {
+                if let Some(t) = r.as_temp() {
+                    match seen_in[t.index()] {
+                        None => seen_in[t.index()] = Some(b),
+                        Some(prev) if prev != b => multi_block[t.index()] = true,
+                        _ => {}
+                    }
+                    if defined_epoch[t.index()] != epoch {
+                        upward_exposed[t.index()] = true;
+                    }
+                }
+            });
+            ins.inst.for_each_def(|r| {
+                if let Some(t) = r.as_temp() {
+                    match seen_in[t.index()] {
+                        None => seen_in[t.index()] = Some(b),
+                        Some(prev) if prev != b => multi_block[t.index()] = true,
+                        _ => {}
+                    }
+                    defined_epoch[t.index()] = epoch;
+                }
+            });
+        }
+    }
+    ChunkClass { seen: seen_in.iter().map(Option::is_some).collect(), multi_block, upward_exposed }
+}
+
+/// Pass 2 over a contiguous run of blocks: per-block gen (upward-exposed
+/// uses) and kill (defs). `gen`/`kill` are the slices for exactly `blocks`.
+fn gen_kill_blocks(
+    f: &Function,
+    blocks: &[BlockId],
+    global_index: &[Option<u32>],
+    gen: &mut [BitSet],
+    kill: &mut [BitSet],
+) {
+    for (i, &b) in blocks.iter().enumerate() {
+        for ins in &f.block(b).insts {
+            ins.inst.for_each_use(|r| {
+                if let Some(g) = r.as_temp().and_then(|t| global_index[t.index()]) {
+                    if !kill[i].contains(g as usize) {
+                        gen[i].insert(g as usize);
+                    }
+                }
+            });
+            ins.inst.for_each_def(|r| {
+                if let Some(g) = r.as_temp().and_then(|t| global_index[t.index()]) {
+                    kill[i].insert(g as usize);
+                }
+            });
+        }
+    }
+}
+
 impl Liveness {
     /// Computes liveness for `f`.
     pub fn compute(f: &Function) -> Self {
-        // Pass 1: classify temporaries as global or block-local. The
-        // "defined in this block before this use" test uses an epoch stamp
-        // (one u32 per temp, allocated once) instead of a per-block boolean
-        // buffer, making the pass O(blocks + insts) instead of
-        // O(blocks × temps).
+        Liveness::compute_with_workers(f, 1)
+    }
+
+    /// Computes liveness for `f`, splitting the per-block passes
+    /// (classification and gen/kill construction) across up to `workers`
+    /// threads over contiguous block ranges. The result is identical to the
+    /// serial computation: classification merges are order-independent
+    /// (a temp referenced in two disjoint chunks is multi-block by
+    /// definition), global bit positions are assigned by temp index, and
+    /// the fixed-point solve stays serial.
+    pub fn compute_with_workers(f: &Function, workers: usize) -> Self {
         let nt = f.num_temps();
-        let mut seen_in: Vec<Option<BlockId>> = vec![None; nt];
-        let mut multi_block = vec![false; nt];
-        let mut upward_exposed = vec![false; nt];
-        let mut defined_epoch = vec![0u32; nt];
-        for b in f.block_ids() {
-            let epoch = b.index() as u32 + 1; // 0 means "never defined"
-            for ins in &f.block(b).insts {
-                ins.inst.for_each_use(|r| {
-                    if let Some(t) = r.as_temp() {
-                        match seen_in[t.index()] {
-                            None => seen_in[t.index()] = Some(b),
-                            Some(prev) if prev != b => multi_block[t.index()] = true,
-                            _ => {}
-                        }
-                        if defined_epoch[t.index()] != epoch {
-                            upward_exposed[t.index()] = true;
-                        }
+        let nb = f.num_blocks();
+        let workers = workers.clamp(1, nb.max(1));
+        let block_ids: Vec<BlockId> = f.block_ids().collect();
+        let chunk = nb.div_ceil(workers);
+
+        // Pass 1: classify temporaries as global or block-local.
+        let (mut multi_block, upward_exposed) = if workers == 1 {
+            let c = classify_blocks(f, &block_ids, nt);
+            (c.multi_block, c.upward_exposed)
+        } else {
+            let results: Vec<ChunkClass> = std::thread::scope(|s| {
+                let handles: Vec<_> = block_ids
+                    .chunks(chunk)
+                    .map(|blocks| s.spawn(move || classify_blocks(f, blocks, nt)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("liveness worker panicked")).collect()
+            });
+            let mut multi_block = vec![false; nt];
+            let mut upward_exposed = vec![false; nt];
+            let mut chunks_seen = vec![0u8; nt];
+            for c in &results {
+                for t in 0..nt {
+                    if c.seen[t] {
+                        chunks_seen[t] = chunks_seen[t].saturating_add(1);
                     }
-                });
-                ins.inst.for_each_def(|r| {
-                    if let Some(t) = r.as_temp() {
-                        match seen_in[t.index()] {
-                            None => seen_in[t.index()] = Some(b),
-                            Some(prev) if prev != b => multi_block[t.index()] = true,
-                            _ => {}
-                        }
-                        defined_epoch[t.index()] = epoch;
-                    }
-                });
+                    multi_block[t] |= c.multi_block[t];
+                    upward_exposed[t] |= c.upward_exposed[t];
+                }
             }
+            // Chunks are disjoint block ranges: a temp seen in two chunks is
+            // necessarily referenced in two different blocks.
+            for t in 0..nt {
+                multi_block[t] |= chunks_seen[t] > 1;
+            }
+            (multi_block, upward_exposed)
+        };
+        for t in 0..nt {
+            multi_block[t] |= upward_exposed[t];
         }
         let mut global_index = vec![None; nt];
         let mut globals = Vec::new();
-        for t in 0..nt {
-            if multi_block[t] || upward_exposed[t] {
+        for (t, &is_global) in multi_block.iter().enumerate() {
+            if is_global {
                 global_index[t] = Some(globals.len() as u32);
                 globals.push(Temp(t as u32));
             }
@@ -94,29 +182,28 @@ impl Liveness {
         let ng = globals.len();
 
         // Pass 2: per-block gen (upward-exposed uses) and kill (defs).
-        let nb = f.num_blocks();
         let mut gen = vec![BitSet::new(ng); nb];
         let mut kill = vec![BitSet::new(ng); nb];
-        for b in f.block_ids() {
-            let bi = b.index();
-            for ins in &f.block(b).insts {
-                ins.inst.for_each_use(|r| {
-                    if let Some(g) = r.as_temp().and_then(|t| global_index[t.index()]) {
-                        if !kill[bi].contains(g as usize) {
-                            gen[bi].insert(g as usize);
-                        }
-                    }
-                });
-                ins.inst.for_each_def(|r| {
-                    if let Some(g) = r.as_temp().and_then(|t| global_index[t.index()]) {
-                        kill[bi].insert(g as usize);
-                    }
-                });
-            }
+        if workers == 1 {
+            gen_kill_blocks(f, &block_ids, &global_index, &mut gen, &mut kill);
+        } else {
+            let global_index = &global_index;
+            std::thread::scope(|s| {
+                let mut gen_rest: &mut [BitSet] = &mut gen;
+                let mut kill_rest: &mut [BitSet] = &mut kill;
+                for blocks in block_ids.chunks(chunk) {
+                    let (g, gr) = gen_rest.split_at_mut(blocks.len());
+                    let (k, kr) = kill_rest.split_at_mut(blocks.len());
+                    gen_rest = gr;
+                    kill_rest = kr;
+                    s.spawn(move || gen_kill_blocks(f, blocks, global_index, g, k));
+                }
+            });
         }
 
         // Pass 3: solve to the fixed point, visiting blocks in reverse
-        // reverse-postorder (a good order for backward problems).
+        // reverse-postorder (a good order for backward problems). Serial:
+        // the propagation order is the algorithm.
         let order = Order::compute(f);
         let rev: Vec<_> = order.rpo.iter().rev().copied().collect();
         let sol = crate::dataflow::solve_backward(f, ng, &gen, &kill, &rev);
@@ -267,5 +354,22 @@ mod tests {
         let (f, _, _) = loop_func();
         let l = Liveness::compute(&f);
         assert!(l.iterations <= 4, "expected 2-3 iterations, got {}", l.iterations);
+    }
+
+    #[test]
+    fn parallel_liveness_matches_serial() {
+        let (f, _, _) = loop_func();
+        let serial = Liveness::compute(&f);
+        for workers in [2, 3, 7] {
+            let par = Liveness::compute_with_workers(&f, workers);
+            assert_eq!(par.num_globals(), serial.num_globals(), "workers={workers}");
+            for g in 0..serial.num_globals() {
+                assert_eq!(par.temp_of(g), serial.temp_of(g), "workers={workers}");
+            }
+            for b in f.block_ids() {
+                assert_eq!(par.live_in(b), serial.live_in(b), "workers={workers} b={b:?}");
+                assert_eq!(par.live_out(b), serial.live_out(b), "workers={workers} b={b:?}");
+            }
+        }
     }
 }

@@ -45,6 +45,16 @@ struct ParallelEntry {
     workers: usize,
 }
 
+/// One throughput measurement on a synthetic scaling module.
+struct ScalingEntry {
+    workload: String,
+    shape: &'static str,
+    insts: usize,
+    allocator: &'static str,
+    best_seconds: f64,
+    stats: AllocStats,
+}
+
 fn binpack(workers: usize) -> BinpackAllocator {
     BinpackAllocator::new(BinpackConfig { workers, time_phases: true, ..Default::default() })
 }
@@ -77,7 +87,13 @@ impl lsra_core::RegisterAllocator for FreshPerFunction {
     }
 }
 
-fn json(entries: &[Entry], parallel: &[ParallelEntry], runs: usize, workers: usize) -> String {
+fn json(
+    entries: &[Entry],
+    parallel: &[ParallelEntry],
+    scaling: &[ScalingEntry],
+    runs: usize,
+    workers: usize,
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("machine", "alpha-like");
@@ -117,6 +133,32 @@ fn json(entries: &[Entry], parallel: &[ParallelEntry], runs: usize, workers: usi
         w.field_float("serial_seconds", p.serial_seconds);
         w.field_float("parallel_seconds", p.parallel_seconds);
         w.field_float("speedup", p.serial_seconds / p.parallel_seconds);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("scaling");
+    w.begin_array();
+    for s in scaling {
+        w.begin_object();
+        w.field_str("workload", &s.workload);
+        w.field_str("shape", s.shape);
+        w.field_uint("insts", s.insts as u64);
+        w.field_str("allocator", s.allocator);
+        w.field_float("alloc_seconds", s.best_seconds);
+        w.field_uint("candidates", s.stats.candidates as u64);
+        w.field_float("insts_per_sec", s.insts as f64 / s.best_seconds);
+        w.key("phases");
+        w.begin_object();
+        if let Some(t) = s.stats.timings {
+            for (n, v) in PHASE_NAMES.iter().zip(t.seconds) {
+                w.key(n);
+                w.begin_object();
+                w.field_float("seconds", v);
+                w.field_float("insts_per_sec", if v > 0.0 { s.insts as f64 / v } else { 0.0 });
+                w.end_object();
+            }
+        }
+        w.end_object();
         w.end_object();
     }
     w.end_array();
@@ -277,8 +319,108 @@ fn main() {
         );
     }
 
+    // ---- Scaling: throughput on 10^4..10^6-instruction modules ----
+    //
+    // `LSRA_SCALING_MAX_INSTS` caps the largest module measured, so the
+    // harness can run quickly (or on slow baselines) without editing code.
+    let max_insts: usize = std::env::var("LSRA_SCALING_MAX_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let shapes: [(&str, usize); 5] = [
+        ("medium", 10_000),
+        ("medium", 100_000),
+        ("huge", 100_000),
+        ("medium", 1_000_000),
+        ("huge", 1_000_000),
+    ];
+    let mut scaling_entries: Vec<ScalingEntry> = Vec::new();
+    println!();
+    println!("Scaling throughput (serial, static instructions per second of allocation)");
+    println!(
+        "{:<18} {:>9} {:<10} {:>12} {:>14}",
+        "module", "insts", "allocator", "alloc (ms)", "insts/sec"
+    );
+    println!("{}", "-".repeat(68));
+    for (shape, target) in shapes {
+        if target > max_insts {
+            println!("(skipping {shape} at {target}: over LSRA_SCALING_MAX_INSTS={max_insts})");
+            continue;
+        }
+        let module = lsra_workloads::scaling::scale_module(shape, target).unwrap();
+        let insts = module.num_insts();
+        let name = format!("scale-{shape}-{target}");
+        let scale_runs = if target >= 1_000_000 { 2 } else { 3 };
+        // Coloring's interference-graph build is superlinear in simultaneous
+        // liveness, and the simple allocators re-walk whole lifetimes; they
+        // are measured only where they finish in reasonable time. The
+        // binpack family runs at every size.
+        for (alloc_name, alloc) in [("binpack", binpack(1)), ("two-pass", two_pass(1))] {
+            let (best, stats) = time_allocation(&module, &alloc, &spec, scale_runs);
+            println!(
+                "{:<18} {:>9} {:<10} {:>12.2} {:>14.0}",
+                name,
+                insts,
+                alloc_name,
+                best * 1e3,
+                insts as f64 / best
+            );
+            scaling_entries.push(ScalingEntry {
+                workload: name.clone(),
+                shape,
+                insts,
+                allocator: alloc_name,
+                best_seconds: best,
+                stats,
+            });
+        }
+        if shape == "medium" && target <= 100_000 {
+            let (best, stats) = time_allocation(&module, &ColoringAllocator, &spec, scale_runs);
+            println!(
+                "{:<18} {:>9} {:<10} {:>12.2} {:>14.0}",
+                name,
+                insts,
+                "coloring",
+                best * 1e3,
+                insts as f64 / best
+            );
+            scaling_entries.push(ScalingEntry {
+                workload: name.clone(),
+                shape,
+                insts,
+                allocator: "coloring",
+                best_seconds: best,
+                stats,
+            });
+        } else {
+            println!("(coloring skipped on {name}: graph build too slow at this size)");
+        }
+        if target <= 100_000 {
+            let (best, stats) =
+                time_allocation(&module, &lsra_poletto::PolettoAllocator, &spec, scale_runs);
+            println!(
+                "{:<18} {:>9} {:<10} {:>12.2} {:>14.0}",
+                name,
+                insts,
+                "poletto",
+                best * 1e3,
+                insts as f64 / best
+            );
+            scaling_entries.push(ScalingEntry {
+                workload: name.clone(),
+                shape,
+                insts,
+                allocator: "poletto",
+                best_seconds: best,
+                stats,
+            });
+        } else {
+            println!("(poletto skipped on {name}: measured only up to 10^5)");
+        }
+    }
+
     // ---- JSON ----
-    let out = json(&entries, &parallel, runs, workers_available);
+    let out = json(&entries, &parallel, &scaling_entries, runs, workers_available);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_alloc_time.json");

@@ -107,12 +107,15 @@ impl BinpackAllocator {
             let mut timer = PhaseTimer::new(self.config.time_phases);
             // Shared setup (the paper excludes this from allocation
             // timing; we include only the lifetime computation, which is
-            // the allocator's own first phase).
-            let live = Liveness::compute(f);
+            // the allocator's own first phase). On functions past the
+            // parallel threshold, the per-block liveness passes split
+            // across threads (byte-identical to serial).
+            let live =
+                Liveness::compute_with_workers(f, self.config.function_workers(f.num_insts()));
             timer.mark_traced(&mut stats, Phase::Liveness, sink);
             let loops = LoopInfo::of(f);
             timer.mark_traced(&mut stats, Phase::Order, sink);
-            let lt = Lifetimes::compute(f, &live, &loops, spec);
+            let lt = Lifetimes::compute_in(f, &live, &loops, spec, &mut scratch.analysis);
             timer.mark_traced(&mut stats, Phase::Lifetimes, sink);
             if sink.enabled() {
                 let temps = (0..f.num_temps()).map(|i| lsra_ir::Temp(i as u32));
@@ -134,6 +137,10 @@ impl BinpackAllocator {
             timer.mark_traced(&mut stats, Phase::Scan, sink);
             // Resolution self-reports its Resolve and Consistency phases.
             resolve::resolve(f, &live, &out, self.config, &mut stats, scratch, sink);
+            // Hand the CSR backing of the lifetimes and the scan output
+            // back to the arena for the next function.
+            lt.recycle(&mut scratch.analysis);
+            scratch.recycle_scan(out);
         } else {
             two_pass::allocate(f, spec, self.config, &mut stats, scratch, sink);
         }
@@ -214,7 +221,11 @@ impl RegisterAllocator for BinpackAllocator {
     /// floating-point sums are too.
     fn allocate_module(&self, m: &mut Module, spec: &MachineSpec) -> AllocStats {
         let n = m.funcs.len();
-        let workers = self.config.effective_workers().min(n.max(1));
+        // Small modules stay serial: the doduc-sized workloads ran *slower*
+        // at 2 workers than at 1 (thread spawn/join dominating), so the
+        // fan-out only engages past the instruction threshold.
+        let total_insts: usize = m.funcs.iter().map(|f| f.num_insts()).sum();
+        let workers = self.config.module_workers(total_insts).min(n.max(1));
         let per_func: Vec<AllocStats> = if workers <= 1 {
             let mut scratch = AllocScratch::default();
             m.funcs

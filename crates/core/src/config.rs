@@ -55,6 +55,13 @@ pub struct BinpackConfig {
     /// path. Allocation is independent per function, so the rewritten module
     /// is byte-identical for every worker count.
     pub workers: usize,
+    /// Minimum module size (total instructions) before `allocate_module`
+    /// dispatches to worker threads, and minimum *function* size before the
+    /// per-block analysis passes split across threads. Below the threshold
+    /// the thread spawn/join overhead exceeds the work — on small inputs a
+    /// 2-worker run used to be *slower* than serial — so the serial path is
+    /// taken. Output is byte-identical either way.
+    pub parallel_threshold: usize,
     /// Record per-phase wall-clock timings into
     /// [`AllocStats::timings`](crate::AllocStats). Off by default; when off
     /// no per-phase clocks are read.
@@ -72,10 +79,16 @@ impl Default for BinpackConfig {
             store_suppression: true,
             consistency: ConsistencyMode::Iterative,
             workers: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             time_phases: false,
         }
     }
 }
+
+/// Default minimum total-instruction count for parallel dispatch. Chosen
+/// from the scaling harness: below ~50k instructions the serial path wins
+/// on every measured workload.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 50_000;
 
 impl BinpackConfig {
     /// The traditional two-pass binpacking comparator of §3.1: whole
@@ -90,6 +103,7 @@ impl BinpackConfig {
             store_suppression: false,
             consistency: ConsistencyMode::Iterative,
             workers: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             time_phases: false,
         }
     }
@@ -101,6 +115,29 @@ impl BinpackConfig {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             self.workers
+        }
+    }
+
+    /// The worker count the per-block analysis passes use for one function
+    /// of `num_insts` instructions: serial below
+    /// [`BinpackConfig::parallel_threshold`] (or when `workers` is
+    /// explicitly 1), the effective worker count otherwise.
+    pub fn function_workers(&self, num_insts: usize) -> usize {
+        if self.workers != 1 && num_insts >= self.parallel_threshold {
+            self.effective_workers()
+        } else {
+            1
+        }
+    }
+
+    /// The worker count `allocate_module` uses for a module of
+    /// `total_insts` instructions: serial below the threshold, where thread
+    /// spawn/join overhead makes the fan-out a slowdown.
+    pub fn module_workers(&self, total_insts: usize) -> usize {
+        if total_insts >= self.parallel_threshold {
+            self.effective_workers()
+        } else {
+            1
         }
     }
 }
@@ -134,5 +171,23 @@ mod tests {
         assert!(c.effective_workers() >= 1);
         let c = BinpackConfig { workers: 3, ..Default::default() };
         assert_eq!(c.effective_workers(), 3);
+    }
+
+    #[test]
+    fn parallel_threshold_gates_dispatch() {
+        let c = BinpackConfig { workers: 4, ..Default::default() };
+        assert_eq!(c.parallel_threshold, DEFAULT_PARALLEL_THRESHOLD);
+        // Below the threshold both dispatch decisions stay serial.
+        assert_eq!(c.module_workers(DEFAULT_PARALLEL_THRESHOLD - 1), 1);
+        assert_eq!(c.function_workers(DEFAULT_PARALLEL_THRESHOLD - 1), 1);
+        // At or past it the configured worker count engages.
+        assert_eq!(c.module_workers(DEFAULT_PARALLEL_THRESHOLD), 4);
+        assert_eq!(c.function_workers(DEFAULT_PARALLEL_THRESHOLD), 4);
+        // workers == 1 is an explicit serial request at any size.
+        let serial = BinpackConfig { workers: 1, parallel_threshold: 0, ..Default::default() };
+        assert_eq!(serial.function_workers(usize::MAX), 1);
+        // Threshold 0 forces the parallel path even on tiny inputs.
+        let forced = BinpackConfig { workers: 2, parallel_threshold: 0, ..Default::default() };
+        assert_eq!(forced.module_workers(1), 2);
     }
 }

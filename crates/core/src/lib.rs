@@ -56,7 +56,7 @@ mod two_pass;
 
 pub use allocator::BinpackAllocator;
 pub use config::{BinpackConfig, ConsistencyMode};
-pub use parallel_move::{sequentialize, EdgeOp};
+pub use parallel_move::{sequentialize, sequentialize_into, EdgeOp};
 pub use postopt::{optimize_spill_code, PostOptStats};
 pub use scratch::AllocScratch;
 pub use stats::{AllocStats, AllocTimings, Phase, RegisterAllocator, PHASE_NAMES};

@@ -64,8 +64,19 @@ pub enum EdgeOp {
 /// have assigned spill slots to every temporary named in a store/load (and
 /// to every temporary in a move, lazily, if a cycle forces it through
 /// memory — which is why this function takes a slot-assigning callback).
-pub fn sequentialize(ops: &[EdgeOp], mut ensure_slot: impl FnMut(Temp)) -> Vec<(Inst, SpillTag)> {
+pub fn sequentialize(ops: &[EdgeOp], ensure_slot: impl FnMut(Temp)) -> Vec<(Inst, SpillTag)> {
     let mut out = Vec::new();
+    sequentialize_into(ops, &mut out, ensure_slot);
+    out
+}
+
+/// Like [`sequentialize`], appending to a caller-owned buffer so a resolver
+/// walking thousands of edges reuses one allocation.
+pub fn sequentialize_into(
+    ops: &[EdgeOp],
+    out: &mut Vec<(Inst, SpillTag)>,
+    mut ensure_slot: impl FnMut(Temp),
+) {
     // 1. Stores.
     for op in ops {
         if let EdgeOp::Store { temp, src } = *op {
@@ -73,15 +84,19 @@ pub fn sequentialize(ops: &[EdgeOp], mut ensure_slot: impl FnMut(Temp)) -> Vec<(
             out.push((Inst::SpillStore { src: Reg::Phys(src), temp }, SpillTag::ResolveStore));
         }
     }
-    // 2. Parallel moves.
-    let mut pending: Vec<(PhysReg, PhysReg, Temp)> = ops
-        .iter()
-        .filter_map(|op| match *op {
-            EdgeOp::Move { temp, src, dst } if src != dst => Some((dst, src, temp)),
-            _ => None,
-        })
-        .collect();
-    let mut deferred_loads: Vec<(Temp, PhysReg)> = Vec::new();
+    // 2. Parallel moves. Edge copies are almost always tiny, so the work
+    // lists live in inline storage.
+    let mut pending: lsra_analysis::SmallVec<(PhysReg, PhysReg, Temp), 8> =
+        lsra_analysis::SmallVec::new();
+    for op in ops {
+        if let EdgeOp::Move { temp, src, dst } = *op {
+            if src != dst {
+                pending.push((dst, src, temp));
+            }
+        }
+    }
+    let mut deferred_loads: lsra_analysis::SmallVec<(Temp, PhysReg), 8> =
+        lsra_analysis::SmallVec::new();
     while !pending.is_empty() {
         // Emit any move whose destination is not the source of another
         // pending move.
@@ -102,7 +117,7 @@ pub fn sequentialize(ops: &[EdgeOp], mut ensure_slot: impl FnMut(Temp)) -> Vec<(
             deferred_loads.push((temp, dst));
         }
     }
-    for (temp, dst) in deferred_loads {
+    for &(temp, dst) in &deferred_loads {
         out.push((Inst::SpillLoad { dst: Reg::Phys(dst), temp }, SpillTag::ResolveLoad));
     }
     // 3. Loads.
@@ -112,7 +127,6 @@ pub fn sequentialize(ops: &[EdgeOp], mut ensure_slot: impl FnMut(Temp)) -> Vec<(
             out.push((Inst::SpillLoad { dst: Reg::Phys(dst), temp }, SpillTag::ResolveLoad));
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use lsra_ir::{BlockId, Function, PhysReg, Temp};
 use lsra_trace::{ResolveOp, TraceEvent, TraceSink};
 
 use crate::config::{BinpackConfig, ConsistencyMode};
-use crate::parallel_move::{sequentialize, EdgeOp};
+use crate::parallel_move::{sequentialize_into, EdgeOp};
 use crate::scan::ScanOutput;
 use crate::scratch::AllocScratch;
 use crate::stats::{AllocStats, Phase, PhaseTimer};
@@ -48,17 +48,23 @@ pub(crate) fn resolve(
     sink: &mut dyn TraceSink,
 ) {
     let mut timer = PhaseTimer::new(cfg.time_phases);
-    let nb = scan.top_map.len();
+    let nb = scan.top_map.rows();
     let ng = live.num_globals();
+    // Sampled once: `env::var_os` walks the process environment, too slow
+    // for the per-(edge, temp) loop below.
+    let debug = std::env::var_os("LSRA_DEBUG").is_some();
 
-    // Snapshot the original edges; splitting will append blocks.
+    // Snapshot the original edges; splitting will append blocks. Placement
+    // only asks whether a successor has exactly one predecessor, so a count
+    // per block replaces the full predecessor lists.
     let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+    let mut pred_count = vec![0u32; nb];
     for b in 0..nb {
         for s in f.succs(BlockId(b as u32)) {
             edges.push((BlockId(b as u32), s));
+            pred_count[s.index()] += 1;
         }
     }
-    let preds = f.compute_preds();
 
     // GEN sets: the scan's eviction-suppression reliances, plus the
     // resolution edge-store omissions computed below (a temporary kept
@@ -70,8 +76,8 @@ pub(crate) fn resolve(
         for &(p, s) in &edges {
             for g in live.live_in(s).iter() {
                 let t = live.temp_of(g);
-                let loc_p = reg_of(&scan.bottom_map[p.index()], t);
-                let loc_s = reg_of(&scan.top_map[s.index()], t);
+                let loc_p = reg_of(scan.bottom_map.row(p.index()), t);
+                let loc_s = reg_of(scan.top_map.row(s.index()), t);
                 if loc_p.is_some()
                     && loc_s.is_none()
                     && scan.consistent_bottom[p.index()].contains(g)
@@ -94,14 +100,17 @@ pub(crate) fn resolve(
     }
     timer.mark_traced(stats, Phase::Consistency, sink);
 
-    // Process each edge; `ops` is the scratch arena's reusable edge buffer.
+    // Process each edge; `ops`, `seq`, and `spilled` are the scratch
+    // arena's reusable edge buffers.
     let mut ops = std::mem::take(&mut scratch.edge_ops);
+    let mut seq = std::mem::take(&mut scratch.edge_insns);
+    let mut spilled = std::mem::take(&mut scratch.edge_spilled);
     for (p, s) in edges {
         ops.clear();
         for g in live.live_in(s).iter() {
             let t = live.temp_of(g);
-            let loc_p = reg_of(&scan.bottom_map[p.index()], t);
-            let loc_s = reg_of(&scan.top_map[s.index()], t);
+            let loc_p = reg_of(scan.bottom_map.row(p.index()), t);
+            let loc_s = reg_of(scan.top_map.row(s.index()), t);
             let consistent_p = scan.consistent_bottom[p.index()].contains(g);
             let mut store = false;
             // The (Some, Some) branch's store repairs a downstream
@@ -157,7 +166,7 @@ pub(crate) fn resolve(
                     sink.event(&TraceEvent::EdgeOp { pred: p, succ: s, op });
                 }
             }
-            if std::env::var_os("LSRA_DEBUG").is_some() && (loc_p.is_some() || loc_s.is_some()) {
+            if debug && (loc_p.is_some() || loc_s.is_some()) {
                 eprintln!(
                     "EDGE {p}->{s} {t}: p={loc_p:?} s={loc_s:?} consistent_p={consistent_p} store={store}"
                 );
@@ -166,8 +175,9 @@ pub(crate) fn resolve(
         if ops.is_empty() {
             continue;
         }
-        let mut spilled = Vec::new();
-        let seq = sequentialize(&ops, |t| spilled.push(t));
+        spilled.clear();
+        seq.clear();
+        sequentialize_into(&ops, &mut seq, |t| spilled.push(t));
         if sink.enabled() {
             // Swap-cycle breaks: the parallel copy had a register cycle and
             // `t` went through its memory home instead of a spare register.
@@ -185,7 +195,7 @@ pub(crate) fn resolve(
             }
             f.slot_for(t);
         }
-        for t in spilled {
+        for &t in &spilled {
             if f.spill_slots[t.index()].is_none() {
                 stats.spilled_temps += 1;
             }
@@ -194,11 +204,10 @@ pub(crate) fn resolve(
         for (_, tag) in &seq {
             stats.record_insert(*tag);
         }
-        let insns: Vec<lsra_ir::Ins> =
-            seq.into_iter().map(|(inst, tag)| lsra_ir::Ins::tagged(inst, tag)).collect();
+        let insns = seq.drain(..).map(|(inst, tag)| lsra_ir::Ins::tagged(inst, tag));
 
         // Placement (§2.4, footnote 1).
-        if preds[s.index()].len() == 1 {
+        if pred_count[s.index()] == 1 {
             let blk = f.block_mut(s);
             blk.insts.splice(0..0, insns);
         } else if f.succs(p).len() == 1 && terminator_is_placement_safe(f, p) {
@@ -212,5 +221,7 @@ pub(crate) fn resolve(
         }
     }
     scratch.edge_ops = ops;
+    scratch.edge_insns = seq;
+    scratch.edge_spilled = spilled;
     timer.mark_traced(stats, Phase::Resolve, sink);
 }

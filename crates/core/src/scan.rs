@@ -11,12 +11,12 @@
 //! The scan also records, per basic block, the location maps and consistency
 //! bit vectors that the resolution phase (§2.4) consumes.
 
-use lsra_analysis::{BitSet, Lifetimes, Liveness, Point};
+use lsra_analysis::{BitSet, Csr, EpochSet, Lifetimes, Liveness, Point};
 use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
 use lsra_trace::{CoalesceOutcome, EvictAction, FitTier, SpillCandidate, TraceEvent, TraceSink};
 
 use crate::config::{BinpackConfig, ConsistencyMode};
-use crate::scratch::{reset, AllocScratch};
+use crate::scratch::{reset, take_bitsets, AllocScratch};
 use crate::stats::AllocStats;
 
 /// Where a temporary's current value lives during the scan.
@@ -32,13 +32,18 @@ pub(crate) enum Loc {
 }
 
 /// Per-block facts handed from the scan to the resolution phase.
+///
+/// The location maps are compressed-sparse-row containers (one row per
+/// block, rows finished in block order as the scan advances); their backing
+/// arrays come from — and return to — the [`AllocScratch`] arena.
 #[derive(Debug)]
 pub(crate) struct ScanOutput {
     /// Register-resident live-in temporaries at the top of each block;
-    /// live-in temporaries absent from the list are in memory.
-    pub top_map: Vec<Vec<(Temp, PhysReg)>>,
+    /// live-in temporaries absent from the list are in memory. Rows sorted
+    /// by temporary.
+    pub top_map: Csr<(Temp, PhysReg)>,
     /// Same at the bottom of each block (live-out temporaries).
-    pub bottom_map: Vec<Vec<(Temp, PhysReg)>>,
+    pub bottom_map: Csr<(Temp, PhysReg)>,
     /// Saved `ARE_CONSISTENT` at the bottom of each block (over the
     /// liveness global-temp universe; a set bit means the temporary is in a
     /// register whose contents match its memory home).
@@ -59,11 +64,17 @@ pub(crate) struct Scanner<'a> {
     occupant: Vec<Option<Temp>>,
     loc: Vec<Loc>,
     consistent: Vec<bool>,
-    wrote_local: Vec<bool>,
-    used_local: Vec<bool>,
+    /// Temporaries written in the current block; epoch-stamped so the
+    /// per-block reset is O(1) instead of O(temps).
+    wrote_local: EpochSet,
+    /// Temporaries whose store suppression relied on consistency facts not
+    /// established in the current block (`Ut`, §2.4); epoch-stamped too.
+    used_local: EpochSet,
     seg_cur: Vec<usize>,
     ref_cur: Vec<usize>,
     blk_cur: Vec<usize>,
+    /// Predecessor lists — only the conservative consistency mode consults
+    /// them, so they are only computed in that mode.
     preds: Vec<Vec<lsra_ir::BlockId>>,
     /// The register a temporary last occupied before being displaced while
     /// inside one of its lifetime holes (the binpacking model's "another
@@ -79,6 +90,24 @@ pub(crate) struct Scanner<'a> {
     pending_owner: Vec<Option<Temp>>,
     /// Per-block live-in staging buffer (reused across blocks).
     live_in: Vec<Temp>,
+    /// `LSRA_DEBUG` sampled once per function: `env::var_os` walks the
+    /// whole process environment, far too slow to query per instruction.
+    debug: bool,
+    /// Precolored-blocked segment starts over all registers, sorted by
+    /// `(start, register)`; `sweep` consumes them through `event_cur` so the
+    /// per-instruction cost is one bounds-checked compare instead of a walk
+    /// over the register file.
+    blocked_events: Vec<(Point, u32)>,
+    event_cur: usize,
+    /// Memo for [`Scanner::reg_unblocked_until`]: `(lo, hi, answer)` — the
+    /// answer holds for every query point in `[lo, hi]`. Scan points are
+    /// monotonic per register and the blocked segments immutable, so the
+    /// cache is exact; it spares the CSR row fetch and cursor walk that
+    /// `try_alloc` otherwise repeats for all registers of a class on every
+    /// fresh definition.
+    unblocked_cache: Vec<(Point, Point, Option<Point>)>,
+    /// Same shape of memo for [`Scanner::temp_live_at`], per temporary.
+    live_cache: Vec<(Point, Point, bool)>,
     /// Arena the working vectors were taken from; `run` hands them back so
     /// the next function reuses their capacity.
     scratch: &'a mut AllocScratch,
@@ -110,7 +139,11 @@ impl<'a> Scanner<'a> {
         let nt = f.num_temps();
         let nb = f.num_blocks();
         let ng = live.num_globals();
-        let preds = f.compute_preds();
+        let preds = if cfg.consistency == ConsistencyMode::Conservative {
+            f.compute_preds()
+        } else {
+            Vec::new()
+        };
         // Take the working vectors out of the scratch arena, sized for this
         // function (`reset` keeps capacity); `run` hands them back.
         let mut occupant = std::mem::take(&mut scratch.occupant);
@@ -123,17 +156,38 @@ impl<'a> Scanner<'a> {
         let mut blk_cur = std::mem::take(&mut scratch.blk_cur);
         let mut last_reg = std::mem::take(&mut scratch.last_reg);
         let mut pending_owner = std::mem::take(&mut scratch.pending_owner);
+        let mut unblocked_cache = std::mem::take(&mut scratch.unblocked_cache);
+        let mut live_cache = std::mem::take(&mut scratch.live_cache);
         reset(&mut occupant, nregs, None);
         reset(&mut loc, nt, Loc::None);
         reset(&mut consistent, nt, false);
-        reset(&mut wrote_local, nt, false);
-        reset(&mut used_local, nt, false);
+        wrote_local.reset(nt);
+        used_local.reset(nt);
         reset(&mut seg_cur, nt, 0);
         reset(&mut ref_cur, nt, 0);
         reset(&mut blk_cur, nregs, 0);
         reset(&mut last_reg, nt, None);
         reset(&mut pending_owner, nregs, None);
+        // `lo > hi` is the always-miss sentinel.
+        reset(&mut unblocked_cache, nregs, (Point(1), Point(0), None));
+        reset(&mut live_cache, nt, (Point(1), Point(0), false));
         let live_in = std::mem::take(&mut scratch.live_in);
+        let mut blocked_events = std::mem::take(&mut scratch.blocked_events);
+        blocked_events.clear();
+        for d in 0..nregs {
+            let p = if d < ni { PhysReg::int(d as u8) } else { PhysReg::float((d - ni) as u8) };
+            for s in lt.blocked(p) {
+                blocked_events.push((s.start, d as u32));
+            }
+        }
+        blocked_events.sort_unstable();
+        let mut top_map = std::mem::take(&mut scratch.top_map);
+        let mut bottom_map = std::mem::take(&mut scratch.bottom_map);
+        top_map.clear();
+        bottom_map.clear();
+        let consistent_bottom = take_bitsets(&mut scratch.consistent_bottom, nb, ng);
+        let used_consistency = take_bitsets(&mut scratch.used_consistency, nb, ng);
+        let wrote_tr = take_bitsets(&mut scratch.wrote_tr, nb, ng);
         Scanner {
             f,
             live,
@@ -154,15 +208,14 @@ impl<'a> Scanner<'a> {
             cur_top: Point(0),
             pending_owner,
             live_in,
+            debug: std::env::var_os("LSRA_DEBUG").is_some(),
+            blocked_events,
+            event_cur: 0,
+            unblocked_cache,
+            live_cache,
             scratch,
             sink,
-            out: ScanOutput {
-                top_map: vec![Vec::new(); nb],
-                bottom_map: vec![Vec::new(); nb],
-                consistent_bottom: vec![BitSet::new(ng); nb],
-                used_consistency: vec![BitSet::new(ng); nb],
-                wrote_tr: vec![BitSet::new(ng); nb],
-            },
+            out: ScanOutput { top_map, bottom_map, consistent_bottom, used_consistency, wrote_tr },
         }
     }
 
@@ -202,10 +255,22 @@ impl<'a> Scanner<'a> {
 
     /// True if `t` carries a live value at `p`.
     fn temp_live_at(&mut self, t: Temp, p: Point) -> bool {
+        let (lo, hi, ans) = self.live_cache[t.index()];
+        if lo <= p && p <= hi {
+            return ans;
+        }
         self.advance_segs(t, p);
         let segs = self.lt.segments(t);
-        let c = self.seg_cur[t.index()];
-        c < segs.len() && segs[c].start <= p
+        // The answer is constant until `p` crosses the covering segment's
+        // end (live) or the next segment's start (in a hole); queries per
+        // temporary are monotonic, so the interval can be cached.
+        let (ans, hi) = match segs.get(self.seg_cur[t.index()]) {
+            Some(s) if s.start <= p => (true, s.end),
+            Some(s) => (false, Point(s.start.0 - 1)),
+            None => (false, INF),
+        };
+        self.live_cache[t.index()] = (p, hi, ans);
+        ans
     }
 
     /// The first point at or after `p` where `t` is live (`INF` if never).
@@ -237,16 +302,22 @@ impl<'a> Scanner<'a> {
     /// The start of the next precolored-blocked segment of register `d` at
     /// or after `p`, or `None` if `d` is blocked *at* `p`.
     fn reg_unblocked_until(&mut self, d: usize, p: Point) -> Option<Point> {
+        let (lo, hi, ans) = self.unblocked_cache[d];
+        if lo <= p && p <= hi {
+            return ans;
+        }
         let blocked = self.lt.blocked(self.phys(d));
         let c = &mut self.blk_cur[d];
         while *c < blocked.len() && blocked[*c].end < p {
             *c += 1;
         }
-        match blocked.get(*c) {
-            Some(s) if s.start <= p => None,
-            Some(s) => Some(s.start),
-            None => Some(INF),
-        }
+        let (ans, hi) = match blocked.get(*c) {
+            Some(s) if s.start <= p => (None, s.end),
+            Some(s) => (Some(s.start), Point(s.start.0 - 1)),
+            None => (Some(INF), INF),
+        };
+        self.unblocked_cache[d] = (p, hi, ans);
+        ans
     }
 
     /// How long register `d` is free starting at `p` (`None` if not free at
@@ -268,6 +339,18 @@ impl<'a> Scanner<'a> {
     /// entirely inside it (§2.1) — otherwise the filler would steal the
     /// container's register.
     fn reg_hole(&mut self, d: usize, p: Point, for_temp: Temp) -> Option<(Point, Point)> {
+        // Fast path for the common case under pressure: no displaced owner
+        // waiting and a live occupant — the register is simply taken,
+        // whatever the blocked segments say. (With no pending owner there
+        // is no lapse bookkeeping to perform, so skipping the full walk
+        // has no observable effect.)
+        if self.pending_owner[d].is_none() {
+            if let Some(u) = self.occupant[d] {
+                if self.temp_live_at(u, p) {
+                    return None;
+                }
+            }
+        }
         let limit = self.reg_unblocked_until(d, p)?;
         let mut reclaim = INF;
         // A displaced hole owner still waiting for this register bounds the
@@ -310,7 +393,7 @@ impl<'a> Scanner<'a> {
     fn bind(&mut self, t: Temp, d: usize) {
         if let Some(o) = self.occupant[d] {
             if o != t && self.loc[o.index()] == Loc::Reg(self.phys(d)) {
-                if std::env::var_os("LSRA_DEBUG").is_some() {
+                if self.debug {
                     eprintln!("DISPLACE {o} from {} by {t}", self.phys(d));
                 }
                 self.loc[o.index()] = Loc::None;
@@ -491,8 +574,8 @@ impl<'a> Scanner<'a> {
             // Register and memory home agree; suppress the store. If that
             // knowledge was not established in this block, record the
             // reliance for the USED_C dataflow (§2.4).
-            if !self.wrote_local[u.index()] {
-                self.used_local[u.index()] = true;
+            if !self.wrote_local.contains(u.index()) {
+                self.used_local.insert(u.index());
             }
             self.stats.stores_suppressed += 1;
             false
@@ -700,15 +783,36 @@ impl<'a> Scanner<'a> {
     /// ("when a register's lifetime hole expires, ... evict the temporary",
     /// §2.5).
     fn sweep(&mut self, threshold: Point, pre: &mut Vec<Ins>, pinned: &[usize]) {
-        for d in 0..self.occupant.len() {
-            let Some(u) = self.occupant[d] else { continue };
+        // The common instruction has no expiring register hole: one compare
+        // against the next blocked-segment start and the sweep is done,
+        // instead of a walk over the whole register file.
+        if self.event_cur >= self.blocked_events.len()
+            || self.blocked_events[self.event_cur].0 > threshold
+        {
+            return;
+        }
+        let mut crossing = std::mem::take(&mut self.scratch.sweep_buf);
+        crossing.clear();
+        while self.event_cur < self.blocked_events.len()
+            && self.blocked_events[self.event_cur].0 <= threshold
+        {
+            crossing.push(self.blocked_events[self.event_cur].1);
+            self.event_cur += 1;
+        }
+        // Evictions must land in register order — the order the old
+        // register-file walk emitted them in. Events are sorted by (start,
+        // register), so a multi-start crossing can arrive out of register
+        // order.
+        crossing.sort_unstable();
+        for &d in &crossing {
+            let d = d as usize;
+            if self.occupant[d].is_none() {
+                continue;
+            }
             let blocked = self.lt.blocked(self.phys(d));
             let mut c = self.blk_cur[d];
             // Peek without disturbing the cursor past live segments.
             while c < blocked.len() && blocked[c].end < threshold {
-                // A whole blocked segment passed while we held an occupant:
-                // that would be a missed eviction; it cannot happen because
-                // the sweep runs at every instruction. Advance defensively.
                 c += 1;
             }
             self.blk_cur[d] = c;
@@ -717,8 +821,8 @@ impl<'a> Scanner<'a> {
                     self.evict(d, threshold, pre, true, pinned);
                 }
             }
-            let _ = u;
         }
+        self.scratch.sweep_buf = crossing;
     }
 
     /// Processes a use of temporary `t` at instruction `gi`: returns the
@@ -755,7 +859,7 @@ impl<'a> Scanner<'a> {
                 }
                 // A reload makes register and memory home consistent.
                 self.consistent[t.index()] = true;
-                self.wrote_local[t.index()] = true; // the reload wrote r
+                self.wrote_local.insert(t.index()); // the reload wrote r
                 exclude.push(self.dense(r));
                 r
             }
@@ -788,7 +892,7 @@ impl<'a> Scanner<'a> {
             }
         };
         self.consistent[t.index()] = false; // register now ahead of memory
-        self.wrote_local[t.index()] = true;
+        self.wrote_local.insert(t.index());
         exclude.push(self.dense(r));
         r
     }
@@ -812,7 +916,7 @@ impl<'a> Scanner<'a> {
         }
         self.bind(dst, self.dense(src_phys));
         self.consistent[dst.index()] = false;
-        self.wrote_local[dst.index()] = true;
+        self.wrote_local.insert(dst.index());
         self.stats.moves_coalesced += 1;
         Some(src_phys)
     }
@@ -856,8 +960,8 @@ impl<'a> Scanner<'a> {
         if self.sink.enabled() {
             self.sink.event(&TraceEvent::BlockTop { block: b, first_gi: self.lt.first_inst(b) });
         }
-        self.wrote_local.fill(false);
-        self.used_local.fill(false);
+        self.wrote_local.advance();
+        self.used_local.advance();
         if self.cfg.consistency == ConsistencyMode::Conservative {
             // §2.6: meet of the saved ARE_CONSISTENT vectors of all
             // predecessors; an unscanned predecessor clears everything.
@@ -924,13 +1028,12 @@ impl<'a> Scanner<'a> {
         // live-in temporary with no location yet is pessimistically given
         // its memory home (the linear order reached this block before any
         // definition — resolution will satisfy the assumption, §2.4).
-        let mut map = Vec::new();
         for &t in &live_in {
             match self.loc[t.index()] {
-                Loc::Reg(r) => map.push((t, r)),
+                Loc::Reg(r) => self.out.top_map.push((t, r)),
                 Loc::Mem => {}
                 Loc::None => {
-                    if std::env::var_os("LSRA_DEBUG").is_some() {
+                    if self.debug {
                         eprintln!(
                             "PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})",
                             self.last_reg[t.index()]
@@ -943,20 +1046,19 @@ impl<'a> Scanner<'a> {
                 }
             }
         }
-        map.sort_unstable();
-        self.out.top_map[b.index()] = map;
+        self.out.top_map.open_row_mut().sort_unstable();
+        self.out.top_map.finish_row();
         self.live_in = live_in;
     }
 
     fn block_end(&mut self, b: lsra_ir::BlockId) {
         let bi = b.index();
-        let mut map = Vec::new();
         for t in self.live.live_out_temps(b) {
             match self.loc[t.index()] {
-                Loc::Reg(r) => map.push((t, r)),
+                Loc::Reg(r) => self.out.bottom_map.push((t, r)),
                 Loc::Mem => {}
                 Loc::None => {
-                    if std::env::var_os("LSRA_DEBUG").is_some() {
+                    if self.debug {
                         eprintln!(
                             "PESSIMIZE {t} -> Mem at top of {b} (last_reg={:?})",
                             self.last_reg[t.index()]
@@ -966,17 +1068,31 @@ impl<'a> Scanner<'a> {
                 }
             }
         }
-        map.sort_unstable();
-        self.out.bottom_map[bi] = map;
-        for g in 0..self.live.num_globals() {
-            let t = self.live.temp_of(g);
-            if matches!(self.loc[t.index()], Loc::Reg(_)) && self.consistent[t.index()] {
-                self.out.consistent_bottom[bi].insert(g);
+        self.out.bottom_map.open_row_mut().sort_unstable();
+        self.out.bottom_map.finish_row();
+        // ARE_CONSISTENT at the block bottom: a temporary in a register
+        // with `consistent` set. Walking the register file finds exactly
+        // the temporaries with `Loc::Reg` (the occupancy invariant checked
+        // by `check_invariants`), so this costs O(registers) per block
+        // instead of O(globals).
+        for d in 0..self.occupant.len() {
+            if let Some(u) = self.occupant[d] {
+                if self.loc[u.index()] == Loc::Reg(self.phys(d)) && self.consistent[u.index()] {
+                    if let Some(g) = self.live.global_of(u) {
+                        self.out.consistent_bottom[bi].insert(g);
+                    }
+                }
             }
-            if self.used_local[t.index()] {
+        }
+        // The USED_C GEN/KILL sets only need the temporaries actually
+        // touched in this block — the epoch sets recorded them.
+        for &t in self.used_local.touched() {
+            if let Some(g) = self.live.global_of(Temp(t)) {
                 self.out.used_consistency[bi].insert(g);
             }
-            if self.wrote_local[t.index()] {
+        }
+        for &t in self.wrote_local.touched() {
+            if let Some(g) = self.live.global_of(Temp(t)) {
                 self.out.wrote_tr[bi].insert(g);
             }
         }
@@ -990,7 +1106,6 @@ impl<'a> Scanner<'a> {
         let mut pre = std::mem::take(&mut self.scratch.pre);
         let mut exclude = std::mem::take(&mut self.scratch.exclude);
         let mut use_map = std::mem::take(&mut self.scratch.use_map);
-        let mut use_temps = std::mem::take(&mut self.scratch.use_temps);
         let mut def_exclude = std::mem::take(&mut self.scratch.def_exclude);
         for b in self.f.block_ids().collect::<Vec<_>>() {
             self.block_start(b);
@@ -1025,26 +1140,23 @@ impl<'a> Scanner<'a> {
                 // slot (call clobbers, precolored uses).
                 self.sweep(rp, &mut pre, &[]);
 
-                // Rewrite uses. `exclude` accumulates registers pinned by
-                // this instruction.
+                // Rewrite uses in one traversal: each distinct temporary is
+                // processed on first sight (in operand order, as before) and
+                // repeats reuse the mapped register. `exclude` accumulates
+                // registers pinned by this instruction.
                 exclude.clear();
                 use_map.clear();
-                use_temps.clear();
-                ins.inst.for_each_use(|r| {
-                    if let Reg::Temp(t) = r {
-                        if !use_temps.contains(&t) {
-                            use_temps.push(t);
-                        }
-                    }
-                });
-                for &t in use_temps.iter() {
-                    let r = self.process_use(t, gi, &mut exclude, &mut pre);
-                    use_map.push((t, r));
-                }
                 ins.inst.for_each_use_mut(|r| {
                     if let Reg::Temp(t) = *r {
-                        let (_, p) = use_map.iter().find(|(u, _)| *u == t).expect("use mapped");
-                        *r = Reg::Phys(*p);
+                        let p = match use_map.iter().find(|(u, _)| *u == t) {
+                            Some(&(_, p)) => p,
+                            None => {
+                                let p = self.process_use(t, gi, &mut exclude, &mut pre);
+                                use_map.push((t, p));
+                                p
+                            }
+                        };
+                        *r = Reg::Phys(p);
                     }
                 });
 
@@ -1084,7 +1196,7 @@ impl<'a> Scanner<'a> {
                 }
                 new_insts.append(&mut pre);
                 new_insts.push(ins);
-                if std::env::var_os("LSRA_DEBUG").is_some() {
+                if self.debug {
                     self.check_invariants(b, gi);
                 }
             }
@@ -1095,7 +1207,6 @@ impl<'a> Scanner<'a> {
         self.scratch.pre = pre;
         self.scratch.exclude = exclude;
         self.scratch.use_map = use_map;
-        self.scratch.use_temps = use_temps;
         self.scratch.def_exclude = def_exclude;
         self.scratch.occupant = std::mem::take(&mut self.occupant);
         self.scratch.loc = std::mem::take(&mut self.loc);
@@ -1108,6 +1219,9 @@ impl<'a> Scanner<'a> {
         self.scratch.last_reg = std::mem::take(&mut self.last_reg);
         self.scratch.pending_owner = std::mem::take(&mut self.pending_owner);
         self.scratch.live_in = std::mem::take(&mut self.live_in);
+        self.scratch.blocked_events = std::mem::take(&mut self.blocked_events);
+        self.scratch.unblocked_cache = std::mem::take(&mut self.unblocked_cache);
+        self.scratch.live_cache = std::mem::take(&mut self.live_cache);
         self.out
     }
 }

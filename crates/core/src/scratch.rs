@@ -18,6 +18,7 @@
 //! byte-identical to a fresh one. When adding a buffer, reset it where it is
 //! taken, not where it is returned.
 
+use lsra_analysis::{AnalysisScratch, BitSet, Csr, EpochSet, IntervalMap};
 use lsra_ir::{Ins, PhysReg, Temp};
 
 use crate::parallel_move::EdgeOp;
@@ -32,12 +33,14 @@ use crate::scan::Loc;
 /// grow to the largest function seen and stay allocated.
 #[derive(Debug, Default)]
 pub struct AllocScratch {
+    // ---- analysis: lifetime event lists and CSR backing ----
+    pub(crate) analysis: AnalysisScratch,
     // ---- scan: per-register / per-temp / per-block state ----
     pub(crate) occupant: Vec<Option<Temp>>,
     pub(crate) loc: Vec<Loc>,
     pub(crate) consistent: Vec<bool>,
-    pub(crate) wrote_local: Vec<bool>,
-    pub(crate) used_local: Vec<bool>,
+    pub(crate) wrote_local: EpochSet,
+    pub(crate) used_local: EpochSet,
     pub(crate) seg_cur: Vec<usize>,
     pub(crate) ref_cur: Vec<usize>,
     pub(crate) blk_cur: Vec<usize>,
@@ -47,13 +50,28 @@ pub struct AllocScratch {
     pub(crate) pre: Vec<Ins>,
     pub(crate) exclude: Vec<usize>,
     pub(crate) use_map: Vec<(Temp, PhysReg)>,
-    pub(crate) use_temps: Vec<Temp>,
     pub(crate) def_exclude: Vec<usize>,
     // ---- scan: per-block buffer ----
     pub(crate) live_in: Vec<Temp>,
-    // ---- resolve: per-edge buffer ----
+    // ---- scan: convention-sweep event queue ----
+    pub(crate) blocked_events: Vec<(lsra_analysis::Point, u32)>,
+    pub(crate) sweep_buf: Vec<u32>,
+    // ---- scan: liveness/blocked-segment query memos ----
+    pub(crate) unblocked_cache:
+        Vec<(lsra_analysis::Point, lsra_analysis::Point, Option<lsra_analysis::Point>)>,
+    pub(crate) live_cache: Vec<(lsra_analysis::Point, lsra_analysis::Point, bool)>,
+    // ---- scan output backing (CSR location maps, consistency vectors) ----
+    pub(crate) top_map: Csr<(Temp, PhysReg)>,
+    pub(crate) bottom_map: Csr<(Temp, PhysReg)>,
+    pub(crate) consistent_bottom: Vec<BitSet>,
+    pub(crate) used_consistency: Vec<BitSet>,
+    pub(crate) wrote_tr: Vec<BitSet>,
+    // ---- resolve: per-edge buffers ----
     pub(crate) edge_ops: Vec<EdgeOp>,
-    // ---- two-pass: per-instruction buffers ----
+    pub(crate) edge_insns: Vec<(lsra_ir::Inst, lsra_ir::SpillTag)>,
+    pub(crate) edge_spilled: Vec<Temp>,
+    // ---- two-pass: per-register interval maps, per-instruction buffers ----
+    pub(crate) tp_regs: Vec<IntervalMap>,
     pub(crate) tp_src_temps: Vec<Temp>,
     pub(crate) tp_scratch_of: Vec<(Temp, PhysReg)>,
     pub(crate) tp_pre: Vec<Ins>,
@@ -61,8 +79,32 @@ pub struct AllocScratch {
     pub(crate) tp_free: [Vec<usize>; 2],
 }
 
+impl AllocScratch {
+    /// Returns the scan-output containers (taken at [`crate::scan::Scanner::new`])
+    /// so the next function reuses their backing storage.
+    pub(crate) fn recycle_scan(&mut self, out: crate::scan::ScanOutput) {
+        self.top_map = out.top_map;
+        self.bottom_map = out.bottom_map;
+        self.consistent_bottom = out.consistent_bottom;
+        self.used_consistency = out.used_consistency;
+        self.wrote_tr = out.wrote_tr;
+    }
+}
+
 /// Clears a vector and resizes it to `n` copies of `v`, keeping capacity.
 pub(crate) fn reset<T: Clone>(buf: &mut Vec<T>, n: usize, v: T) {
     buf.clear();
     buf.resize(n, v);
+}
+
+/// Takes `n` bit sets over universe `ng` out of `buf`, reusing the word
+/// buffers of previous functions.
+pub(crate) fn take_bitsets(buf: &mut Vec<BitSet>, n: usize, ng: usize) -> Vec<BitSet> {
+    let mut v = std::mem::take(buf);
+    v.truncate(n);
+    for s in &mut v {
+        s.reset(ng);
+    }
+    v.resize(n, BitSet::new(ng));
+    v
 }

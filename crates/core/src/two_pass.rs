@@ -10,9 +10,7 @@
 //! definition — with no store avoidance and no second chances, which is
 //! precisely the behaviour the paper contrasts against (wc's 38% slowdown).
 
-use std::collections::BTreeMap;
-
-use lsra_analysis::{Lifetimes, Liveness, LoopInfo, Point, Segment};
+use lsra_analysis::{IntervalMap, Lifetimes, Liveness, LoopInfo, Point, Segment, SmallVec};
 use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
 use lsra_trace::{TraceEvent, TraceSink};
 
@@ -20,43 +18,19 @@ use crate::config::BinpackConfig;
 use crate::scratch::AllocScratch;
 use crate::stats::{AllocStats, Phase, PhaseTimer};
 
-/// Free/occupied intervals of one register: `start -> (end, owner)`.
-/// Precolored blocks are owned by `None`.
-#[derive(Default)]
-struct RegIntervals {
-    map: BTreeMap<u32, (u32, Option<Temp>)>,
-}
-
-impl RegIntervals {
-    fn overlaps(&self, seg: Segment) -> bool {
-        self.overlapping_owner(seg).is_some()
-    }
-
-    /// Returns the owner of some interval overlapping `seg`, if any
-    /// (`Some(None)` for a precolored block).
-    fn overlapping_owner(&self, seg: Segment) -> Option<Option<Temp>> {
-        // An interval [s, e] overlaps [a, b] iff s <= b and e >= a.
-        self.map
-            .range(..=seg.end.0)
-            .next_back()
-            .filter(|(_, (end, _))| *end >= seg.start.0)
-            .map(|(_, (_, owner))| *owner)
-    }
-
-    fn insert(&mut self, seg: Segment, owner: Option<Temp>) {
-        self.map.insert(seg.start.0, (seg.end.0, owner));
-    }
-
-    fn remove_owner(&mut self, t: Temp) {
-        self.map.retain(|_, (_, o)| *o != Some(t));
-    }
+/// [`IntervalMap::overlaps`] adapted to [`Segment`] endpoints: an interval
+/// `[s, e]` overlaps `[a, b]` iff `s <= b && e >= a`.
+fn seg_overlaps(map: &IntervalMap, seg: Segment) -> bool {
+    map.overlaps(seg.start.0, seg.end.0)
 }
 
 struct TwoPass<'a> {
     f: &'a Function,
     lt: &'a Lifetimes,
     ni: usize,
-    regs: Vec<RegIntervals>,
+    /// Free/occupied intervals per register; precolored blocks are owned by
+    /// `None`.
+    regs: Vec<IntervalMap>,
     assigned: Vec<Option<PhysReg>>,
     spilled: Vec<bool>,
     lifetime_len: Vec<u32>,
@@ -86,12 +60,12 @@ impl<'a> TwoPass<'a> {
     }
 
     fn fits(&self, d: usize, t: Temp) -> bool {
-        self.lt.segments(t).iter().all(|&s| !self.regs[d].overlaps(s))
+        self.lt.segments(t).iter().all(|&s| !seg_overlaps(&self.regs[d], s))
     }
 
     fn assign(&mut self, t: Temp, d: usize) {
         for &s in self.lt.segments(t) {
-            self.regs[d].insert(s, Some(t));
+            self.regs[d].insert(s.start.0, s.end.0, Some(t));
         }
         self.assigned[t.index()] = Some(self.phys(d));
     }
@@ -139,9 +113,9 @@ impl<'a> TwoPass<'a> {
         Segment::new(Point::before(gi), Point::before(gi + 1))
     }
 
-    /// Registers of `class` free over the span.
-    fn free_at(&self, class: RegClass, span: Segment) -> Vec<usize> {
-        self.class_range(class).filter(|&d| !self.regs[d].overlaps(span)).collect()
+    /// Number of registers of `class` free over the span.
+    fn num_free_at(&self, class: RegClass, span: Segment) -> usize {
+        self.class_range(class).filter(|&d| !seg_overlaps(&self.regs[d], span)).count()
     }
 
     /// Pass 1.5: make sure every instruction referencing spilled temporaries
@@ -149,6 +123,9 @@ impl<'a> TwoPass<'a> {
     /// victims until it does. Iterates to a fixed point (unassigning a temp
     /// adds point-lifetime demand at its own references).
     fn ensure_point_feasibility(&mut self, sink: &mut dyn TraceSink) {
+        // Per-instruction spilled-source list, hoisted out of the loops;
+        // inline storage covers every realistic operand count.
+        let mut src_spilled: SmallVec<Temp, 8> = SmallVec::new();
         loop {
             let mut changed = false;
             for b in self.f.block_ids() {
@@ -158,7 +135,7 @@ impl<'a> TwoPass<'a> {
                     let span = Self::point_span(gi);
                     for class in RegClass::ALL {
                         let mut need = 0usize;
-                        let mut src_spilled: Vec<Temp> = Vec::new();
+                        src_spilled.clear();
                         ins.inst.for_each_use(|r| {
                             if let Reg::Temp(t) = r {
                                 if self.spilled[t.index()]
@@ -186,7 +163,7 @@ impl<'a> TwoPass<'a> {
                         if need == 0 {
                             continue;
                         }
-                        while self.free_at(class, span).len() < need {
+                        while self.num_free_at(class, span) < need {
                             let victim = self.victim_at(class, span).unwrap_or_else(|| {
                                 panic!(
                                     "two-pass binpacking cannot satisfy point lifetimes at \
@@ -213,7 +190,7 @@ impl<'a> TwoPass<'a> {
     fn victim_at(&self, class: RegClass, span: Segment) -> Option<Temp> {
         let mut best: Option<(u32, Temp)> = None;
         for d in self.class_range(class) {
-            if let Some(Some(t)) = self.regs[d].overlapping_owner(span) {
+            if let Some(Some(t)) = self.regs[d].overlapping_owner(span.start.0, span.end.0) {
                 let len = self.lifetime_len[t.index()];
                 if best.is_none_or(|(l, _)| len > l) {
                     best = Some((len, t));
@@ -234,21 +211,28 @@ pub(crate) fn allocate(
     sink: &mut dyn TraceSink,
 ) {
     let mut timer = PhaseTimer::new(cfg.time_phases);
-    let live = Liveness::compute(f);
+    let live = Liveness::compute_with_workers(f, cfg.function_workers(f.num_insts()));
     timer.mark_traced(stats, Phase::Liveness, sink);
     let loops = LoopInfo::of(f);
     timer.mark_traced(stats, Phase::Order, sink);
-    let lt = Lifetimes::compute(f, &live, &loops, spec);
+    let lt = Lifetimes::compute_in(f, &live, &loops, spec, &mut scratch.analysis);
     timer.mark_traced(stats, Phase::Lifetimes, sink);
     stats.candidates = f.num_temps();
 
     let ni = spec.num_regs(RegClass::Int) as usize;
     let nregs = spec.total_regs();
+    // Per-register interval maps come from the scratch arena.
+    let mut reg_maps = std::mem::take(&mut scratch.tp_regs);
+    reg_maps.truncate(nregs);
+    for m in &mut reg_maps {
+        m.clear();
+    }
+    reg_maps.resize(nregs, IntervalMap::new());
     let mut tp = TwoPass {
         f,
         lt: &lt,
         ni,
-        regs: (0..nregs).map(|_| RegIntervals::default()).collect(),
+        regs: reg_maps,
         assigned: vec![None; f.num_temps()],
         spilled: vec![false; f.num_temps()],
         lifetime_len: (0..f.num_temps() as u32)
@@ -258,7 +242,7 @@ pub(crate) fn allocate(
     for d in 0..nregs {
         let p = tp.phys(d);
         for &s in lt.blocked(p) {
-            tp.regs[d].insert(s, None);
+            tp.regs[d].insert(s.start.0, s.end.0, None);
         }
     }
     tp.pack(sink);
@@ -303,7 +287,7 @@ pub(crate) fn allocate(
                     RegClass::Float => ni_copy..nregs,
                 };
                 free[class.index()].clear();
-                free[class.index()].extend(range.filter(|&d| !regs[d].overlaps(span)));
+                free[class.index()].extend(range.filter(|&d| !seg_overlaps(&regs[d], span)));
             }
             scratch_of.clear();
             // Loads for spilled sources.
@@ -399,6 +383,8 @@ pub(crate) fn allocate(
     scratch.tp_pre = pre;
     scratch.tp_post = post;
     scratch.tp_src_temps = src_temps;
+    scratch.tp_regs = regs;
+    lt.recycle(&mut scratch.analysis);
     timer.mark_traced(stats, Phase::Resolve, sink);
 }
 
@@ -410,18 +396,18 @@ mod tests {
 
     #[test]
     fn reg_intervals_overlap_queries() {
-        let mut r = RegIntervals::default();
-        r.insert(Segment::new(Point(10), Point(20)), Some(Temp(0)));
-        r.insert(Segment::new(Point(30), Point(40)), None);
-        assert!(r.overlaps(Segment::new(Point(15), Point(18))));
-        assert!(r.overlaps(Segment::new(Point(5), Point(10))));
-        assert!(r.overlaps(Segment::new(Point(20), Point(25))));
-        assert!(!r.overlaps(Segment::new(Point(21), Point(29))));
-        assert_eq!(r.overlapping_owner(Segment::new(Point(35), Point(35))), Some(None));
-        assert_eq!(r.overlapping_owner(Segment::new(Point(12), Point(12))), Some(Some(Temp(0))));
+        let mut r = IntervalMap::new();
+        r.insert(10, 20, Some(Temp(0)));
+        r.insert(30, 40, None);
+        assert!(seg_overlaps(&r, Segment::new(Point(15), Point(18))));
+        assert!(seg_overlaps(&r, Segment::new(Point(5), Point(10))));
+        assert!(seg_overlaps(&r, Segment::new(Point(20), Point(25))));
+        assert!(!seg_overlaps(&r, Segment::new(Point(21), Point(29))));
+        assert_eq!(r.overlapping_owner(35, 35), Some(None));
+        assert_eq!(r.overlapping_owner(12, 12), Some(Some(Temp(0))));
         r.remove_owner(Temp(0));
-        assert!(!r.overlaps(Segment::new(Point(15), Point(18))));
-        assert!(r.overlaps(Segment::new(Point(35), Point(35))), "precolored block remains");
+        assert!(!seg_overlaps(&r, Segment::new(Point(15), Point(18))));
+        assert!(seg_overlaps(&r, Segment::new(Point(35), Point(35))), "precolored block remains");
     }
 
     #[test]

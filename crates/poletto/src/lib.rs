@@ -36,39 +36,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::BTreeMap;
 use std::time::Instant;
 
-use lsra_analysis::{Lifetimes, Point, Segment};
+use lsra_analysis::{IntervalMap, Lifetimes, Point, Segment};
 use lsra_core::{AllocStats, RegisterAllocator};
 use lsra_ir::{Function, Ins, Inst, MachineSpec, PhysReg, Reg, RegClass, SpillTag, Temp};
 
-/// Non-overlapping occupied intervals of one register.
-#[derive(Debug, Default)]
-struct RegIntervals {
-    map: BTreeMap<u32, (u32, Option<Temp>)>,
+/// Non-overlapping occupied intervals of one register, on the shared
+/// sorted-vec map (the whole-interval model never splits, so entry counts
+/// stay small and the flat layout beats a tree).
+fn overlapping_owner(map: &IntervalMap, seg: Segment) -> Option<Option<Temp>> {
+    map.overlapping_owner(seg.start.0, seg.end.0)
 }
 
-impl RegIntervals {
-    fn overlapping_owner(&self, seg: Segment) -> Option<Option<Temp>> {
-        self.map
-            .range(..=seg.end.0)
-            .next_back()
-            .filter(|(_, (end, _))| *end >= seg.start.0)
-            .map(|(_, (_, owner))| *owner)
-    }
-
-    fn overlaps(&self, seg: Segment) -> bool {
-        self.overlapping_owner(seg).is_some()
-    }
-
-    fn insert(&mut self, seg: Segment, owner: Option<Temp>) {
-        self.map.insert(seg.start.0, (seg.end.0, owner));
-    }
-
-    fn remove_owner(&mut self, t: Temp) {
-        self.map.retain(|_, (_, o)| *o != Some(t));
-    }
+fn overlaps(map: &IntervalMap, seg: Segment) -> bool {
+    map.overlaps(seg.start.0, seg.end.0)
 }
 
 /// The `tcc`-style linear-scan allocator.
@@ -86,7 +68,7 @@ struct State<'a> {
     f: &'a Function,
     lt: &'a Lifetimes,
     ni: usize,
-    regs: Vec<RegIntervals>,
+    regs: Vec<IntervalMap>,
     assigned: Vec<Option<PhysReg>>,
     spilled: Vec<bool>,
 }
@@ -127,6 +109,10 @@ impl<'a> State<'a> {
         self.spilled[t.index()] = true;
     }
 
+    fn insert(&mut self, d: usize, seg: Segment, owner: Option<Temp>) {
+        self.regs[d].insert(seg.start.0, seg.end.0, owner);
+    }
+
     /// The linear scan over sorted intervals.
     fn scan(&mut self) {
         let mut order: Vec<(Segment, Temp)> = (0..self.f.num_temps() as u32)
@@ -138,8 +124,8 @@ impl<'a> State<'a> {
             let class = self.f.temp_class(t);
             // First fit among registers with no conflicting occupancy over
             // the whole interval.
-            if let Some(d) = self.class_range(class).find(|&d| !self.regs[d].overlaps(iv)) {
-                self.regs[d].insert(iv, Some(t));
+            if let Some(d) = self.class_range(class).find(|&d| !overlaps(&self.regs[d], iv)) {
+                self.insert(d, iv, Some(t));
                 self.assigned[t.index()] = Some(self.phys(d));
                 continue;
             }
@@ -149,7 +135,7 @@ impl<'a> State<'a> {
             let mut victim: Option<(Point, Temp, usize)> = None;
             for d in self.class_range(class) {
                 let Some(Some(a)) =
-                    self.regs[d].overlapping_owner(Segment::new(iv.start, iv.start))
+                    overlapping_owner(&self.regs[d], Segment::new(iv.start, iv.start))
                 else {
                     continue;
                 };
@@ -157,9 +143,8 @@ impl<'a> State<'a> {
                 // After removing `a`, the register must be free over `iv`
                 // (precolored blocks may still conflict).
                 let conflicts = self.regs[d]
-                    .map
-                    .iter()
-                    .any(|(s, (e, o))| *o != Some(a) && *s <= iv.end.0 && *e >= iv.start.0);
+                    .entries()
+                    .any(|(s, e, o)| o != Some(a) && s <= iv.end.0 && e >= iv.start.0);
                 if conflicts {
                     continue;
                 }
@@ -170,7 +155,7 @@ impl<'a> State<'a> {
             match victim {
                 Some((end, a, d)) if end > iv.end => {
                     self.unassign(a);
-                    self.regs[d].insert(iv, Some(t));
+                    self.insert(d, iv, Some(t));
                     self.assigned[t.index()] = Some(self.phys(d));
                 }
                 _ => self.spilled[t.index()] = true,
@@ -182,14 +167,15 @@ impl<'a> State<'a> {
         Segment::new(Point::before(gi), Point::before(gi + 1))
     }
 
-    fn free_at(&self, class: RegClass, span: Segment) -> Vec<usize> {
-        self.class_range(class).filter(|&d| !self.regs[d].overlaps(span)).collect()
+    fn num_free_at(&self, class: RegClass, span: Segment) -> usize {
+        self.class_range(class).filter(|&d| !overlaps(&self.regs[d], span)).count()
     }
 
     /// Make sure spilled references can always find scratch registers,
     /// spilling further victims if not (same approach as the two-pass
     /// binpacking comparator).
     fn ensure_point_feasibility(&mut self) {
+        let mut srcs: lsra_analysis::SmallVec<Temp, 8> = lsra_analysis::SmallVec::new();
         loop {
             let mut changed = false;
             for b in self.f.block_ids() {
@@ -198,7 +184,7 @@ impl<'a> State<'a> {
                     let gi = first + k as u32;
                     let span = Self::point_span(gi);
                     for class in RegClass::ALL {
-                        let mut srcs: Vec<Temp> = Vec::new();
+                        srcs.clear();
                         ins.inst.for_each_use(|r| {
                             if let Reg::Temp(t) = r {
                                 if self.spilled[t.index()]
@@ -224,7 +210,7 @@ impl<'a> State<'a> {
                         if need == 0 {
                             continue;
                         }
-                        while self.free_at(class, span).len() < need {
+                        while self.num_free_at(class, span) < need {
                             let victim = self
                                 .victim_at(class, span)
                                 .unwrap_or_else(|| panic!("no scratch register at {gi}"));
@@ -243,7 +229,7 @@ impl<'a> State<'a> {
     fn victim_at(&self, class: RegClass, span: Segment) -> Option<Temp> {
         let mut best: Option<(u32, Temp)> = None;
         for d in self.class_range(class) {
-            if let Some(Some(t)) = self.regs[d].overlapping_owner(span) {
+            if let Some(Some(t)) = overlapping_owner(&self.regs[d], span) {
                 let iv = self.interval(t).unwrap();
                 let len = iv.end.0 - iv.start.0;
                 if best.is_none_or(|(l, _)| len > l) {
@@ -270,7 +256,7 @@ impl RegisterAllocator for PolettoAllocator {
             f,
             lt: &lt,
             ni,
-            regs: (0..nregs).map(|_| RegIntervals::default()).collect(),
+            regs: (0..nregs).map(|_| IntervalMap::new()).collect(),
             assigned: vec![None; f.num_temps()],
             spilled: vec![false; f.num_temps()],
         };
@@ -278,7 +264,7 @@ impl RegisterAllocator for PolettoAllocator {
         for d in 0..nregs {
             let p = st.phys(d);
             for &s in lt.blocked(p) {
-                st.regs[d].insert(s, None);
+                st.insert(d, s, None);
             }
         }
         st.scan();
@@ -288,7 +274,14 @@ impl RegisterAllocator for PolettoAllocator {
         let regs = st.regs;
         stats.spilled_temps = spilled.iter().filter(|&&s| s).count();
 
-        // Rewrite pass.
+        // Rewrite pass. The working buffers live outside the instruction
+        // loop: one warm allocation each instead of five fresh ones per
+        // instruction.
+        let mut free: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        let mut pre: Vec<Ins> = Vec::new();
+        let mut post: Vec<Ins> = Vec::new();
+        let mut scratch_of: Vec<(Temp, PhysReg)> = Vec::new();
+        let mut src_temps: Vec<Temp> = Vec::new();
         for b in f.block_ids().collect::<Vec<_>>() {
             let first = lt.first_inst(b);
             let insts = std::mem::take(&mut f.block_mut(b).insts);
@@ -296,13 +289,13 @@ impl RegisterAllocator for PolettoAllocator {
             for (k, mut ins) in insts.into_iter().enumerate() {
                 let gi = first + k as u32;
                 let span = State::point_span(gi);
-                let mut free: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
                 for class in RegClass::ALL {
                     let range = match class {
                         RegClass::Int => 0..ni,
                         RegClass::Float => ni..nregs,
                     };
-                    free[class.index()] = range.filter(|&d| !regs[d].overlaps(span)).collect();
+                    free[class.index()].clear();
+                    free[class.index()].extend(range.filter(|&d| !overlaps(&regs[d], span)));
                 }
                 let phys = |d: usize| -> PhysReg {
                     if d < ni {
@@ -311,10 +304,8 @@ impl RegisterAllocator for PolettoAllocator {
                         PhysReg::float((d - ni) as u8)
                     }
                 };
-                let mut pre: Vec<Ins> = Vec::new();
-                let mut post: Vec<Ins> = Vec::new();
-                let mut scratch_of: Vec<(Temp, PhysReg)> = Vec::new();
-                let mut src_temps = Vec::new();
+                scratch_of.clear();
+                src_temps.clear();
                 ins.inst.for_each_use(|r| {
                     if let Reg::Temp(t) = r {
                         if !src_temps.contains(&t) {
@@ -322,7 +313,7 @@ impl RegisterAllocator for PolettoAllocator {
                         }
                     }
                 });
-                for t in src_temps {
+                for &t in &src_temps {
                     if spilled[t.index()] {
                         let class = f.temp_class(t);
                         let d = free[class.index()]

@@ -139,6 +139,167 @@ pub fn module_with_candidates(
     mb.finish()
 }
 
+/// One procedure spanning `blocks` chained basic blocks of roughly
+/// `insts_per_block` instructions each, all inside one outer loop.
+///
+/// This is the *one-huge-function* scaling shape: most temporaries are
+/// block-local sliding-window values, a fixed set of accumulators is
+/// loop-carried across every block boundary, every eighth block is a
+/// control-flow diamond, and every 64th block defines a value that stays
+/// live until the loop tail — so the global count (and therefore liveness
+/// bitset width) grows slowly with function size while the block and
+/// temporary counts grow linearly.
+pub fn huge_procedure(
+    spec: &MachineSpec,
+    name: &str,
+    blocks: usize,
+    insts_per_block: usize,
+    seed: u64,
+) -> lsra_ir::Function {
+    let mut rng = Lcg::new(seed);
+    let mut b = FunctionBuilder::new(spec, name, &[RegClass::Int]);
+    let reps = b.param(0);
+
+    // Loop-carried accumulators: live across every block boundary.
+    let acc_i: Vec<Temp> = (0..4).map(|_| b.int_temp("acc_i")).collect();
+    let acc_f: Vec<Temp> = (0..4).map(|_| b.float_temp("acc_f")).collect();
+    for (k, &t) in acc_i.iter().enumerate() {
+        b.movi(t, k as i64 + 1);
+    }
+    for (k, &t) in acc_f.iter().enumerate() {
+        b.movf(t, k as f64 + 0.5);
+    }
+
+    let head = b.block();
+    let exit = b.block();
+    b.jump(head);
+    b.switch_to(head);
+    let body0 = b.block();
+    b.branch(Cond::Le, reps, exit, body0);
+
+    let mut keeps: Vec<Temp> = Vec::new();
+    let mut cur = body0;
+    for blk in 0..blocks {
+        b.switch_to(cur);
+        // A block-local sliding window seeded from the accumulators.
+        let mut wi: Vec<Temp> = vec![acc_i[blk % 4]];
+        let mut wf: Vec<Temp> = vec![acc_f[blk % 4]];
+        for k in 0..insts_per_block {
+            if k % 2 == 0 {
+                let t = b.int_temp("wi");
+                let a = wi[rng.below(wi.len() as u64) as usize];
+                let c = wi[rng.below(wi.len() as u64) as usize];
+                let op = match rng.below(4) {
+                    0 => OpCode::Add,
+                    1 => OpCode::Sub,
+                    2 => OpCode::Xor,
+                    _ => OpCode::Or,
+                };
+                b.op2(op, t, a, c);
+                wi.push(t);
+                if wi.len() > 8 {
+                    wi.remove(0);
+                }
+            } else {
+                let t = b.float_temp("wf");
+                let a = wf[rng.below(wf.len() as u64) as usize];
+                let c = wf[rng.below(wf.len() as u64) as usize];
+                let op = match rng.below(3) {
+                    0 => OpCode::FAdd,
+                    1 => OpCode::FSub,
+                    _ => OpCode::FMul,
+                };
+                b.op2(op, t, a, c);
+                wf.push(t);
+                if wf.len() > 8 {
+                    wf.remove(0);
+                }
+            }
+        }
+        // Fold the block's newest values back into the accumulators.
+        b.op2(OpCode::Xor, acc_i[blk % 4], acc_i[blk % 4], *wi.last().unwrap());
+        b.op2(OpCode::FAdd, acc_f[(blk + 1) % 4], acc_f[(blk + 1) % 4], *wf.last().unwrap());
+        // A long-range value: defined here, used only in the loop tail.
+        if blk % 64 == 0 {
+            let t = b.int_temp("keep");
+            b.op2(OpCode::Add, t, *wi.last().unwrap(), acc_i[(blk + 1) % 4]);
+            keeps.push(t);
+        }
+        let next = b.block();
+        if blk % 8 == 3 {
+            // A diamond: both arms touch an accumulator, then rejoin.
+            let l = b.block();
+            let r = b.block();
+            b.branch(Cond::Le, acc_i[blk % 4], l, r);
+            b.switch_to(l);
+            b.op2(OpCode::Add, acc_i[blk % 4], acc_i[blk % 4], acc_i[(blk + 1) % 4]);
+            b.jump(next);
+            b.switch_to(r);
+            b.op2(OpCode::Sub, acc_i[blk % 4], acc_i[blk % 4], acc_i[(blk + 2) % 4]);
+            b.jump(next);
+        } else {
+            b.jump(next);
+        }
+        cur = next;
+    }
+    // Loop tail: fold the kept values, decrement, and iterate.
+    b.switch_to(cur);
+    for &t in &keeps {
+        b.op2(OpCode::Xor, acc_i[0], acc_i[0], t);
+    }
+    b.addi(reps, reps, -1);
+    b.jump(head);
+
+    b.switch_to(exit);
+    let z = b.int_temp("z");
+    b.movi(z, 0);
+    b.ret(Some(z.into()));
+    b.finish()
+}
+
+/// The *many-medium-functions* scaling shape: ~500-instruction procedures
+/// (≈480 register candidates each) until the module holds at least
+/// `total_insts` instructions.
+pub fn many_medium(name: &str, total_insts: usize) -> Module {
+    module_with_candidates(name, 480, 24, (total_insts / 480).max(1))
+}
+
+/// The *one-huge-function* scaling shape: a single procedure of at least
+/// `total_insts` instructions (see [`huge_procedure`]), plus a tiny `main`.
+pub fn one_huge(name: &str, total_insts: usize) -> Module {
+    let spec = MachineSpec::alpha_like();
+    let insts_per_block = 40;
+    let mut mb = ModuleBuilder::new(name, 64);
+    let f = huge_procedure(
+        &spec,
+        "huge",
+        (total_insts / insts_per_block).max(1),
+        insts_per_block,
+        1998,
+    );
+    let id = mb.add(f);
+    let mut main = FunctionBuilder::new(&spec, "main", &[]);
+    let one = main.int_temp("one");
+    main.movi(one, 1);
+    main.call_func(id, &[one.into()], Some(RegClass::Int));
+    main.ret(Some(one.into()));
+    let m = mb.add(main.finish());
+    mb.entry(m);
+    mb.finish()
+}
+
+/// Builds a scaling module from a shape name (`medium` or `huge`) and a
+/// target instruction count — the form the `lsra` CLI accepts as
+/// `scale:<shape>:<insts>`.
+pub fn scale_module(shape: &str, insts: usize) -> Option<Module> {
+    let name = format!("scale-{shape}-{insts}");
+    match shape {
+        "medium" => Some(many_medium(&name, insts)),
+        "huge" => Some(one_huge(&name, insts)),
+        _ => None,
+    }
+}
+
 /// Like `cvrin.c` from espresso: ~245 candidates per procedure.
 pub fn cvrin_like() -> Module {
     module_with_candidates("cvrin-like", 245, 24, 6)
@@ -183,5 +344,49 @@ mod tests {
         let m = module_with_candidates("t", 120, 16, 2);
         let r = lsra_vm::run_module(&m, &spec, &[]).unwrap();
         assert_eq!(r.ret, Some(1));
+    }
+
+    #[test]
+    fn scale_shapes_hit_their_instruction_targets() {
+        for (shape, target) in [("medium", 10_000usize), ("huge", 10_000)] {
+            let m = scale_module(shape, target).unwrap();
+            let n = m.num_insts();
+            assert!(
+                n >= target && n <= target * 2,
+                "{shape}: {n} instructions for target {target}"
+            );
+            m.validate().unwrap_or_else(|e| panic!("{shape} invalid: {e}"));
+        }
+        assert!(scale_module("nonesuch", 10).is_none());
+    }
+
+    #[test]
+    fn huge_shape_is_one_dominant_function() {
+        let m = one_huge("t", 20_000);
+        assert_eq!(m.funcs.len(), 2); // huge + main
+        let huge = m.funcs.iter().find(|f| f.name == "huge").unwrap();
+        assert!(huge.num_insts() >= 20_000);
+        assert!(huge.blocks.len() >= 400, "expected many blocks, got {}", huge.blocks.len());
+    }
+
+    #[test]
+    fn huge_shape_executes() {
+        let spec = MachineSpec::alpha_like();
+        let mut mb = ModuleBuilder::new("t", 64);
+        let f = huge_procedure(&spec, "huge", 12, 10, 7);
+        let id = mb.add(f);
+        let mut main = FunctionBuilder::new(&spec, "main", &[]);
+        let two = main.int_temp("two");
+        main.movi(two, 2);
+        main.call_func(id, &[two.into()], Some(RegClass::Int));
+        let z = main.int_temp("z");
+        main.movi(z, 0);
+        main.ret(Some(z.into()));
+        let m = mb.add(main.finish());
+        mb.entry(m);
+        let module = mb.finish();
+        module.validate().unwrap();
+        let r = lsra_vm::run_module(&module, &spec, &[]).unwrap();
+        assert_eq!(r.ret, Some(0));
     }
 }

@@ -331,6 +331,20 @@ fn load_module_with_lines(path: &str) -> Result<(Module, Option<lsra_ir::ModuleL
         if let Some(w) = lsra_workloads::by_name(path) {
             return Ok(((w.build)(), None));
         }
+        // `scale:<shape>:<insts>` synthesizes a scaling-harness module, so
+        // CI can push a 10^5-instruction input through the CLI without
+        // shipping a generated file: `lsra alloc scale:medium:100000`.
+        if let Some(rest) = path.strip_prefix("scale:") {
+            let (shape, n) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("scale spec `{path}` wants scale:<shape>:<insts>"))?;
+            let insts: usize = n
+                .parse()
+                .map_err(|e| format!("scale spec `{path}`: bad instruction count: {e}"))?;
+            let m = lsra_workloads::scaling::scale_module(shape, insts)
+                .ok_or_else(|| format!("unknown scale shape `{shape}` (medium | huge)"))?;
+            return Ok((m, None));
+        }
     }
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("reading {path}: {e} (and it is not a built-in workload name)"))?;
