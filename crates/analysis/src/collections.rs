@@ -320,6 +320,22 @@ impl IntervalMap {
     pub fn entries(&self) -> impl Iterator<Item = (u32, u32, Option<Temp>)> + '_ {
         self.entries.iter().copied()
     }
+
+    /// Every interval overlapping `[start, end]`, ascending by start.
+    ///
+    /// Requires the stored intervals to be mutually disjoint (register
+    /// occupancy maps are): disjoint intervals sorted by start are also
+    /// sorted by end, so both window boundaries fall out of one
+    /// `partition_point` each.
+    pub fn overlapping_entries(
+        &self,
+        start: u32,
+        end: u32,
+    ) -> impl Iterator<Item = (u32, u32, Option<Temp>)> + '_ {
+        let hi = self.entries.partition_point(|e| e.0 <= end);
+        let lo = self.entries[..hi].partition_point(|e| e.1 < start);
+        self.entries[lo..hi].iter().copied()
+    }
 }
 
 /// A set over `0..universe` whose `clear` is O(1): membership is "stamp

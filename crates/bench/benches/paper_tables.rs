@@ -1,7 +1,10 @@
 //! Regenerates the paper's **Table 1** (dynamic instruction counts and run
 //! times, second-chance binpacking vs. graph coloring, with ratios),
 //! **Table 2** (percentage of dynamic instructions due to spill code), and
-//! **Figure 3** (spill-code composition normalized to binpacking's total).
+//! **Figure 3** (spill-code composition normalized to binpacking's total),
+//! then a five-allocator comparison table (spill percentage and allocation
+//! time for binpack, two-pass, coloring, poletto, and ion) that extends the
+//! evaluation to the allocators the paper compares against in discussion.
 //!
 //! ```sh
 //! cargo bench -p lsra-bench --bench paper_tables
@@ -9,8 +12,10 @@
 
 use lsra_bench::{measure, ratio, spill_percent, Measurement};
 use lsra_coloring::ColoringAllocator;
-use lsra_core::BinpackAllocator;
+use lsra_core::{BinpackAllocator, BinpackConfig, RegisterAllocator};
+use lsra_ion::IonAllocator;
 use lsra_ir::MachineSpec;
+use lsra_poletto::PolettoAllocator;
 
 fn main() {
     let spec = MachineSpec::alpha_like();
@@ -86,5 +91,29 @@ fn main() {
                 m.counts.spill_total() as f64 / denom,
             );
         }
+    }
+
+    println!();
+    println!("Five-allocator comparison: spill percentage / allocation time (ms)");
+    let allocators: Vec<(&str, Box<dyn RegisterAllocator>)> = vec![
+        ("binpack", Box::new(BinpackAllocator::default())),
+        ("two-pass", Box::new(BinpackAllocator::new(BinpackConfig::two_pass()))),
+        ("coloring", Box::new(ColoringAllocator)),
+        ("poletto", Box::new(PolettoAllocator)),
+        ("ion", Box::new(IonAllocator)),
+    ];
+    print!("{:<10}", "benchmark");
+    for (name, _) in &allocators {
+        print!(" {name:>19}");
+    }
+    println!();
+    println!("{}", "-".repeat(10 + 20 * allocators.len()));
+    for w in &workloads {
+        print!("{:<10}", w.name);
+        for (_, alloc) in &allocators {
+            let m = measure(w, alloc.as_ref(), &spec, runs);
+            print!(" {:>11} {:>6.2}", spill_percent(&m.counts), m.stats.alloc_seconds * 1e3);
+        }
+        println!();
     }
 }

@@ -108,6 +108,21 @@ pub(crate) struct Scanner<'a> {
     unblocked_cache: Vec<(Point, Point, Option<Point>)>,
     /// Same shape of memo for [`Scanner::temp_live_at`], per temporary.
     live_cache: Vec<(Point, Point, bool)>,
+    /// Candidate bitmask for [`Scanner::try_alloc`]'s hole sweep, one bit
+    /// per dense register index. A cleared bit is a *proof* that
+    /// [`Scanner::reg_hole`] returns `None` for the register until the
+    /// matching [`Scanner::hole_expiry`] entry fires: no pending owner and
+    /// an occupant live through the recorded segment end. A set bit
+    /// promises nothing — the sweep still probes it. Bits are cleared by
+    /// the sweep itself when the proof is found and re-set by `bind` /
+    /// `evict` (the only occupancy writers) and by expiry, so a fully
+    /// packed register file costs one word read per definition instead of
+    /// a hole query per register.
+    free_candidates: Vec<u64>,
+    /// Min-heap of `(segment_end, register)` re-admission events for the
+    /// cleared bits of `free_candidates`. Stale entries (the register was
+    /// re-admitted early by `bind`/`evict`) only cost a redundant re-set.
+    hole_expiry: std::collections::BinaryHeap<std::cmp::Reverse<(Point, u32)>>,
     /// Arena the working vectors were taken from; `run` hands them back so
     /// the next function reuses their capacity.
     scratch: &'a mut AllocScratch,
@@ -158,6 +173,10 @@ impl<'a> Scanner<'a> {
         let mut pending_owner = std::mem::take(&mut scratch.pending_owner);
         let mut unblocked_cache = std::mem::take(&mut scratch.unblocked_cache);
         let mut live_cache = std::mem::take(&mut scratch.live_cache);
+        let mut free_candidates = std::mem::take(&mut scratch.free_candidates);
+        let mut hole_expiry = std::mem::take(&mut scratch.hole_expiry);
+        reset(&mut free_candidates, nregs.div_ceil(64), u64::MAX);
+        hole_expiry.clear();
         reset(&mut occupant, nregs, None);
         reset(&mut loc, nt, Loc::None);
         reset(&mut consistent, nt, false);
@@ -213,6 +232,8 @@ impl<'a> Scanner<'a> {
             event_cur: 0,
             unblocked_cache,
             live_cache,
+            free_candidates,
+            hole_expiry,
             scratch,
             sink,
             out: ScanOutput { top_map, bottom_map, consistent_bottom, used_consistency, wrote_tr },
@@ -391,6 +412,9 @@ impl<'a> Scanner<'a> {
     /// occupant (which remembers the register so it can be restored when
     /// its hole ends, §2.1-§2.2).
     fn bind(&mut self, t: Temp, d: usize) {
+        // Occupancy (and possibly the pending owner) changes: any standing
+        // not-free proof for this register is void.
+        self.free_candidates[d / 64] |= 1u64 << (d % 64);
         if let Some(o) = self.occupant[d] {
             if o != t && self.loc[o.index()] == Loc::Reg(self.phys(d)) {
                 if self.debug {
@@ -455,11 +479,53 @@ impl<'a> Scanner<'a> {
         let mut best: [Option<(Point, usize)>; 3] = [None; 3];
         let mut prev_tier: Option<(usize, Point)> = None;
         let prev = self.last_reg[t.index()].filter(|d| !exclude.contains(d));
-        for d in self.class_range(class) {
+        // Re-admit registers whose occupancy proof expired: the occupant's
+        // covering segment ended before `at`, so the register may be free.
+        while let Some(&std::cmp::Reverse((e, d))) = self.hole_expiry.peek() {
+            if e >= at {
+                break;
+            }
+            self.hole_expiry.pop();
+            self.free_candidates[d as usize / 64] |= 1u64 << (d % 64);
+        }
+        let range = self.class_range(class);
+        let mut d = range.start;
+        while d < range.end {
+            let word = self.free_candidates[d / 64] >> (d % 64);
+            if word == 0 {
+                d = (d / 64 + 1) * 64;
+                continue;
+            }
+            d += word.trailing_zeros() as usize;
+            if d >= range.end {
+                break;
+            }
+            let probe = d;
+            d += 1;
+            let d = probe;
             if exclude.contains(&d) {
                 continue;
             }
-            let Some((free_until, occupant_return)) = self.reg_hole(d, at, t) else { continue };
+            let Some((free_until, occupant_return)) = self.reg_hole(d, at, t) else {
+                // Not free. When the reason is the provable stable kind —
+                // no pending owner, a live occupant — drop the register
+                // from the candidate mask until the occupant's covering
+                // segment ends; `bind`/`evict` re-admit it early if the
+                // occupancy changes first.
+                if self.pending_owner[d].is_none() {
+                    if let Some(u) = self.occupant[d] {
+                        self.advance_segs(u, at);
+                        let seg = self.lt.segments(u).get(self.seg_cur[u.index()]).copied();
+                        if let Some(s) = seg {
+                            if s.start <= at && at <= s.end {
+                                self.free_candidates[d / 64] &= !(1u64 << (d % 64));
+                                self.hole_expiry.push(std::cmp::Reverse((s.end, d as u32)));
+                            }
+                        }
+                    }
+                }
+                continue;
+            };
             if free_until < need_end {
                 continue;
             }
@@ -545,6 +611,8 @@ impl<'a> Scanner<'a> {
     ) {
         let Some(u) = self.occupant[d] else { return };
         self.occupant[d] = None;
+        // The register is vacated: void any standing not-free proof.
+        self.free_candidates[d / 64] |= 1u64 << (d % 64);
         if self.loc[u.index()] != Loc::Reg(self.phys(d)) {
             return; // stale occupancy of a dead or displaced temp
         }
@@ -1222,6 +1290,8 @@ impl<'a> Scanner<'a> {
         self.scratch.blocked_events = std::mem::take(&mut self.blocked_events);
         self.scratch.unblocked_cache = std::mem::take(&mut self.unblocked_cache);
         self.scratch.live_cache = std::mem::take(&mut self.live_cache);
+        self.scratch.free_candidates = std::mem::take(&mut self.free_candidates);
+        self.scratch.hole_expiry = std::mem::take(&mut self.hole_expiry);
         self.out
     }
 }

@@ -56,6 +56,10 @@ pub struct AllocScratch {
     // ---- scan: convention-sweep event queue ----
     pub(crate) blocked_events: Vec<(lsra_analysis::Point, u32)>,
     pub(crate) sweep_buf: Vec<u32>,
+    // ---- scan: incremental free-hole candidate structure ----
+    pub(crate) free_candidates: Vec<u64>,
+    pub(crate) hole_expiry:
+        std::collections::BinaryHeap<std::cmp::Reverse<(lsra_analysis::Point, u32)>>,
     // ---- scan: liveness/blocked-segment query memos ----
     pub(crate) unblocked_cache:
         Vec<(lsra_analysis::Point, lsra_analysis::Point, Option<lsra_analysis::Point>)>,

@@ -177,6 +177,14 @@ impl AllocStats {
         self.inserted[tag_index(tag)] += 1;
     }
 
+    /// Un-records one inserted instruction that a later cleanup removed, so
+    /// the static counts describe the code actually emitted.
+    pub fn record_remove(&mut self, tag: SpillTag) {
+        let i = tag_index(tag);
+        debug_assert!(self.inserted[i] > 0, "removing an instruction never inserted");
+        self.inserted[i] = self.inserted[i].saturating_sub(1);
+    }
+
     /// Statically inserted instructions of one category.
     pub fn inserted_count(&self, tag: SpillTag) -> u64 {
         self.inserted[tag_index(tag)]

@@ -25,7 +25,8 @@
 //!   drain);
 //! * exactly one of `program` (inline `.lsra` text) or `workload` (a
 //!   built-in benchmark name) for `alloc` and `lint`;
-//! * `allocator` — `binpack` (default), `two-pass`, `coloring`, `poletto`;
+//! * `allocator` — `binpack` (default), `two-pass`, `coloring`, `poletto`,
+//!   `ion`;
 //! * `machine` — `alpha` (default) or `small:I,F`;
 //! * `cleanup` — run identity-move removal and the spill-code post-pass on
 //!   the result (default `false`: the response reflects the raw
@@ -71,7 +72,7 @@ use crate::cache::Outcome;
 use crate::json_in::{self, JsonValue};
 
 /// Allocator names the service accepts, in CLI order.
-pub const ALLOCATOR_NAMES: [&str; 4] = ["binpack", "two-pass", "coloring", "poletto"];
+pub const ALLOCATOR_NAMES: [&str; 5] = ["binpack", "two-pass", "coloring", "poletto", "ion"];
 
 /// Where a request's program comes from.
 #[derive(Clone, Debug)]
@@ -316,6 +317,7 @@ pub fn run_allocation(
         }
         "coloring" => lsra_coloring::ColoringAllocator.allocate_module(&mut m, spec),
         "poletto" => lsra_poletto::PolettoAllocator.allocate_module(&mut m, spec),
+        "ion" => lsra_ion::IonAllocator.allocate_module(&mut m, spec),
         other => return Err(format!("unknown allocator `{other}`")),
     };
     if req.cleanup {
@@ -415,6 +417,9 @@ pub fn run_lint(req: &Request) -> Result<String, String> {
             }
             "poletto" => {
                 lsra_poletto::PolettoAllocator.allocate_module(&mut allocated, spec);
+            }
+            "ion" => {
+                lsra_ion::IonAllocator.allocate_module(&mut allocated, spec);
             }
             other => return Err(format!("unknown allocator `{other}`")),
         }

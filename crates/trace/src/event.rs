@@ -101,6 +101,26 @@ impl CoalesceOutcome {
     }
 }
 
+/// Where the ion allocator cut a live-range bundle when it failed to place
+/// it whole.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SplitKind {
+    /// The bundle spanned several blocks and was cut into per-block pieces.
+    BlockBoundary,
+    /// A single-block bundle was cut at the largest gap between uses.
+    UseGap,
+}
+
+impl SplitKind {
+    /// Short lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitKind::BlockBoundary => "block-boundary",
+            SplitKind::UseGap => "use-gap",
+        }
+    }
+}
+
 /// One repair operation on a CFG edge during resolution (§2.4).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ResolveOp {
@@ -330,6 +350,24 @@ pub enum TraceEvent {
         /// The instruction that needed the scratch registers.
         gi: u32,
     },
+    /// Ion: a live-range bundle that could not be placed whole was split.
+    SplitBundle {
+        /// The temporary the bundle belongs to.
+        temp: Temp,
+        /// The cut point (top of a block, or the `before` slot of a use).
+        at: Point,
+        /// Where the cut was made.
+        kind: SplitKind,
+    },
+    /// Ion: a placed bundle was evicted to make room for a heavier one.
+    EvictBundle {
+        /// The temporary whose bundle lost its register.
+        temp: Temp,
+        /// The register it lost.
+        reg: PhysReg,
+        /// Start of the evicting bundle's first range.
+        at: Point,
+    },
 }
 
 impl TraceEvent {
@@ -356,6 +394,8 @@ impl TraceEvent {
             TraceEvent::PackAssign { .. } => "pack_assign",
             TraceEvent::PackSpill { .. } => "pack_spill",
             TraceEvent::PackUnassign { .. } => "pack_unassign",
+            TraceEvent::SplitBundle { .. } => "split_bundle",
+            TraceEvent::EvictBundle { .. } => "evict_bundle",
         }
     }
 
@@ -462,6 +502,12 @@ impl TraceEvent {
             TraceEvent::PackUnassign { temp, gi } => {
                 format!("unassign {temp} for point lifetimes at inst {gi}")
             }
+            TraceEvent::SplitBundle { temp, at, kind } => {
+                format!("split bundle of {temp} at {at} ({})", kind.name())
+            }
+            TraceEvent::EvictBundle { temp, reg, at } => {
+                format!("evict bundle of {temp} from {reg} (for a bundle at {at})")
+            }
         }
     }
 
@@ -473,7 +519,9 @@ impl TraceEvent {
             | TraceEvent::Evict { at, .. }
             | TraceEvent::Reload { at, .. }
             | TraceEvent::DefRebind { at, .. }
-            | TraceEvent::CoalesceCheck { at, .. } => Some(*at),
+            | TraceEvent::CoalesceCheck { at, .. }
+            | TraceEvent::SplitBundle { at, .. }
+            | TraceEvent::EvictBundle { at, .. } => Some(*at),
             _ => None,
         }
     }

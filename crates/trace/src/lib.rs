@@ -34,7 +34,9 @@ pub mod sinks;
 
 pub use annotate::annotate;
 pub use chrome::ChromeSink;
-pub use event::{CoalesceOutcome, EvictAction, FitTier, ResolveOp, SpillCandidate, TraceEvent};
+pub use event::{
+    CoalesceOutcome, EvictAction, FitTier, ResolveOp, SpillCandidate, SplitKind, TraceEvent,
+};
 pub use json::JsonWriter;
 pub use metrics::{FunctionMetrics, Histogram, MetricsSink, ModuleMetrics, QualityLintSummary};
 pub use sink::{NoopSink, RecordSink, TraceSink};

@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-use crate::event::{CoalesceOutcome, EvictAction, FitTier, ResolveOp, TraceEvent};
+use crate::event::{CoalesceOutcome, EvictAction, FitTier, ResolveOp, SplitKind, TraceEvent};
 use crate::json::JsonWriter;
 use crate::sink::TraceSink;
 
@@ -145,6 +145,10 @@ pub const FIT_TIER_NAMES: [&str; 3] =
 pub const COALESCE_OUTCOME_NAMES: [&str; 5] =
     ["coalesced", "already-there", "not-fresh", "class-mismatch", "hole-too-small"];
 
+/// Names for the ion bundle-split counters, index-aligned with
+/// [`FunctionMetrics::splits`].
+pub const SPLIT_KIND_NAMES: [&str; 2] = ["block-boundary", "use-gap"];
+
 /// Counters and histograms for one function's allocation run.
 #[derive(Clone, Debug)]
 pub struct FunctionMetrics {
@@ -163,6 +167,12 @@ pub struct FunctionMetrics {
     pub resolution_ops: [u64; 5],
     /// Coalesce-check outcomes (see [`COALESCE_OUTCOME_NAMES`]).
     pub coalesce_outcomes: [u64; 5],
+    /// Ion bundle splits by cut kind (see [`SPLIT_KIND_NAMES`]); zero for
+    /// the non-splitting allocators.
+    pub splits: [u64; 2],
+    /// Ion bundle evictions (a placed bundle lost its register to a heavier
+    /// one); zero for the other allocators.
+    pub bundle_evictions: u64,
     /// Second-chance reloads inserted at uses.
     pub reloads: u64,
     /// Definitions re-bound straight to a register while spilled.
@@ -187,6 +197,8 @@ impl FunctionMetrics {
             spill_reasons: [0; 6],
             resolution_ops: [0; 5],
             coalesce_outcomes: [0; 5],
+            splits: [0; 2],
+            bundle_evictions: 0,
             reloads: 0,
             def_rebinds: 0,
             hole_restores: 0,
@@ -251,6 +263,14 @@ impl FunctionMetrics {
             }
             TraceEvent::PackSpill { .. } => self.spill_reasons[5] += 1,
             TraceEvent::PackAssign { .. } => self.fit_tiers[0] += 1,
+            TraceEvent::SplitBundle { kind, .. } => {
+                let i = match kind {
+                    SplitKind::BlockBoundary => 0,
+                    SplitKind::UseGap => 1,
+                };
+                self.splits[i] += 1;
+            }
+            TraceEvent::EvictBundle { .. } => self.bundle_evictions += 1,
             _ => {}
         }
     }
@@ -272,6 +292,10 @@ impl FunctionMetrics {
         for (a, b) in self.coalesce_outcomes.iter_mut().zip(&other.coalesce_outcomes) {
             *a += *b;
         }
+        for (a, b) in self.splits.iter_mut().zip(&other.splits) {
+            *a += *b;
+        }
+        self.bundle_evictions += other.bundle_evictions;
         self.reloads += other.reloads;
         self.def_rebinds += other.def_rebinds;
         self.hole_restores += other.hole_restores;
@@ -305,6 +329,8 @@ impl FunctionMetrics {
         named(w, "spill_reasons", &SPILL_REASON_NAMES, &self.spill_reasons);
         named(w, "resolution_ops", &RESOLUTION_OP_NAMES, &self.resolution_ops);
         named(w, "coalesce_outcomes", &COALESCE_OUTCOME_NAMES, &self.coalesce_outcomes);
+        named(w, "splits", &SPLIT_KIND_NAMES, &self.splits);
+        w.field_uint("bundle_evictions", self.bundle_evictions);
         match self.hole_fit_rate() {
             Some(r) => w.field_float("hole_fit_rate", r),
             None => {
@@ -415,6 +441,10 @@ impl ModuleMetrics {
         section(&mut out, "spill reasons", &SPILL_REASON_NAMES, &t.spill_reasons);
         section(&mut out, "resolution op mix", &RESOLUTION_OP_NAMES, &t.resolution_ops);
         section(&mut out, "coalesce checks", &COALESCE_OUTCOME_NAMES, &t.coalesce_outcomes);
+        if t.splits.iter().sum::<u64>() > 0 || t.bundle_evictions > 0 {
+            section(&mut out, "bundle splits", &SPLIT_KIND_NAMES, &t.splits);
+            let _ = writeln!(out, "bundle evictions: {}", t.bundle_evictions);
+        }
         let _ = writeln!(
             out,
             "reloads: {}  def-rebinds: {}  hole-restores: {}  pessimizes: {}",

@@ -195,6 +195,16 @@ pub(crate) fn write_event_fields(w: &mut JsonWriter, ev: &TraceEvent) {
             w.field_str("temp", &temp.to_string());
             w.field_uint("gi", *gi as u64);
         }
+        TraceEvent::SplitBundle { temp, at, kind } => {
+            w.field_str("temp", &temp.to_string());
+            point_field(w, "at", at);
+            w.field_str("kind", kind.name());
+        }
+        TraceEvent::EvictBundle { temp, reg, at } => {
+            w.field_str("temp", &temp.to_string());
+            w.field_str("reg", &reg.to_string());
+            point_field(w, "at", at);
+        }
     }
 }
 

@@ -1,4 +1,4 @@
-//! Compare all four allocators on the benchmark suite: dynamic instruction
+//! Compare all five allocators on the benchmark suite: dynamic instruction
 //! counts, spill fractions, and spill-code composition.
 //!
 //! ```sh
@@ -23,6 +23,7 @@ fn main() {
         Box::new(BinpackAllocator::two_pass()),
         Box::new(ColoringAllocator),
         Box::new(PolettoAllocator),
+        Box::new(IonAllocator),
     ];
 
     println!(

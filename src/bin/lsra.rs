@@ -21,7 +21,8 @@
 //! ```
 //!
 //! `SPEC` is `alpha` (default) or `small:I,F` (e.g. `small:4,2`).
-//! `NAME` is `binpack` (default), `two-pass`, `coloring`, or `poletto`.
+//! `NAME` is `binpack` (default), `two-pass`, `coloring`, `poletto`, or
+//! `ion`.
 //! `--time-phases` prints a per-phase wall-clock breakdown and `--workers N`
 //! sets the module-level thread count (0 = all cores, 1 = serial); both
 //! apply to the binpack and two-pass allocators.
@@ -29,8 +30,8 @@
 //! Wherever a `<file.lsra>` is expected, a built-in workload name (see
 //! `lsra workloads`) is accepted too.
 //!
-//! `alloc --trace FILE` records every allocation decision (binpack and
-//! two-pass only) and writes it in `--trace-format FMT`: `log` (human
+//! `alloc --trace FILE` records every allocation decision (binpack,
+//! two-pass, and ion) and writes it in `--trace-format FMT`: `log` (human
 //! lines, the default), `jsonl` (one JSON object per event), `chrome`
 //! (Chrome `trace_event` JSON — open in Perfetto; implies per-phase
 //! timing), or `annotate` (the allocated IR with decisions interleaved as
@@ -57,7 +58,7 @@
 //! allocation it prints, reporting to stderr and honouring `--deny`.
 //!
 //! `fuzz` generates random adversarial modules and runs each requested
-//! allocator (default: all four) on each requested machine (default:
+//! allocator (default: all five) on each requested machine (default:
 //! `small:2,1`, `small:4,2`, `alpha`) under the full oracle — static check,
 //! symbolic checker, differential execution, and a service round-trip
 //! (each case is also sent through an in-process allocation server and the
@@ -99,7 +100,7 @@ fn usage() -> ExitCode {
          [--timeout-ms T]\n  \
          lsra loadgen <workload>... [--requests N] [--concurrency C] [--dup-percent P]\n             \
          [--allocator NAME] [--machine SPEC] [--seed N] [--addr HOST:PORT]\n\n\
-         SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto\n\
+         SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto | ion\n\
          <file.lsra> may also be a built-in workload name (see `lsra workloads`)"
     );
     ExitCode::from(2)
@@ -121,7 +122,13 @@ fn make_allocator(o: &Opts) -> Result<Box<dyn RegisterAllocator>, String> {
         "two-pass" => Box::new(BinpackAllocator::new(binpack(BinpackConfig::two_pass()))),
         "coloring" => Box::new(ColoringAllocator),
         "poletto" => Box::new(PolettoAllocator),
-        name => return Err(format!("unknown allocator `{name}`")),
+        "ion" => Box::new(IonAllocator),
+        name => {
+            return Err(format!(
+                "unknown allocator `{name}` (expected binpack, two-pass, coloring, poletto, or \
+                 ion)"
+            ))
+        }
     })
 }
 
@@ -373,35 +380,74 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// The allocator's binpack-family config for `name`, or `None` for the
-/// baselines; the traced paths need a concrete [`BinpackAllocator`].
-fn binpack_base(name: &str) -> Option<BinpackConfig> {
-    match name {
-        "binpack" => Some(BinpackConfig::default()),
-        "two-pass" => Some(BinpackConfig::two_pass()),
-        _ => None,
+/// An allocator with an instrumented (`TraceSink`) module entry point: the
+/// binpack family and ion. The other baselines have no traced hot path.
+enum TracedAlloc {
+    Binpack(BinpackAllocator),
+    Ion(IonAllocator),
+}
+
+impl TracedAlloc {
+    fn allocate_module_traced(
+        &self,
+        m: &mut Module,
+        spec: &MachineSpec,
+        sink: &mut dyn second_chance_regalloc::trace::TraceSink,
+    ) -> AllocStats {
+        match self {
+            TracedAlloc::Binpack(a) => a.allocate_module_traced(m, spec, sink),
+            TracedAlloc::Ion(a) => a.allocate_module_traced(m, spec, sink),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            TracedAlloc::Binpack(a) => a.name(),
+            TracedAlloc::Ion(a) => a.name(),
+        }
     }
 }
 
-/// Allocates `m` through the traced binpack path and writes the decision
-/// trace to `--trace FILE` in `--trace-format`. Returns the merged stats
-/// and the allocator's report name.
+/// Builds the traced allocator selected by `--allocator`, or an error
+/// naming the ones that support tracing. `force_phases` turns on per-phase
+/// timing regardless of `--time-phases` (the Chrome sink needs the marks).
+fn traced_allocator(o: &Opts, force_phases: bool) -> Result<TracedAlloc, String> {
+    Ok(match o.allocator() {
+        "binpack" | "two-pass" => {
+            let base = if o.allocator() == "binpack" {
+                BinpackConfig::default()
+            } else {
+                BinpackConfig::two_pass()
+            };
+            let cfg = BinpackConfig {
+                time_phases: o.time_phases || force_phases,
+                workers: o.workers,
+                ..base
+            };
+            TracedAlloc::Binpack(BinpackAllocator::new(cfg))
+        }
+        "ion" => TracedAlloc::Ion(IonAllocator),
+        name => {
+            return Err(format!(
+                "`{name}` has no instrumented path (expected binpack, two-pass, or ion)"
+            ))
+        }
+    })
+}
+
+/// Allocates `m` through the selected allocator's traced path and writes
+/// the decision trace to `--trace FILE` in `--trace-format`. Returns the
+/// merged stats and the allocator's report name.
 fn allocate_traced(
     o: &Opts,
     m: &mut Module,
     spec: &MachineSpec,
 ) -> Result<(AllocStats, String), String> {
     use second_chance_regalloc::trace::{annotate, ChromeSink, JsonlSink, LogSink, RecordSink};
-    let base = binpack_base(o.allocator()).ok_or_else(|| {
-        format!("--trace needs the binpack or two-pass allocator, not `{}`", o.allocator())
-    })?;
-    let mut cfg = BinpackConfig { time_phases: o.time_phases, workers: o.workers, ..base };
     // Chrome spans come from the per-phase wall-clock marks; the format is
     // empty without them.
-    if o.trace_format == "chrome" {
-        cfg.time_phases = true;
-    }
-    let alloc = BinpackAllocator::new(cfg);
+    let alloc =
+        traced_allocator(o, o.trace_format == "chrome").map_err(|e| format!("--trace: {e}"))?;
     let path = o.trace.as_deref().expect("only called with --trace");
     let (stats, text) = match o.trace_format.as_str() {
         "log" => {
@@ -502,10 +548,7 @@ fn cmd_report(o: &Opts) -> Result<(), String> {
     use second_chance_regalloc::trace::MetricsSink;
     let mut m = load_module(o.positional.first().ok_or("missing file")?)?;
     let spec = o.machine();
-    let base = binpack_base(o.allocator()).ok_or_else(|| {
-        format!("report needs the binpack or two-pass allocator, not `{}`", o.allocator())
-    })?;
-    let alloc = BinpackAllocator::new(BinpackConfig { workers: o.workers, ..base });
+    let alloc = traced_allocator(o, false).map_err(|e| format!("report: {e}"))?;
     let mut sink = MetricsSink::new();
     let stats = alloc.allocate_module_traced(&mut m, &spec, &mut sink);
     let mut metrics = sink.finish();
@@ -733,10 +776,10 @@ fn cmd_bench(o: &Opts) -> Result<(), String> {
     );
     // A separate metrics-instrumented allocation on a fresh clone, so the
     // sink's cost never lands in the `alloc time` figure above.
-    if let Some(base) = binpack_base(o.allocator()) {
+    if let Ok(traced) = traced_allocator(o, false) {
         let mut sink = second_chance_regalloc::trace::MetricsSink::new();
         let mut m2 = original.clone();
-        BinpackAllocator::new(base).allocate_module_traced(&mut m2, &spec, &mut sink);
+        traced.allocate_module_traced(&mut m2, &spec, &mut sink);
         let path = "BENCH_alloc_metrics.json";
         std::fs::write(path, sink.finish().to_json())
             .map_err(|e| format!("writing {path}: {e}"))?;

@@ -3,7 +3,8 @@
 //! Each iteration derives a deterministic sub-seed, draws adversarial shape
 //! knobs (float mix, critical-edge density, swap-heavy diamonds, register
 //! pressure against the machine under test), generates a random module, and
-//! runs every requested allocator through a four-stage oracle:
+//! runs every requested allocator (all five by default) through a
+//! five-stage oracle:
 //!
 //! 1. the allocation itself must not panic and its output must
 //!    [`validate`](lsra_ir::Module::validate);
@@ -41,16 +42,17 @@ use lsra_workloads::Lcg;
 
 /// Allocator names understood by [`allocator_by_name`], in the order the
 /// fuzz driver exercises them.
-pub const ALLOCATOR_NAMES: [&str; 4] = ["binpack", "two-pass", "coloring", "poletto"];
+pub const ALLOCATOR_NAMES: [&str; 5] = ["binpack", "two-pass", "coloring", "poletto", "ion"];
 
 /// Constructs an allocator by CLI name (`binpack`, `two-pass`, `coloring`,
-/// or `poletto`); `None` for unknown names.
+/// `poletto`, or `ion`); `None` for unknown names.
 pub fn allocator_by_name(name: &str) -> Option<Box<dyn RegisterAllocator>> {
     Some(match name {
         "binpack" => Box::new(lsra_core::BinpackAllocator::default()),
         "two-pass" => Box::new(lsra_core::BinpackAllocator::two_pass()),
         "coloring" => Box::new(lsra_coloring::ColoringAllocator),
         "poletto" => Box::new(lsra_poletto::PolettoAllocator),
+        "ion" => Box::new(lsra_ion::IonAllocator),
         _ => return None,
     })
 }
@@ -215,23 +217,32 @@ pub fn check_case_tallying(
 }
 
 /// Best-effort annotated decision trace of allocating `original` (binpack
-/// family only — the baselines emit no events). When the allocation panics
-/// or produces an invalid module, the events recorded up to that point are
-/// rendered as plain log lines instead, so the trace still shows the last
-/// decisions before the failure.
+/// family and ion only — the baselines emit no events). When the allocation
+/// panics or produces an invalid module, the events recorded up to that
+/// point are rendered as plain log lines instead, so the trace still shows
+/// the last decisions before the failure.
 fn trace_failure(original: &Module, allocator: &str, spec: &MachineSpec) -> Option<String> {
-    let cfg = match allocator {
-        "binpack" => lsra_core::BinpackConfig::default(),
-        "two-pass" => lsra_core::BinpackConfig::two_pass(),
-        _ => return None,
-    };
-    let alloc = lsra_core::BinpackAllocator::new(cfg);
     let mut m = original.clone();
     let mut sink = lsra_trace::RecordSink::default();
-    let completed = catch_unwind(AssertUnwindSafe(|| {
-        alloc.allocate_module_traced(&mut m, spec, &mut sink);
-    }))
-    .is_ok();
+    let completed = match allocator {
+        "binpack" | "two-pass" => {
+            let cfg = if allocator == "binpack" {
+                lsra_core::BinpackConfig::default()
+            } else {
+                lsra_core::BinpackConfig::two_pass()
+            };
+            let alloc = lsra_core::BinpackAllocator::new(cfg);
+            catch_unwind(AssertUnwindSafe(|| {
+                alloc.allocate_module_traced(&mut m, spec, &mut sink);
+            }))
+            .is_ok()
+        }
+        "ion" => catch_unwind(AssertUnwindSafe(|| {
+            lsra_ion::IonAllocator.allocate_module_traced(&mut m, spec, &mut sink);
+        }))
+        .is_ok(),
+        _ => return None,
+    };
     if completed && m.validate().is_ok() {
         Some(lsra_trace::annotate(&m, &sink.events))
     } else {

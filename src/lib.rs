@@ -10,6 +10,11 @@
 //!   binpacking allocator (plus its two-pass ancestor);
 //! * [`coloring`] — the George–Appel iterated-register-coalescing baseline;
 //! * [`poletto`] — the `tcc`-style simple linear scan of the related work;
+//! * [`ssa`] — SSA construction (dominance frontiers, phi insertion,
+//!   renaming) and out-of-SSA lowering over the same IR;
+//! * [`ion`] — the Ion-style backtracking allocator: live-range bundles on
+//!   SSA form, a spill-weight priority queue, eviction, and recursive
+//!   splitting at block boundaries and use gaps;
 //! * [`vm`] — the execution substrate: dynamic instruction counting and
 //!   differential verification of allocations;
 //! * [`workloads`] — synthetic benchmarks shaped like the paper's SPEC
@@ -22,7 +27,7 @@
 //! * [`trace`] — structured decision tracing: events from the allocator's
 //!   hot path with log/JSONL/Chrome-trace/annotated-IR sinks and a
 //!   per-function metrics registry (`lsra report`);
-//! * [`fuzz`] — differential fuzzing of all four allocators under the
+//! * [`fuzz`] — differential fuzzing of all five allocators under the
 //!   symbolic checker, static check, VM differential execution, and a
 //!   service round-trip against the allocation server;
 //! * [`server`] — the allocation service: a line-delimited JSON protocol
@@ -51,10 +56,12 @@ pub use lsra_analysis as analysis;
 pub use lsra_checker as checker;
 pub use lsra_coloring as coloring;
 pub use lsra_core as binpack;
+pub use lsra_ion as ion;
 pub use lsra_ir as ir;
 pub use lsra_lint as lint;
 pub use lsra_poletto as poletto;
 pub use lsra_server as server;
+pub use lsra_ssa as ssa;
 pub use lsra_trace as trace;
 pub use lsra_vm as vm;
 pub use lsra_workloads as workloads;
@@ -66,6 +73,7 @@ pub mod prelude {
     pub use lsra_analysis::{eliminate_dead_code, remove_identity_moves, Lifetimes, Liveness};
     pub use lsra_coloring::ColoringAllocator;
     pub use lsra_core::{AllocStats, BinpackAllocator, BinpackConfig, RegisterAllocator};
+    pub use lsra_ion::IonAllocator;
     pub use lsra_ir::{
         Callee, Cond, ExtFn, FuncId, Function, FunctionBuilder, Inst, MachineSpec, Module,
         ModuleBuilder, OpCode, PhysReg, Reg, RegClass, SpillTag, Temp,

@@ -33,6 +33,7 @@ fn allocator_by_name(name: &str) -> Box<dyn RegisterAllocator> {
         })),
         "coloring" => Box::new(ColoringAllocator),
         "poletto" => Box::new(PolettoAllocator),
+        "ion" => Box::new(IonAllocator),
         other => panic!("unknown allocator {other}"),
     }
 }
@@ -66,6 +67,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("alvinn", "coloring", "small", 0xe64b7a1f8b032162),
     ("alvinn", "poletto", "alpha", 0xdccf0a02b605b257),
     ("alvinn", "poletto", "small", 0x1b32d24cbb238127),
+    ("alvinn", "ion", "alpha", 0x4e45ba7ed5c78332),
+    ("alvinn", "ion", "small", 0x270572fee80afbdc),
     ("doduc", "binpack", "alpha", 0x342087774a230a20),
     ("doduc", "binpack", "small", 0xd1657a1c96d831ce),
     ("doduc", "two-pass", "alpha", 0x1685fb0827e3c610),
@@ -74,6 +77,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("doduc", "coloring", "small", 0x56eda522daa991be),
     ("doduc", "poletto", "alpha", 0x75a060b86185d2d0),
     ("doduc", "poletto", "small", 0x28133bd70afa3e6c),
+    ("doduc", "ion", "alpha", 0xdd23181fe395ea45),
+    ("doduc", "ion", "small", 0xf621ce234c424ab1),
     ("eqntott", "binpack", "alpha", 0x23a09eec65d5942c),
     ("eqntott", "binpack", "small", 0x509773cb08b5557b),
     ("eqntott", "two-pass", "alpha", 0xdc1176158996dc49),
@@ -82,6 +87,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("eqntott", "coloring", "small", 0xcbc9bf19c0c7d592),
     ("eqntott", "poletto", "alpha", 0xc4e33c3c6a2e6bd8),
     ("eqntott", "poletto", "small", 0xf0d6357fd04eb93b),
+    ("eqntott", "ion", "alpha", 0xf37e3eba32ea1558),
+    ("eqntott", "ion", "small", 0x7ae3298ff3b4040e),
     ("espresso", "binpack", "alpha", 0x72c47df224f26382),
     ("espresso", "binpack", "small", 0x8c3df2dfbee74837),
     ("espresso", "two-pass", "alpha", 0x0c8974f588423c18),
@@ -90,6 +97,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("espresso", "coloring", "small", 0xbadf131e9e77c8bc),
     ("espresso", "poletto", "alpha", 0x64104e95bfd1604b),
     ("espresso", "poletto", "small", 0x2640a724c25db5b8),
+    ("espresso", "ion", "alpha", 0x0cd8948e2f603158),
+    ("espresso", "ion", "small", 0x78acadb46288a275),
     ("fpppp", "binpack", "alpha", 0xda9e71927e3f53e7),
     ("fpppp", "binpack", "small", 0xcf07b4f9bfa09461),
     ("fpppp", "two-pass", "alpha", 0x389c21dd1af90030),
@@ -98,6 +107,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("fpppp", "coloring", "small", 0x7af687cad7c56424),
     ("fpppp", "poletto", "alpha", 0x99006589b8de2d98),
     ("fpppp", "poletto", "small", 0x214cddc07fb7a053),
+    ("fpppp", "ion", "alpha", 0x36b699d9f156785f),
+    ("fpppp", "ion", "small", 0xb6db7e853ec9a5c7),
     ("li", "binpack", "alpha", 0x3e9737d2dcf9935f),
     ("li", "binpack", "small", 0xd26ec9e61b16bd61),
     ("li", "two-pass", "alpha", 0x778e8263a5501768),
@@ -106,6 +117,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("li", "coloring", "small", 0x8385e38717f49849),
     ("li", "poletto", "alpha", 0xb4368dbfde559cdb),
     ("li", "poletto", "small", 0xda6a4e80d369d5a0),
+    ("li", "ion", "alpha", 0xd85bfe98ecd0554f),
+    ("li", "ion", "small", 0x2d5de193a6378f21),
     ("tomcatv", "binpack", "alpha", 0xcde1c0b30b359d87),
     ("tomcatv", "binpack", "small", 0x5c7c4084acd1c9e0),
     ("tomcatv", "two-pass", "alpha", 0x185108f13a386ee4),
@@ -114,6 +127,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("tomcatv", "coloring", "small", 0xcca0d4bac3051dd7),
     ("tomcatv", "poletto", "alpha", 0x6d4e3b7c23d54f95),
     ("tomcatv", "poletto", "small", 0xdefa90c4a08ce164),
+    ("tomcatv", "ion", "alpha", 0x1c90683ad8b9a731),
+    ("tomcatv", "ion", "small", 0xf32cf375abeb3d77),
     ("compress", "binpack", "alpha", 0x6c0866111431d825),
     ("compress", "binpack", "small", 0xd78c439749231f4a),
     ("compress", "two-pass", "alpha", 0x6c0866111431d825),
@@ -122,6 +137,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("compress", "coloring", "small", 0xccde7fe801bc9207),
     ("compress", "poletto", "alpha", 0x07db78535333d26f),
     ("compress", "poletto", "small", 0x6871e0ec67c1f7bc),
+    ("compress", "ion", "alpha", 0xafdf9cbd21006a8a),
+    ("compress", "ion", "small", 0x5e08c9bc2f39750e),
     ("m88ksim", "binpack", "alpha", 0x5ff90202681abad0),
     ("m88ksim", "binpack", "small", 0xc80ed5c1137ff578),
     ("m88ksim", "two-pass", "alpha", 0x4831ccf7b4a6a423),
@@ -130,6 +147,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("m88ksim", "coloring", "small", 0x28489d5e98b5690f),
     ("m88ksim", "poletto", "alpha", 0x30c7606320e1ea02),
     ("m88ksim", "poletto", "small", 0xee0cfd2f4c526b6a),
+    ("m88ksim", "ion", "alpha", 0xe5226cd6c842d48c),
+    ("m88ksim", "ion", "small", 0x6a9980c82c5aacbe),
     ("sort", "binpack", "alpha", 0xf42b7f7bb8fdd8ac),
     ("sort", "binpack", "small", 0x64344b0f8494551e),
     ("sort", "two-pass", "alpha", 0xa7c8f248acb07ea5),
@@ -138,6 +157,8 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("sort", "coloring", "small", 0x802d2220546a815c),
     ("sort", "poletto", "alpha", 0xa7c8f248acb07ea5),
     ("sort", "poletto", "small", 0x821b326579ecc5ce),
+    ("sort", "ion", "alpha", 0x798c9b9ea8e62514),
+    ("sort", "ion", "small", 0x9e0ca54b54f04869),
     ("wc", "binpack", "alpha", 0x638375c0535a6dcf),
     ("wc", "binpack", "small", 0x527f806c805a80f2),
     ("wc", "two-pass", "alpha", 0xd9d3bee3f9e49048),
@@ -146,12 +167,14 @@ const PINS: &[(&str, &str, &str, u64)] = &[
     ("wc", "coloring", "small", 0xa22ca00b93b963c3),
     ("wc", "poletto", "alpha", 0xc9864b212ff1b649),
     ("wc", "poletto", "small", 0xfe8620d28f73c32b),
+    ("wc", "ion", "alpha", 0x7d289d0e160ad6bf),
+    ("wc", "ion", "small", 0xb5674a8d42832123),
 ];
 
 #[test]
 fn allocated_output_is_pinned() {
     let workloads: Vec<&str> = lsra_workloads::all().iter().map(|w| w.name).collect();
-    let allocators = ["binpack", "two-pass", "coloring", "poletto"];
+    let allocators = ["binpack", "two-pass", "coloring", "poletto", "ion"];
     let machines = ["alpha", "small"];
     if std::env::var("UPDATE_PINS").is_ok() {
         for w in &workloads {

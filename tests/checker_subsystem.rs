@@ -98,7 +98,7 @@ fn fuzz_all_allocators_clean_on_default_machines() {
     let cfg = FuzzConfig { iters: 25, ..FuzzConfig::default() };
     assert_eq!(cfg.allocators, ALLOCATOR_NAMES.to_vec());
     let report = run_fuzz(&cfg);
-    assert_eq!(report.cases, 25 * 3 * 4);
+    assert_eq!(report.cases, 25 * 3 * 5);
     assert!(
         report.ok(),
         "fuzzing found failures: {:?}",

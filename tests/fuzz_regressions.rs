@@ -7,7 +7,7 @@
 //!
 //! The table is currently empty: the fuzzing campaigns run while building
 //! this subsystem (several hundred iterations across `small:2,1`,
-//! `small:4,2`, and `alpha`, all four allocators) found no failures. The
+//! `small:4,2`, and `alpha`, all five allocators) found no failures. The
 //! harness itself is exercised by a known-good witness case so that table
 //! entries added later cannot silently rot.
 
@@ -49,6 +49,36 @@ fn minimized_fuzz_repros_stay_fixed() {
     for (name, spec, allocator, text) in REPROS {
         replay(name, spec, allocator, text);
     }
+}
+
+#[test]
+fn harness_replays_an_ion_pressure_witness() {
+    // A loop with more simultaneously live values than `small:2,1` has
+    // integer registers: the backtracking allocator must split or spill to
+    // place it, so the replay exercises ion's whole decision stack (not
+    // just the straight-line happy path of the witness below).
+    let witness = "\
+module ion_pressure (0 words data)
+entry @0
+func @main() {
+  temps t0:i t1:i t2:i t3:i t4:i t5:i
+b0:
+  t0 = 0
+  t1 = 60
+  t2 = 3
+  t3 = 4
+  jmp b1
+b1:
+  t4 = add t0, t2
+  t0 = add t4, t3
+  t5 = sub t0, t1
+  blt t5, b1, b2
+b2:
+  r0 = t0
+  ret r0
+}
+";
+    replay("ion_pressure", "small:2,1", "ion", witness);
 }
 
 #[test]
