@@ -66,6 +66,22 @@ impl JsonValue {
         }
     }
 
+    /// The number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// A short name for the value's type, for error messages.
     pub fn type_name(&self) -> &'static str {
         match self {

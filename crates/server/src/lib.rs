@@ -15,9 +15,14 @@
 //!   `AllocScratch` per worker), per-request deadlines, immediate
 //!   `overloaded` backpressure, and `catch_unwind` panic isolation.
 //! - [`net`] — the stdio and TCP transports behind `lsra serve`.
+//! - [`telemetry`] — the metric registry behind the `metrics` op (sharded
+//!   counters, gauges, log-linear latency histograms) and the
+//!   `--telemetry-log` span stream with slow-request trace capture.
 //! - [`loadgen`] — the deterministic load generator behind `lsra loadgen`,
 //!   which verifies every response byte-for-byte against a direct,
-//!   cache-free `allocate_module` run and emits `BENCH_serve.json`.
+//!   cache-free `allocate_module` run, cross-checks its own latency
+//!   measurements against the server's histograms, and emits
+//!   `BENCH_serve.json`.
 //!
 //! Responses never include wall-clock or cache-state fields, so the same
 //! request always yields the same bytes — hit or miss, served or direct —
@@ -32,11 +37,13 @@ pub mod loadgen;
 pub mod net;
 pub mod protocol;
 pub mod service;
+pub mod telemetry;
 
 pub use cache::{fnv64, Cache, Outcome};
 pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
 pub use net::{serve_lines, serve_stdio, serve_tcp};
 pub use protocol::{
-    expected_response_line, parse_request, render_lint, run_lint, ParsedLine, Request,
+    expected_response_line, parse_request, render_lint, run_lint, ParsedLine, Request, STATS_FIELDS,
 };
-pub use service::{CountersSnapshot, ServeConfig, Service};
+pub use service::{CountersSnapshot, PendingSpan, ServeConfig, Service};
+pub use telemetry::{ServerTelemetry, SpanLog};

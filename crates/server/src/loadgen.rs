@@ -16,14 +16,27 @@
 //! The driver works against an in-process [`Service`] (the default: the
 //! benchmark includes no network stack) or over TCP against a running
 //! `lsra serve --addr` instance (`--addr`).
+//!
+//! Beyond the byte-for-byte check, the run cross-checks its own clock
+//! against the server's: it pulls the `lsra_request` latency histogram
+//! (via the `metrics` op) before and after the run, diffs the two
+//! snapshots — exact, because the histograms merge bucket-wise — and
+//! compares the server-side percentiles with the client-side ones. All
+//! server snapshots flow through one *control connection* and are taken
+//! only after a drain barrier has observed `in_flight == 0` and
+//! `queue_depth == 0`, so counter deltas never race in-flight work; at
+//! that quiescent point the run also asserts the counter conservation
+//! invariant (see [`crate::telemetry`]) and fails loudly if the books
+//! don't balance.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lsra_ir::{FunctionBuilder, MachineSpec};
+use lsra_telemetry::HistogramSnapshot;
 use lsra_trace::json::JsonWriter;
 use lsra_workloads::{Lcg, Workload};
 
@@ -119,8 +132,37 @@ pub struct LoadgenReport {
     pub cache_misses: u64,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups.
     pub hit_rate: f64,
+    /// The server-side cross-check: latency percentiles recomputed from
+    /// the server's own histograms, and whether they agree with the
+    /// client's measurements.
+    pub server: ServerCheck,
     /// The `BENCH_serve.json` document for this run.
     pub json: String,
+}
+
+/// Server-side numbers pulled through the control connection after the
+/// drain barrier, and their agreement with the client's clock.
+#[derive(Clone, Debug, Default)]
+pub struct ServerCheck {
+    /// Percentiles of the server's `lsra_request` histogram delta over the
+    /// run, in milliseconds (bucket resolution, ≤ 3.1 % relative).
+    pub latency_ms: LatencySummary,
+    /// Samples in the delta; equals the requests issued (asserted).
+    pub samples: u64,
+    /// Per-percentile agreement with the client measurement, within
+    /// `max(25 % of the client value, 5 ms)`.
+    pub agreement_p50: bool,
+    /// See `agreement_p50`.
+    pub agreement_p95: bool,
+    /// See `agreement_p50`.
+    pub agreement_p99: bool,
+    /// All three percentiles agree.
+    pub agreement_ok: bool,
+    /// `requests` from the quiesced final stats snapshot.
+    pub requests: u64,
+    /// Sum of the terminal response counters from the same snapshot;
+    /// conservation demands it equal `requests` (asserted).
+    pub accounted: u64,
 }
 
 /// One client endpoint: the in-process service or a TCP connection.
@@ -199,15 +241,78 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn cache_counters(client: &mut Client) -> Result<(u64, u64), String> {
+fn stats_snapshot(client: &mut Client) -> Result<JsonValue, String> {
     let resp = client.call(r#"{"id": "loadgen-stats", "op": "stats"}"#)?;
-    let v = json_in::parse(&resp).map_err(|e| format!("stats response: {e}"))?;
-    let get = |k: &str| {
-        v.get(k)
+    json_in::parse(&resp).map_err(|e| format!("stats response: {e}"))
+}
+
+fn stat(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(JsonValue::as_u64).ok_or_else(|| format!("stats response missing `{key}`"))
+}
+
+/// Polls `stats` until the server is quiescent (`in_flight == 0` and
+/// `queue_depth == 0`), returning that final quiesced snapshot. Counter
+/// deltas taken across a barrier cannot race in-flight work: every
+/// accepted request has reached a terminal counter by the time the
+/// snapshot is taken, and the snapshot travels over the same (serial)
+/// control connection that observed the drain.
+fn drain_barrier(client: &mut Client) -> Result<JsonValue, String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let v = stats_snapshot(client)?;
+        let in_flight = stat(&v, "in_flight")?;
+        let queue_depth = stat(&v, "queue_depth")?;
+        if in_flight == 0 && queue_depth == 0 {
+            return Ok(v);
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "drain barrier: server still busy after 10s \
+                 (in_flight={in_flight}, queue_depth={queue_depth})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Pulls the server's `lsra_request` histogram through the `metrics` op
+/// and rebuilds it from the sparse JSON bucket list.
+fn request_histogram(client: &mut Client) -> Result<HistogramSnapshot, String> {
+    let resp = client.call(r#"{"id": "loadgen-metrics", "op": "metrics"}"#)?;
+    let v = json_in::parse(&resp).map_err(|e| format!("metrics response: {e}"))?;
+    let h = v
+        .get("json")
+        .and_then(|j| j.get("histograms"))
+        .and_then(|hs| hs.get("lsra_request"))
+        .ok_or("metrics response missing the lsra_request histogram")?;
+    let field = |k: &str| {
+        h.get(k)
             .and_then(JsonValue::as_u64)
-            .ok_or_else(|| format!("stats response missing `{k}`: {resp}"))
+            .ok_or_else(|| format!("lsra_request histogram missing `{k}`"))
     };
-    Ok((get("cache_hits")?, get("cache_misses")?))
+    let (count, sum) = (field("count")?, field("sum")?);
+    let buckets = h
+        .get("buckets")
+        .and_then(JsonValue::as_array)
+        .ok_or("lsra_request histogram missing `buckets`")?;
+    let mut pairs = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        let pair = b.as_array().filter(|p| p.len() == 2);
+        let i = pair.and_then(|p| p[0].as_u64());
+        let c = pair.and_then(|p| p[1].as_u64());
+        match (i, c) {
+            (Some(i), Some(c)) => pairs.push((i as usize, c)),
+            _ => return Err(format!("malformed histogram bucket entry: {b:?}")),
+        }
+    }
+    Ok(HistogramSnapshot::from_sparse(&pairs, count, sum))
+}
+
+/// Whether a server-side percentile agrees with the client-side one:
+/// within 25 % of the client value or 5 ms, whichever is looser (bucket
+/// resolution plus transport overhead live inside that band).
+fn within_tolerance(server_ms: f64, client_ms: f64) -> bool {
+    (server_ms - client_ms).abs() <= (0.25 * client_ms).max(5.0)
 }
 
 fn render_bench_json(cfg: &LoadgenConfig, r: &LoadgenReport) -> String {
@@ -234,6 +339,34 @@ fn render_bench_json(cfg: &LoadgenConfig, r: &LoadgenReport) -> String {
     w.field_float("p99", r.latency_ms.p99);
     w.field_float("mean", r.latency_ms.mean);
     w.field_float("max", r.latency_ms.max);
+    w.end_object();
+    w.key("server_latency_ms");
+    w.begin_object();
+    w.field_float("p50", r.server.latency_ms.p50);
+    w.field_float("p95", r.server.latency_ms.p95);
+    w.field_float("p99", r.server.latency_ms.p99);
+    w.field_float("mean", r.server.latency_ms.mean);
+    w.field_float("max", r.server.latency_ms.max);
+    w.field_uint("samples", r.server.samples);
+    w.end_object();
+    w.key("agreement");
+    w.begin_object();
+    w.field_str("tolerance", "max(25% of client, 5ms)");
+    w.key("p50");
+    w.bool(r.server.agreement_p50);
+    w.key("p95");
+    w.bool(r.server.agreement_p95);
+    w.key("p99");
+    w.bool(r.server.agreement_p99);
+    w.key("ok");
+    w.bool(r.server.agreement_ok);
+    w.end_object();
+    w.key("conservation");
+    w.begin_object();
+    w.field_uint("requests", r.server.requests);
+    w.field_uint("accounted", r.server.accounted);
+    w.key("ok");
+    w.bool(r.server.requests == r.server.accounted);
     w.end_object();
     w.key("responses");
     w.begin_object();
@@ -302,7 +435,15 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
 
     let service =
         if cfg.addr.is_none() { Some(Arc::new(Service::start(cfg.serve.clone()))) } else { None };
-    let (hits0, misses0) = cache_counters(&mut Client::connect(&service, &cfg.addr)?)?;
+    // One control connection carries every server snapshot: the "before"
+    // numbers, the drain barrier, the "after" numbers, and the histogram
+    // pulls. Quiescing through the same serial connection is what makes
+    // the counter deltas race-free.
+    let mut control = Client::connect(&service, &cfg.addr)?;
+    let before_stats = drain_barrier(&mut control)?;
+    let before_hist = request_histogram(&mut control)?;
+    let (hits0, misses0) =
+        (stat(&before_stats, "cache_hits")?, stat(&before_stats, "cache_misses")?);
 
     // Drive: `concurrency` clients pull request indices off a shared
     // cursor, so issue order matches mix order (dups mostly land after
@@ -339,7 +480,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     .collect();
     let elapsed = start.elapsed().as_secs_f64();
 
-    let (hits1, misses1) = cache_counters(&mut Client::connect(&service, &cfg.addr)?)?;
+    let after_stats = drain_barrier(&mut control)?;
+    let after_hist = request_histogram(&mut control)?;
+    let (hits1, misses1) = (stat(&after_stats, "cache_hits")?, stat(&after_stats, "cache_misses")?);
 
     let mut report =
         LoadgenReport { requests: cfg.requests, elapsed_seconds: elapsed, ..Default::default() };
@@ -385,6 +528,47 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let lookups = report.cache_hits + report.cache_misses;
     report.hit_rate = if lookups == 0 { 0.0 } else { report.cache_hits as f64 / lookups as f64 };
 
+    // Conservation, checked on the quiesced final snapshot: every request
+    // the server ever accepted must sit in exactly one terminal counter.
+    report.server.requests = stat(&after_stats, "requests")?;
+    report.server.accounted = ["ok", "errors", "timeouts", "overloaded", "too_large", "inline"]
+        .iter()
+        .map(|k| stat(&after_stats, k))
+        .sum::<Result<u64, _>>()?;
+    if report.server.requests != report.server.accounted {
+        return Err(format!(
+            "conservation violated at quiescence: requests={} but \
+             ok+errors+timeouts+overloaded+too_large+inline={}",
+            report.server.requests, report.server.accounted
+        ));
+    }
+
+    // Server-side percentiles over exactly this run's interval: the diff
+    // of two histogram snapshots, which is exact bucket-wise.
+    let delta = after_hist.diff(&before_hist);
+    report.server.samples = delta.count;
+    if delta.count != cfg.requests as u64 {
+        return Err(format!(
+            "server recorded {} alloc latencies for {} issued requests",
+            delta.count, cfg.requests
+        ));
+    }
+    report.server.latency_ms = LatencySummary {
+        p50: delta.quantile(0.50) as f64 / 1e6,
+        p95: delta.quantile(0.95) as f64 / 1e6,
+        p99: delta.quantile(0.99) as f64 / 1e6,
+        mean: delta.mean() / 1e6,
+        max: if delta.is_empty() { 0.0 } else { delta.max as f64 / 1e6 },
+    };
+    report.server.agreement_p50 =
+        within_tolerance(report.server.latency_ms.p50, report.latency_ms.p50);
+    report.server.agreement_p95 =
+        within_tolerance(report.server.latency_ms.p95, report.latency_ms.p95);
+    report.server.agreement_p99 =
+        within_tolerance(report.server.latency_ms.p99, report.latency_ms.p99);
+    report.server.agreement_ok =
+        report.server.agreement_p50 && report.server.agreement_p95 && report.server.agreement_p99;
+
     report.json = render_bench_json(cfg, &report);
     lsra_trace::json::validate(&report.json)
         .map_err(|e| format!("BENCH_serve.json failed validation: {e}"))?;
@@ -415,6 +599,14 @@ mod tests {
         assert_eq!(r.mismatches, 0, "{:?}", r.first_mismatch);
         assert_eq!(r.ok, 12);
         assert!(r.cache_hits > 0, "dup-heavy mix must hit: {r:?}");
+        // run_loadgen errors out on conservation violations, so a
+        // returned report implies the books balanced; the cross-check
+        // numbers must be populated and self-consistent.
+        assert_eq!(r.server.requests, r.server.accounted);
+        assert_eq!(r.server.samples, 12, "one lsra_request sample per issued request");
+        assert!(r.server.agreement_ok, "server/client latency disagree: {:?}", r.server);
+        assert!(r.json.contains("\"server_latency_ms\""), "{}", r.json);
+        assert!(r.json.contains("\"conservation\""), "{}", r.json);
         lsra_trace::json::validate(&r.json).unwrap();
     }
 

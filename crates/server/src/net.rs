@@ -10,6 +10,7 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::service::Service;
 
@@ -32,10 +33,18 @@ pub fn serve_lines<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let response = service.call(&line);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let (response, span) = service.call_span(&line);
+        let write_start = Instant::now();
+        let written = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        // The span is completed (and logged) even when the write failed —
+        // a span stream that silently drops broken-pipe requests would
+        // undercount exactly the requests worth investigating.
+        let write_ns = write_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        service.finish_span(span, write_ns);
+        written?;
         if service.is_shutting_down() {
             break;
         }

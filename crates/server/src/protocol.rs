@@ -21,8 +21,8 @@
 //!
 //! * `id` — echoed back verbatim (default `""`);
 //! * `op` — `"alloc"` (default), `"lint"` (static diagnostics for the
-//!   program), `"stats"` (server counters), or `"shutdown"` (graceful
-//!   drain);
+//!   program), `"stats"` (server counters), `"metrics"` (full telemetry
+//!   exposition), or `"shutdown"` (graceful drain);
 //! * exactly one of `program` (inline `.lsra` text) or `workload` (a
 //!   built-in benchmark name) for `alloc` and `lint`;
 //! * `allocator` — `binpack` (default), `two-pass`, `coloring`, `poletto`,
@@ -62,8 +62,48 @@
 //! {"id": "r6", "status": "ok", "op": "lint", "errors": 1, "warnings": 0, "notes": 0,
 //!  "diagnostics": [{"code": "L001", "line": 4, "...": "..."}]}
 //! ```
+//!
+//! ## The `stats` response
+//!
+//! A `stats` response carries exactly the fields of [`STATS_FIELDS`], in
+//! that order (the field set is pinned by a test in
+//! `tests/serve_subsystem.rs`, so it cannot drift silently):
+//!
+//! * `id`, `status`, `op` — the response envelope (`status` is always
+//!   `ok`, `op` is `stats`);
+//! * `requests` — request lines received, including rejected ones;
+//! * `ok` — successful `alloc` and `lint` responses;
+//! * `errors` — structured error responses: parse/validation failures,
+//!   run faults, confined panics, and requests refused during shutdown;
+//! * `timeouts` — requests answered `timeout` (deadline passed);
+//! * `overloaded` — requests answered `overloaded` (queue full);
+//! * `too_large` — requests answered `too_large` (over
+//!   `--max-request-bytes`, rejected before parsing);
+//! * `inline` — `stats`/`metrics`/`shutdown` responses: requests that
+//!   terminate inline without being allocations (the request being
+//!   answered counts itself, so the books balance at quiescence);
+//! * `panics` — worker panics confined by `catch_unwind`; supplementary
+//!   (each panic also produced one `errors` response);
+//! * `in_flight` — gauge: jobs a worker has dequeued and not yet answered;
+//! * `queue_depth` — gauge: jobs waiting in the bounded queue right now;
+//! * `cache_hits` / `cache_misses` — cache lookups answered from the
+//!   cache / that computed instead;
+//! * `cache_entries` / `cache_bytes` — gauge: current cache occupancy.
+//!
+//! The six terminal counters conserve: at quiescence (`in_flight == 0`
+//! and `queue_depth == 0`), `requests == ok + errors + timeouts +
+//! overloaded + too_large + inline`.
+//!
+//! ## The `metrics` response
+//!
+//! `{"op": "metrics"}` returns the full telemetry registry twice over: a
+//! `prometheus` field holding the text exposition format, and a `json`
+//! field holding the structured form — exact integer-nanosecond histogram
+//! stats plus each histogram's sparse `[bucket, count]` list, which a
+//! client can rebuild, diff against an earlier poll, and reduce to
+//! percentiles over exactly its own interval (see `lsra_telemetry`).
 
-use lsra_core::{AllocScratch, BinpackAllocator, BinpackConfig, RegisterAllocator};
+use lsra_core::{AllocScratch, AllocTimings, BinpackAllocator, BinpackConfig, RegisterAllocator};
 use lsra_ir::{MachineSpec, Module};
 use lsra_trace::json::JsonWriter;
 use lsra_vm::{Vm, VmOptions};
@@ -73,6 +113,30 @@ use crate::json_in::{self, JsonValue};
 
 /// Allocator names the service accepts, in CLI order.
 pub const ALLOCATOR_NAMES: [&str; 5] = ["binpack", "two-pass", "coloring", "poletto", "ion"];
+
+/// Every field of a `stats` response, in render order. Documented
+/// field-by-field in the module docs ("The `stats` response"); the exact
+/// set is asserted by `tests/serve_subsystem.rs`, so adding a counter
+/// without documenting it here fails the build's test tier.
+pub const STATS_FIELDS: [&str; 17] = [
+    "id",
+    "status",
+    "op",
+    "requests",
+    "ok",
+    "errors",
+    "timeouts",
+    "overloaded",
+    "too_large",
+    "inline",
+    "panics",
+    "in_flight",
+    "queue_depth",
+    "cache_hits",
+    "cache_misses",
+    "cache_entries",
+    "cache_bytes",
+];
 
 /// Where a request's program comes from.
 #[derive(Clone, Debug)]
@@ -119,6 +183,12 @@ pub enum ParsedLine {
     Lint(Box<Request>),
     /// A server-counters query.
     Stats {
+        /// Echoed correlation id.
+        id: String,
+    },
+    /// A full telemetry-exposition query (Prometheus text + structured
+    /// JSON in one response).
+    Metrics {
         /// Echoed correlation id.
         id: String,
     },
@@ -190,10 +260,11 @@ pub fn parse_request(line: &str) -> Result<ParsedLine, (String, String)> {
                     "alloc" => "alloc",
                     "lint" => "lint",
                     "stats" => "stats",
+                    "metrics" => "metrics",
                     "shutdown" => "shutdown",
                     other => {
                         return Err(fail(format!(
-                            "unknown op `{other}` (alloc | lint | stats | shutdown)"
+                            "unknown op `{other}` (alloc | lint | stats | metrics | shutdown)"
                         )))
                     }
                 };
@@ -215,6 +286,7 @@ pub fn parse_request(line: &str) -> Result<ParsedLine, (String, String)> {
 
     match op {
         "stats" => return Ok(ParsedLine::Stats { id }),
+        "metrics" => return Ok(ParsedLine::Metrics { id }),
         "shutdown" => return Ok(ParsedLine::Shutdown { id }),
         _ => {}
     }
@@ -298,6 +370,11 @@ pub fn cache_key(req: &Request, canonical: &str) -> String {
 
 /// Allocates `m` as `req` asks, reusing `scratch` for the binpack family.
 ///
+/// The binpack family runs with per-phase timing enabled; the measured
+/// [`AllocTimings`] are returned *alongside* the outcome, never inside it —
+/// `without_wall_clock` strips them from the cached [`Outcome`] so response
+/// bytes stay deterministic whether or not telemetry consumes the timings.
+///
 /// # Errors
 ///
 /// Returns a message when the requested VM run faults.
@@ -306,15 +383,21 @@ pub fn run_allocation(
     input: &[u8],
     req: &Request,
     scratch: &mut AllocScratch,
-) -> Result<Outcome, String> {
+) -> Result<(Outcome, Option<AllocTimings>), String> {
     let spec = &req.machine;
     let stats = match req.allocator.as_str() {
-        "binpack" => BinpackAllocator::new(BinpackConfig { workers: 1, ..Default::default() })
-            .allocate_module_reusing(&mut m, spec, scratch),
-        "two-pass" => {
-            BinpackAllocator::new(BinpackConfig { workers: 1, ..BinpackConfig::two_pass() })
-                .allocate_module_reusing(&mut m, spec, scratch)
-        }
+        "binpack" => BinpackAllocator::new(BinpackConfig {
+            workers: 1,
+            time_phases: true,
+            ..Default::default()
+        })
+        .allocate_module_reusing(&mut m, spec, scratch),
+        "two-pass" => BinpackAllocator::new(BinpackConfig {
+            workers: 1,
+            time_phases: true,
+            ..BinpackConfig::two_pass()
+        })
+        .allocate_module_reusing(&mut m, spec, scratch),
         "coloring" => lsra_coloring::ColoringAllocator.allocate_module(&mut m, spec),
         "poletto" => lsra_poletto::PolettoAllocator.allocate_module(&mut m, spec),
         "ion" => lsra_ion::IonAllocator.allocate_module(&mut m, spec),
@@ -335,7 +418,10 @@ pub fn run_allocation(
     } else {
         None
     };
-    Ok(Outcome { stats: stats.without_wall_clock(), dyn_counts, module_text: format!("{m}") })
+    let timings = stats.timings;
+    let outcome =
+        Outcome { stats: stats.without_wall_clock(), dyn_counts, module_text: format!("{m}") };
+    Ok((outcome, timings))
 }
 
 /// Renders a successful response. Deterministic: two renders of the same
@@ -479,7 +565,7 @@ pub fn expected_response_line(req: &Request) -> String {
     let direct = materialize(req)
         .and_then(|(m, input, _)| run_allocation(m, &input, req, &mut AllocScratch::default()));
     match direct {
-        Ok(outcome) => render_ok(&req.id, &outcome, req.emit_module),
+        Ok((outcome, _)) => render_ok(&req.id, &outcome, req.emit_module),
         Err(msg) => render_error(&req.id, &msg),
     }
 }

@@ -1,0 +1,150 @@
+//! Sharded monotonic counters and settable gauges.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Shard count; a power of two so the thread-slot modulo is a mask. Sixteen
+/// covers the worker-pool sizes the service runs with while keeping a
+/// counter at one cache line per shard (1 KiB each).
+const SHARDS: usize = 16;
+
+/// One shard, padded to its own cache line so concurrent increments from
+/// different threads never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard(AtomicU64);
+
+/// Round-robin assignment of threads to shards.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard slot, assigned on first use.
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// A monotonic counter: increments land on the calling thread's shard,
+/// reads sum every shard. Increments are wait-free and uncontended as long
+/// as threads outnumber shards by less than the round-robin spread; reads
+/// are O(shards) and may observe a value mid-update (monotonicity is still
+/// guaranteed — shards only grow).
+#[derive(Default)]
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A settable level (queue depth, in-flight jobs, cache occupancy). Signed
+/// so a transiently unbalanced inc/dec pair is visible instead of wrapping.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds `n` (negative to decrement).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Sets the level outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::SeqCst);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_level() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.add(-50);
+        assert_eq!(g.get(), -8, "imbalance stays visible, no wrap");
+    }
+}

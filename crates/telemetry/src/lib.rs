@@ -1,0 +1,42 @@
+//! Runtime telemetry primitives for the allocation service.
+//!
+//! PR 3's `lsra-trace` observes *allocation-time* decisions; this crate
+//! observes the *serving* path at runtime: how many requests, how fast,
+//! where the time went. It is deliberately small and dependency-free
+//! (in-workspace it leans only on `lsra_trace::json::JsonWriter` for the
+//! JSON exposition), and none of its state ever leaks into a response —
+//! the service's byte-determinism suite pins that telemetry on and off
+//! produce identical `alloc` response bytes.
+//!
+//! * [`counter`] — [`Counter`], a sharded monotonic counter (one padded
+//!   atomic per thread-shard, summed on read, so hot-path increments never
+//!   contend on one cache line), and [`Gauge`], a settable level.
+//! * [`histogram`] — [`Histogram`], a log-linear HDR-style latency
+//!   histogram over `u64` values (by convention nanoseconds): exact below
+//!   32, then 32 linear sub-buckets per power of two (≤ 1/32 ≈ 3.1 %
+//!   relative bucket width). Snapshots merge exactly — bucket-wise
+//!   addition, associative and commutative, pinned by tests — and
+//!   subtract, which is what lets a client take before/after snapshots of
+//!   a live server and compute percentiles over just its own interval.
+//! * [`registry`] — [`Registry`], an ordered name → metric table with
+//!   Prometheus-style text exposition ([`Registry::render_prometheus`])
+//!   and a structured JSON form ([`Registry::write_json`]) that carries
+//!   the full sparse bucket array for client-side merging.
+//! * [`span`] — [`SpanRecord`], one request's lifecycle (accept → parse →
+//!   queue wait → allocate per-phase → serialize → write) with a
+//!   deterministic sequence number, rendered as one JSONL object for the
+//!   service's `--telemetry-log` stream.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{
+    bucket_high, bucket_index, bucket_low, bucket_width, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use registry::{Registry, Unit};
+pub use span::SpanRecord;

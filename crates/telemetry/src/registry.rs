@@ -1,0 +1,301 @@
+//! An ordered name → metric table with two exposition formats.
+//!
+//! The registry owns nothing exclusively: registering a metric returns an
+//! [`Arc`] handle the instrumented code keeps for its hot-path updates,
+//! while the registry holds a clone for rendering. Registration order is
+//! render order, and duplicate names panic at registration time (a startup
+//! bug, not a runtime condition).
+//!
+//! Two renderers:
+//!
+//! * [`Registry::render_prometheus`] — the text exposition format: `# HELP`
+//!   / `# TYPE` comment lines, one sample line per counter/gauge, and the
+//!   conventional `_bucket{le="…"}` / `_sum` / `_count` series per
+//!   histogram. Nanosecond histograms render in **seconds** (suffix
+//!   `_seconds`, values divided by 1e9) per Prometheus base-unit
+//!   convention. The `le` bounds are a fixed ladder of powers of 4 from
+//!   1024 ns to ~68.7 s; because those bounds align with bucket edges, each
+//!   cumulative count is exact for values *strictly below* the bound
+//!   (values exactly equal to a bound land one bucket up — a
+//!   bucket-resolution approximation, always monotone).
+//! * [`Registry::write_json`] — the in-house structured form, written with
+//!   `lsra_trace::json::JsonWriter`. Values stay **exact integer
+//!   nanoseconds**, and each histogram carries its sparse non-empty bucket
+//!   list so a client can rebuild a [`HistogramSnapshot`] (via
+//!   [`HistogramSnapshot::from_sparse`]), diff two polls, and compute
+//!   percentiles over its own interval.
+
+use std::sync::Arc;
+
+use lsra_trace::json::JsonWriter;
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{bucket_low, Histogram, HistogramSnapshot};
+
+/// The unit of a histogram's recorded values; drives Prometheus rendering.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Dimensionless values; rendered as-is.
+    None,
+    /// Nanoseconds; Prometheus output converts to seconds (base unit) and
+    /// suffixes the metric name with `_seconds`. JSON keeps exact ns.
+    Nanoseconds,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>, Unit),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// The ordered metric table. See the module docs.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+/// The `le` bounds (in ns) exported per histogram: powers of 4 from
+/// 4^5 = 1.024 µs to 4^18 ≈ 68.7 s. All are powers of two, so each aligns
+/// exactly with a log-linear bucket edge.
+const EXPORT_BOUNDS_NS: [u64; 14] = [
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+    1 << 32,
+    1 << 34,
+    1 << 36,
+];
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn push(&mut self, name: &'static str, help: &'static str, metric: Metric) {
+        assert!(self.entries.iter().all(|e| e.name != name), "duplicate metric name {name:?}");
+        self.entries.push(Entry { name, help, metric });
+    }
+
+    /// Registers a counter and returns the update handle.
+    pub fn counter(&mut self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(name, help, Metric::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Registers a gauge and returns the update handle.
+    pub fn gauge(&mut self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, help, Metric::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers a histogram and returns the update handle.
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        unit: Unit,
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.push(name, help, Metric::Histogram(Arc::clone(&h), unit));
+        h
+    }
+
+    /// The Prometheus text exposition of every registered metric, in
+    /// registration order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.metric {
+                Metric::Counter(c) => {
+                    header(&mut out, e.name, e.help, "counter");
+                    out.push_str(&format!("{} {}\n", e.name, c.get()));
+                }
+                Metric::Gauge(g) => {
+                    header(&mut out, e.name, e.help, "gauge");
+                    out.push_str(&format!("{} {}\n", e.name, g.get()));
+                }
+                Metric::Histogram(h, unit) => {
+                    let snap = h.snapshot();
+                    let (name, scale) = match unit {
+                        Unit::Nanoseconds => (format!("{}_seconds", e.name), 1e-9),
+                        Unit::None => (e.name.to_string(), 1.0),
+                    };
+                    header(&mut out, &name, e.help, "histogram");
+                    let mut cum = 0u64;
+                    let mut next = 0usize;
+                    for (i, &c) in snap.buckets.iter().enumerate() {
+                        while next < EXPORT_BOUNDS_NS.len()
+                            && bucket_low(i) >= EXPORT_BOUNDS_NS[next]
+                        {
+                            emit_bucket(&mut out, &name, EXPORT_BOUNDS_NS[next], scale, cum);
+                            next += 1;
+                        }
+                        cum += c;
+                    }
+                    while next < EXPORT_BOUNDS_NS.len() {
+                        emit_bucket(&mut out, &name, EXPORT_BOUNDS_NS[next], scale, cum);
+                        next += 1;
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+                    let sum = match unit {
+                        Unit::Nanoseconds => format!("{:?}", snap.sum as f64 * scale),
+                        Unit::None => format!("{}", snap.sum),
+                    };
+                    out.push_str(&format!("{name}_sum {sum}\n"));
+                    out.push_str(&format!("{name}_count {}\n", snap.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes the structured JSON form into `w` as one object with
+    /// `counters`, `gauges`, and `histograms` sub-objects. Histogram values
+    /// are exact integer nanoseconds; `buckets` is the sparse
+    /// `[index, count]` list (see the module docs).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for e in &self.entries {
+            if let Metric::Counter(c) = &e.metric {
+                w.field_uint(e.name, c.get());
+            }
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for e in &self.entries {
+            if let Metric::Gauge(g) = &e.metric {
+                w.key(e.name);
+                w.int(g.get());
+            }
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for e in &self.entries {
+            if let Metric::Histogram(h, _) = &e.metric {
+                w.key(e.name);
+                write_histogram_json(w, &h.snapshot());
+            }
+        }
+        w.end_object();
+        w.end_object();
+    }
+}
+
+/// Writes one histogram snapshot as a JSON object (shared by the registry
+/// exposition and tests).
+pub fn write_histogram_json(w: &mut JsonWriter, snap: &HistogramSnapshot) {
+    w.begin_object();
+    w.field_uint("count", snap.count);
+    w.field_uint("sum", snap.sum);
+    w.field_uint("min", if snap.count == 0 { 0 } else { snap.min });
+    w.field_uint("max", snap.max);
+    w.field_float("mean", snap.mean());
+    w.field_uint("p50", snap.quantile(0.50));
+    w.field_uint("p90", snap.quantile(0.90));
+    w.field_uint("p95", snap.quantile(0.95));
+    w.field_uint("p99", snap.quantile(0.99));
+    w.key("buckets");
+    w.begin_array();
+    for (i, c) in snap.nonzero() {
+        w.begin_array();
+        w.uint(i as u64);
+        w.uint(c);
+        w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    // HELP text escaping per the exposition format: backslash and newline.
+    let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+fn emit_bucket(out: &mut String, name: &str, bound_ns: u64, scale: f64, cum: u64) {
+    if scale == 1.0 {
+        out.push_str(&format!("{name}_bucket{{le=\"{bound_ns}\"}} {cum}\n"));
+    } else {
+        out.push_str(&format!("{name}_bucket{{le=\"{:?}\"}} {cum}\n", bound_ns as f64 * scale));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_trace::json::validate;
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let mut r = Registry::new();
+        let c = r.counter("t_requests", "total requests");
+        let g = r.gauge("t_depth", "queue depth");
+        let h = r.histogram("t_latency", "request latency", Unit::Nanoseconds);
+        c.add(3);
+        g.set(2);
+        h.record(1_500);
+        h.record(2_000_000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE t_requests counter\nt_requests 3\n"));
+        assert!(text.contains("# TYPE t_depth gauge\nt_depth 2\n"));
+        assert!(text.contains("# TYPE t_latency_seconds histogram\n"));
+        assert!(text.contains("t_latency_seconds_count 2\n"));
+        // 1500 ns is below the 4096 ns bound but above 1024.
+        assert!(text.contains("t_latency_seconds_bucket{le=\"1.024e-6\"} 0\n"));
+        assert!(text.contains("t_latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        // Cumulative counts are monotone across the bound ladder.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_form_validates_and_round_trips_buckets() {
+        let mut r = Registry::new();
+        let h = r.histogram("t_lat", "latency", Unit::Nanoseconds);
+        for v in [5u64, 5, 700, 40_000, 1 << 33] {
+            h.record(v);
+        }
+        let mut w = JsonWriter::new();
+        r.write_json(&mut w);
+        let doc = w.finish();
+        validate(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        // The sparse list rebuilds the same distribution.
+        let snap = h.snapshot();
+        let rebuilt = HistogramSnapshot::from_sparse(&snap.nonzero(), snap.count, snap.sum);
+        assert_eq!(rebuilt.buckets, snap.buckets);
+        assert_eq!(rebuilt.quantile(0.5), snap.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_panic() {
+        let mut r = Registry::new();
+        let _ = r.counter("dup", "a");
+        let _ = r.counter("dup", "b");
+    }
+}

@@ -1,0 +1,129 @@
+//! Request-scoped span records.
+//!
+//! One [`SpanRecord`] describes a single request's full lifecycle through
+//! the service: accept → parse → queue wait → allocate (per-phase) →
+//! serialize → write. The service assigns each span a deterministic
+//! sequence number (a process-wide atomic, so span streams from identical
+//! request sequences line up run-to-run even though the durations differ)
+//! and streams completed spans as JSONL via `--telemetry-log`.
+//!
+//! The per-phase breakdown reuses the allocator's own `AllocTimings`
+//! clock; to keep this crate dependency-free below `lsra-trace` the record
+//! stores the phases as `(name, ns)` pairs supplied by the caller rather
+//! than importing the `Phase` enum.
+
+use lsra_trace::json::JsonWriter;
+
+/// One request's lifecycle. All durations are integer nanoseconds; stages
+/// that did not happen for this request (e.g. no queue wait for an inline
+/// `stats` call, no alloc phases on a cache hit) are simply zero or absent.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecord {
+    /// Deterministic sequence number, assigned at accept in arrival order.
+    pub seq: u64,
+    /// The client-supplied request id (empty when the line didn't parse far
+    /// enough to have one).
+    pub id: String,
+    /// The protocol op (`alloc`, `lint`, `stats`, `metrics`, `shutdown`),
+    /// or `invalid` for lines that failed to parse.
+    pub op: String,
+    /// The response status (`ok`, `error`, `timeout`, `overloaded`, …).
+    pub status: String,
+    /// Envelope JSON parse time.
+    pub parse_ns: u64,
+    /// Time spent enqueued before a worker picked the job up.
+    pub queue_ns: u64,
+    /// Allocation time in the worker (cache probe time on a hit).
+    pub alloc_ns: u64,
+    /// Response rendering time.
+    pub serialize_ns: u64,
+    /// Transport write time (recorded by the connection loop after the
+    /// response is on the wire).
+    pub write_ns: u64,
+    /// Wall time from accept to response handoff (excludes `write_ns`,
+    /// which happens after).
+    pub total_ns: u64,
+    /// For `alloc` ops: whether the result came from the cache. Absent for
+    /// other ops.
+    pub cache: Option<bool>,
+    /// Per-phase allocation breakdown as `(phase name, ns)`, present only
+    /// when the allocator timed its phases (binpack/two-pass cache misses).
+    pub phases: Vec<(&'static str, u64)>,
+    /// For requests over the slow threshold: the annotated decision trace
+    /// captured by re-running the allocation.
+    pub trace: Option<String>,
+}
+
+impl SpanRecord {
+    /// Renders the span as one JSONL line (no trailing newline).
+    pub fn render_jsonl(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_uint("seq", self.seq);
+        w.field_str("id", &self.id);
+        w.field_str("op", &self.op);
+        w.field_str("status", &self.status);
+        w.field_uint("parse_ns", self.parse_ns);
+        w.field_uint("queue_ns", self.queue_ns);
+        w.field_uint("alloc_ns", self.alloc_ns);
+        w.field_uint("serialize_ns", self.serialize_ns);
+        w.field_uint("write_ns", self.write_ns);
+        w.field_uint("total_ns", self.total_ns);
+        if let Some(hit) = self.cache {
+            w.key("cache");
+            w.bool(hit);
+        }
+        if !self.phases.is_empty() {
+            w.key("phases");
+            w.begin_object();
+            for (name, ns) in &self.phases {
+                w.field_uint(name, *ns);
+            }
+            w.end_object();
+        }
+        if let Some(trace) = &self.trace {
+            w.field_str("trace", trace);
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsra_trace::json::validate;
+
+    #[test]
+    fn renders_one_valid_jsonl_line() {
+        let span = SpanRecord {
+            seq: 7,
+            id: "req \"42\"".to_string(),
+            op: "alloc".to_string(),
+            status: "ok".to_string(),
+            parse_ns: 10,
+            queue_ns: 20,
+            alloc_ns: 30,
+            serialize_ns: 5,
+            write_ns: 3,
+            total_ns: 65,
+            cache: Some(false),
+            phases: vec![("order", 4), ("scan", 26)],
+            trace: Some("line1\nline2".to_string()),
+        };
+        let line = span.render_jsonl();
+        assert!(!line.contains('\n'), "JSONL must be one line: {line}");
+        validate(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert!(line.contains(r#""cache": false"#));
+        assert!(line.contains(r#""scan": 26"#));
+    }
+
+    #[test]
+    fn optional_fields_are_omitted() {
+        let line = SpanRecord { op: "stats".to_string(), ..Default::default() }.render_jsonl();
+        validate(&line).unwrap();
+        assert!(!line.contains("cache"));
+        assert!(!line.contains("phases"));
+        assert!(!line.contains("trace"));
+    }
+}

@@ -16,8 +16,10 @@
 //!           [--shrink] [--no-serve]
 //! lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B]
 //!            [--max-queue N] [--timeout-ms T]
+//!            [--telemetry-log FILE] [--slow-ms T]
 //! lsra loadgen <workload>... [--requests N] [--concurrency C] [--dup-percent P]
 //!              [--allocator NAME] [--machine SPEC] [--seed N] [--addr HOST:PORT]
+//! lsra top --addr HOST:PORT [--interval-ms T] [--frames N]
 //! ```
 //!
 //! `SPEC` is `alpha` (default) or `small:I,F` (e.g. `small:4,2`).
@@ -74,8 +76,24 @@
 //! under `--cache-bytes`. `loadgen` drives a server (in-process by
 //! default, `--addr` for a remote one) with a deterministic request mix —
 //! `--dup-percent` of requests repeat earlier ones to exercise the cache —
-//! verifies every response byte-for-byte against direct allocation, and
-//! writes throughput/latency/hit-rate figures to `BENCH_serve.json`.
+//! verifies every response byte-for-byte against direct allocation,
+//! cross-checks its latency measurements against the server's own
+//! histograms (pulled via the `metrics` op), asserts the counter
+//! conservation invariant at quiescence, and writes
+//! throughput/latency/hit-rate figures — client- and server-side — to
+//! `BENCH_serve.json`.
+//!
+//! The server is observable three ways. The `metrics` protocol op returns
+//! every counter, gauge, and latency histogram in one response (Prometheus
+//! text exposition plus exact-nanosecond JSON). `serve --telemetry-log
+//! FILE` streams one JSON span per completed request — parse/queue/alloc/
+//! serialize/write nanoseconds, cache hit/miss, per-phase allocator
+//! timings — and with `--slow-ms T` any span over the threshold embeds an
+//! annotated allocation decision trace for post-hoc debugging. `top` polls
+//! a running server's `metrics` op and redraws a one-screen live view
+//! (throughput, latency percentiles, queue depth, cache hit rate,
+//! rejection counts) every `--interval-ms`; `--frames N` stops after N
+//! frames (`--frames 1` prints once without clearing the screen).
 
 use std::process::ExitCode;
 
@@ -97,9 +115,10 @@ fn usage() -> ExitCode {
          lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n       \
          [--no-serve]\n  \
          lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B] [--max-queue N]\n           \
-         [--timeout-ms T]\n  \
+         [--timeout-ms T] [--telemetry-log FILE] [--slow-ms T]\n  \
          lsra loadgen <workload>... [--requests N] [--concurrency C] [--dup-percent P]\n             \
-         [--allocator NAME] [--machine SPEC] [--seed N] [--addr HOST:PORT]\n\n\
+         [--allocator NAME] [--machine SPEC] [--seed N] [--addr HOST:PORT]\n  \
+         lsra top --addr HOST:PORT [--interval-ms T] [--frames N]\n\n\
          SPEC: alpha | small:I,F     NAME: binpack | two-pass | coloring | poletto | ion\n\
          <file.lsra> may also be a built-in workload name (see `lsra workloads`)"
     );
@@ -189,6 +208,14 @@ struct Opts {
     format: String,
     /// `--deny CODE` occurrences: lints whose diagnostics fail the run.
     deny: Vec<LintCode>,
+    /// `--telemetry-log FILE` (serve): stream request spans as JSONL.
+    telemetry_log: Option<String>,
+    /// `--slow-ms T` (serve): spans over this capture a decision trace.
+    slow_ms: Option<u64>,
+    /// `--interval-ms T` (top): refresh period.
+    interval_ms: u64,
+    /// `--frames N` (top): stop after N frames (0 = run until killed).
+    frames: u64,
 }
 
 impl Opts {
@@ -230,6 +257,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         lint: false,
         format: "human".to_string(),
         deny: Vec::new(),
+        telemetry_log: None,
+        slow_ms: None,
+        interval_ms: 1000,
+        frames: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -303,6 +334,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--no-serve" => o.no_serve = true,
+            "--telemetry-log" => {
+                o.telemetry_log = Some(it.next().ok_or("--telemetry-log needs a file")?.clone());
+            }
+            "--slow-ms" => {
+                let v = it.next().ok_or("--slow-ms needs a count")?;
+                o.slow_ms = Some(v.parse().map_err(|_| "bad slow threshold")?);
+            }
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a count")?;
+                o.interval_ms = v.parse().map_err(|_| "bad interval")?;
+            }
+            "--frames" => {
+                let v = it.next().ok_or("--frames needs a count")?;
+                o.frames = v.parse().map_err(|_| "bad frame count")?;
+            }
             "--lint" => o.lint = true,
             "--format" => {
                 let v = it.next().ok_or("--format needs a value")?;
@@ -677,6 +723,8 @@ fn serve_config(o: &Opts) -> second_chance_regalloc::server::ServeConfig {
         cache_bytes: o.cache_bytes,
         max_queue: o.max_queue,
         default_timeout_ms: o.timeout_ms,
+        telemetry_log: o.telemetry_log.clone(),
+        slow_ms: o.slow_ms,
         ..second_chance_regalloc::server::ServeConfig::default()
     }
 }
@@ -729,6 +777,18 @@ fn cmd_loadgen(o: &Opts) -> Result<(), String> {
         r.latency_ms.p50, r.latency_ms.p95, r.latency_ms.p99, r.latency_ms.max
     );
     println!(
+        "server side: p50={:.3} ms  p95={:.3} ms  p99={:.3} ms  ({} samples, {})",
+        r.server.latency_ms.p50,
+        r.server.latency_ms.p95,
+        r.server.latency_ms.p99,
+        r.server.samples,
+        if r.server.agreement_ok { "agrees with client" } else { "DISAGREES with client" },
+    );
+    println!(
+        "conserved:   {} requests == {} accounted at quiescence",
+        r.server.requests, r.server.accounted
+    );
+    println!(
         "cache:       {} hits / {} misses (hit rate {:.2})",
         r.cache_hits, r.cache_misses, r.hit_rate
     );
@@ -741,6 +801,124 @@ fn cmd_loadgen(o: &Opts) -> Result<(), String> {
         return Err(format!("{} response(s) differed from direct allocation", r.mismatches));
     }
     Ok(())
+}
+
+/// `lsra top`: a live one-screen view of a running server, rebuilt from
+/// the `metrics` op every `--interval-ms`. Latency percentiles are
+/// computed over each interval by diffing consecutive histogram snapshots
+/// (the first frame shows lifetime numbers — there is no earlier snapshot
+/// to diff against).
+fn cmd_top(o: &Opts) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    use second_chance_regalloc::server::json_in::{self, JsonValue};
+    use second_chance_regalloc::telemetry::HistogramSnapshot;
+
+    let addr = o.addr.as_ref().ok_or("top needs --addr HOST:PORT of a running `lsra serve`")?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| format!("cloning connection: {e}"))?);
+    let mut stream = stream;
+    let mut call = |line: &str| -> Result<JsonValue, String> {
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        let mut resp = String::new();
+        if reader.read_line(&mut resp).map_err(|e| format!("recv: {e}"))? == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        json_in::parse(resp.trim_end()).map_err(|e| format!("metrics response: {e}"))
+    };
+
+    let counter = |v: &JsonValue, k: &str| -> u64 {
+        v.get("json")
+            .and_then(|j| j.get("counters"))
+            .and_then(|c| c.get(k))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    let gauge = |v: &JsonValue, k: &str| -> i64 {
+        v.get("json")
+            .and_then(|j| j.get("gauges"))
+            .and_then(|g| g.get(k))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0) as i64
+    };
+    let histogram = |v: &JsonValue, k: &str| -> Option<HistogramSnapshot> {
+        let h = v.get("json").and_then(|j| j.get("histograms")).and_then(|hs| hs.get(k))?;
+        let count = h.get("count").and_then(JsonValue::as_u64)?;
+        let sum = h.get("sum").and_then(JsonValue::as_u64)?;
+        let mut pairs = Vec::new();
+        for b in h.get("buckets").and_then(JsonValue::as_array)? {
+            let p = b.as_array().filter(|p| p.len() == 2)?;
+            pairs.push((p[0].as_u64()? as usize, p[1].as_u64()?));
+        }
+        Some(HistogramSnapshot::from_sparse(&pairs, count, sum))
+    };
+
+    let interval = Duration::from_millis(o.interval_ms.max(1));
+    let mut prev: Option<(Instant, u64, HistogramSnapshot)> = None;
+    let mut frame = 0u64;
+    loop {
+        let v = call(r#"{"id": "top", "op": "metrics"}"#)?;
+        let now = Instant::now();
+        let requests = counter(&v, "lsra_requests_total");
+        let hist = histogram(&v, "lsra_request").unwrap_or_default();
+        // Per-interval view where possible; lifetime on the first frame.
+        let (rps, window, label) = match &prev {
+            Some((t0, req0, h0)) => {
+                let dt = now.duration_since(*t0).as_secs_f64().max(1e-9);
+                (requests.saturating_sub(*req0) as f64 / dt, hist.diff(h0), "interval")
+            }
+            None => (0.0, hist.clone(), "lifetime"),
+        };
+        let ms = |ns: u64| ns as f64 / 1e6;
+        if o.frames != 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("lsra serve @ {addr} — frame {frame}, every {} ms", o.interval_ms);
+        println!("requests:  {requests} total, {rps:.1} req/s");
+        println!(
+            "alloc:     p50={:.3} ms  p95={:.3} ms  p99={:.3} ms  ({} samples, {label})",
+            ms(window.quantile(0.50)),
+            ms(window.quantile(0.95)),
+            ms(window.quantile(0.99)),
+            window.count,
+        );
+        println!(
+            "queue:     depth={}  in_flight={}",
+            gauge(&v, "lsra_queue_depth"),
+            gauge(&v, "lsra_in_flight")
+        );
+        let (hits, misses) =
+            (counter(&v, "lsra_cache_hits_total"), counter(&v, "lsra_cache_misses_total"));
+        let lookups = hits + misses;
+        println!(
+            "cache:     {hits} hits / {misses} misses (hit rate {:.2}), {} entries, {:.1} MiB",
+            if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+            gauge(&v, "lsra_cache_entries"),
+            gauge(&v, "lsra_cache_bytes") as f64 / (1 << 20) as f64,
+        );
+        println!(
+            "responses: ok={} error={} timeout={} overloaded={} too_large={} inline={}",
+            counter(&v, "lsra_responses_ok_total"),
+            counter(&v, "lsra_responses_error_total"),
+            counter(&v, "lsra_responses_timeout_total"),
+            counter(&v, "lsra_responses_overloaded_total"),
+            counter(&v, "lsra_responses_too_large_total"),
+            counter(&v, "lsra_responses_inline_total"),
+        );
+        println!("panics:    {}", counter(&v, "lsra_worker_panics_total"));
+        frame += 1;
+        if o.frames != 0 && frame >= o.frames {
+            return Ok(());
+        }
+        prev = Some((now, requests, hist));
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_workloads() -> Result<(), String> {
@@ -809,6 +987,7 @@ fn main() -> ExitCode {
         "fuzz" => cmd_fuzz(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "top" => cmd_top(&opts),
         _ => return usage(),
     };
     match result {

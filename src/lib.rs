@@ -30,9 +30,15 @@
 //! * [`fuzz`] — differential fuzzing of all five allocators under the
 //!   symbolic checker, static check, VM differential execution, and a
 //!   service round-trip against the allocation server;
+//! * [`telemetry`] — dependency-free runtime telemetry primitives:
+//!   sharded atomic counters, gauges, exactly-mergeable log-linear latency
+//!   histograms, a metric registry with Prometheus and JSON expositions,
+//!   and request-scoped span records;
 //! * [`server`] — the allocation service: a line-delimited JSON protocol
-//!   over a cached, backpressured worker pool (`lsra serve`), plus the
-//!   byte-for-byte verifying load generator (`lsra loadgen`).
+//!   over a cached, backpressured worker pool (`lsra serve`), fully
+//!   instrumented through [`telemetry`] (the `metrics` op,
+//!   `--telemetry-log` span streams, `lsra top`), plus the byte-for-byte
+//!   verifying load generator (`lsra loadgen`).
 //!
 //! # Quickstart
 //!
@@ -62,6 +68,7 @@ pub use lsra_lint as lint;
 pub use lsra_poletto as poletto;
 pub use lsra_server as server;
 pub use lsra_ssa as ssa;
+pub use lsra_telemetry as telemetry;
 pub use lsra_trace as trace;
 pub use lsra_vm as vm;
 pub use lsra_workloads as workloads;

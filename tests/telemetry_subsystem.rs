@@ -1,0 +1,202 @@
+//! Correctness contracts for the telemetry crate, exercised through the
+//! facade: bucket geometry, exact merge/diff algebra, quantile error
+//! bounds against brute-force order statistics, and the exposition
+//! formats (Prometheus text and JSON) parsing cleanly.
+
+use second_chance_regalloc::server::json_in::{self, JsonValue};
+use second_chance_regalloc::telemetry::{
+    bucket_high, bucket_index, bucket_low, bucket_width, Histogram, HistogramSnapshot, Registry,
+    Unit, BUCKETS,
+};
+use second_chance_regalloc::workloads::Lcg;
+
+/// A deterministic latency-shaped sample: mostly microseconds, a tail of
+/// milliseconds, spanning many octaves so sub-bucket logic is exercised.
+fn sample(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = Lcg::new(seed);
+    (0..n)
+        .map(|i| match i % 16 {
+            0..=9 => 1_000 + rng.next_u64() % 50_000,
+            10..=13 => 100_000 + rng.next_u64() % 900_000,
+            14 => rng.next_u64() % 32,
+            _ => 10_000_000 + rng.next_u64() % 90_000_000,
+        })
+        .collect()
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn bucket_geometry_is_exact_small_and_tight_large() {
+    // Below the sub-bucket count every value gets its own bucket.
+    for v in 0..32u64 {
+        assert_eq!(bucket_index(v), v as usize);
+        assert_eq!(bucket_low(v as usize), v);
+        assert_eq!(bucket_high(v as usize), v);
+    }
+    // Everywhere: v lands in [low, high], indices are monotone, and the
+    // low edge maps back to its own bucket.
+    let probes = [32, 33, 63, 64, 100, 1 << 20, (1 << 20) + 1, u64::MAX / 2, u64::MAX];
+    for &v in &probes {
+        let i = bucket_index(v);
+        assert!(i < BUCKETS, "{v} -> {i}");
+        assert!(bucket_low(i) <= v && v <= bucket_high(i), "{v} outside bucket {i}");
+        assert_eq!(bucket_index(bucket_low(i)), i, "low edge of {i} drifted");
+        // Relative width ≤ 1/32 once past the exact region.
+        if v >= 32 {
+            assert!(
+                (bucket_width(i) as f64) <= (bucket_low(i) as f64) / 32.0 + 1.0,
+                "bucket {i} too wide: {} at low {}",
+                bucket_width(i),
+                bucket_low(i)
+            );
+        }
+    }
+    // Adjacent buckets tile the u64 line without gap or overlap.
+    let mut rng = Lcg::new(7);
+    for _ in 0..1000 {
+        let i = (rng.next_u64() as usize) % (BUCKETS - 1);
+        assert_eq!(bucket_high(i) + 1, bucket_low(i + 1), "gap after bucket {i}");
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative_and_diff_inverts() {
+    let a = snapshot_of(&sample(1, 500));
+    let b = snapshot_of(&sample(2, 300));
+    let c = snapshot_of(&sample(3, 700));
+    assert_eq!(a.merge(&b), b.merge(&a), "merge must commute");
+    assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)), "merge must associate");
+    let ab = a.merge(&b);
+    assert_eq!(ab.count, a.count + b.count);
+    assert_eq!(ab.sum, a.sum + b.sum);
+    assert_eq!(ab.min, a.min.min(b.min));
+    assert_eq!(ab.max, a.max.max(b.max));
+    // diff undoes merge bucket-wise: counts and sum exactly.
+    let d = ab.diff(&a);
+    assert_eq!(d.buckets, b.buckets, "diff must recover the later interval");
+    assert_eq!(d.count, b.count);
+    assert_eq!(d.sum, b.sum);
+    // Identity element.
+    assert_eq!(a.merge(&HistogramSnapshot::empty()).buckets, a.buckets);
+}
+
+#[test]
+fn quantiles_land_within_one_bucket_of_the_exact_order_statistic() {
+    let values = sample(42, 4096);
+    let snap = snapshot_of(&values);
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    for &q in &[0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let approx = snap.quantile(q);
+        let slack = bucket_width(bucket_index(exact));
+        assert!(
+            approx.abs_diff(exact) <= slack,
+            "q={q}: approx {approx} vs exact {exact} (allowed ±{slack})"
+        );
+    }
+    assert!(snap.quantile(0.0) >= snap.min && snap.quantile(1.0) <= snap.max);
+}
+
+#[test]
+fn sparse_round_trip_preserves_every_quantile() {
+    let snap = snapshot_of(&sample(9, 2000));
+    let rebuilt = HistogramSnapshot::from_sparse(&snap.nonzero(), snap.count, snap.sum);
+    assert_eq!(rebuilt.buckets, snap.buckets);
+    for &q in &[0.5, 0.9, 0.99] {
+        // min/max are only bucket-resolution after the round trip, so
+        // quantiles may differ by the clamp at the extremes — interior
+        // quantiles must survive exactly.
+        assert_eq!(rebuilt.quantile(q), snap.quantile(q), "q={q}");
+    }
+}
+
+#[test]
+fn sharded_counters_are_exact_under_contention() {
+    use second_chance_regalloc::telemetry::Counter;
+    use std::sync::Arc;
+    let c = Arc::new(Counter::new());
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(c.get(), 80_000);
+}
+
+#[test]
+fn registry_expositions_parse_and_agree() {
+    let mut reg = Registry::new();
+    let hits = reg.counter("demo_hits_total", "requests served");
+    let depth = reg.gauge("demo_depth", "queue depth");
+    let lat = reg.histogram("demo_latency", "request latency", Unit::Nanoseconds);
+    for _ in 0..5 {
+        hits.inc();
+    }
+    depth.set(3);
+    for v in sample(11, 200) {
+        lat.record(v);
+    }
+
+    // Prometheus text: HELP/TYPE per metric, unique series, parseable
+    // samples, histogram exported in seconds with cumulative buckets.
+    let text = reg.render_prometheus();
+    let mut series = std::collections::HashSet::new();
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        assert!(series.insert(line.split_whitespace().nth(2).unwrap().to_string()), "{line}");
+    }
+    assert!(series.contains("demo_hits_total"));
+    assert!(series.contains("demo_latency_seconds"), "ns histograms export as seconds:\n{text}");
+    let mut last_cumulative = 0.0f64;
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (name, value) = line.rsplit_once(' ').unwrap();
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad sample: {line}"));
+        if name.starts_with("demo_latency_seconds_bucket") {
+            assert!(value >= last_cumulative, "bucket counts must be cumulative: {line}");
+            last_cumulative = value;
+        }
+    }
+    assert!(text.contains(r#"le="+Inf""#));
+
+    // JSON: parses with the service's own parser, values agree with the
+    // handles, and the sparse buckets rebuild the live snapshot.
+    let mut w = second_chance_regalloc::trace::json::JsonWriter::new();
+    reg.write_json(&mut w);
+    let v = json_in::parse(&w.finish()).unwrap();
+    let counters = v.get("counters").unwrap();
+    assert_eq!(counters.get("demo_hits_total").and_then(JsonValue::as_u64), Some(5));
+    assert_eq!(v.get("gauges").unwrap().get("demo_depth").and_then(JsonValue::as_u64), Some(3));
+    let h = v.get("histograms").unwrap().get("demo_latency").unwrap();
+    let snap = lat.snapshot();
+    assert_eq!(h.get("count").and_then(JsonValue::as_u64), Some(snap.count));
+    assert_eq!(h.get("sum").and_then(JsonValue::as_u64), Some(snap.sum));
+    assert_eq!(h.get("p50").and_then(JsonValue::as_u64), Some(snap.quantile(0.5)));
+    let pairs: Vec<(usize, u64)> = h
+        .get("buckets")
+        .and_then(JsonValue::as_array)
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().unwrap();
+            (pair[0].as_u64().unwrap() as usize, pair[1].as_u64().unwrap())
+        })
+        .collect();
+    let rebuilt = HistogramSnapshot::from_sparse(&pairs, snap.count, snap.sum);
+    assert_eq!(rebuilt.buckets, snap.buckets, "JSON buckets must rebuild the snapshot");
+}
