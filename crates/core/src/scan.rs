@@ -119,6 +119,18 @@ pub(crate) struct Scanner<'a> {
     /// packed register file costs one word read per definition instead of
     /// a hole query per register.
     free_candidates: Vec<u64>,
+    /// Monotone "has history" bitmask, one bit per dense register index. A
+    /// clear bit is a *proof* that [`Scanner::reg_hole`] returns the trivial
+    /// hole `(INF, INF)`: the register has no precolored blocked segments
+    /// (checked once at setup) and has never been bound, so it can have
+    /// neither an occupant nor a pending owner. Such registers are all
+    /// equivalent to the sweep — under the smallest-sufficient-hole rule
+    /// only the lowest-indexed one can ever win — so `try_alloc` probes only
+    /// `free_candidates & interesting` individually and folds the whole
+    /// virgin remainder in as one constant-time candidate. Bits are set by
+    /// `bind` and never cleared (an evicted register keeps its bit: the
+    /// over-approximation only costs a probe).
+    interesting: Vec<u64>,
     /// Min-heap of `(segment_end, register)` re-admission events for the
     /// cleared bits of `free_candidates`. Stale entries (the register was
     /// re-admitted early by `bind`/`evict`) only cost a redundant re-set.
@@ -174,8 +186,10 @@ impl<'a> Scanner<'a> {
         let mut unblocked_cache = std::mem::take(&mut scratch.unblocked_cache);
         let mut live_cache = std::mem::take(&mut scratch.live_cache);
         let mut free_candidates = std::mem::take(&mut scratch.free_candidates);
+        let mut interesting = std::mem::take(&mut scratch.interesting);
         let mut hole_expiry = std::mem::take(&mut scratch.hole_expiry);
         reset(&mut free_candidates, nregs.div_ceil(64), u64::MAX);
+        reset(&mut interesting, nregs.div_ceil(64), 0);
         hole_expiry.clear();
         reset(&mut occupant, nregs, None);
         reset(&mut loc, nt, Loc::None);
@@ -195,6 +209,11 @@ impl<'a> Scanner<'a> {
         blocked_events.clear();
         for d in 0..nregs {
             let p = if d < ni { PhysReg::int(d as u8) } else { PhysReg::float((d - ni) as u8) };
+            if !lt.blocked(p).is_empty() {
+                // A precolored block means the register's hole is never the
+                // trivial (INF, INF): it must always be probed.
+                interesting[d / 64] |= 1u64 << (d % 64);
+            }
             for s in lt.blocked(p) {
                 blocked_events.push((s.start, d as u32));
             }
@@ -233,6 +252,7 @@ impl<'a> Scanner<'a> {
             unblocked_cache,
             live_cache,
             free_candidates,
+            interesting,
             hole_expiry,
             scratch,
             sink,
@@ -413,8 +433,10 @@ impl<'a> Scanner<'a> {
     /// its hole ends, §2.1-§2.2).
     fn bind(&mut self, t: Temp, d: usize) {
         // Occupancy (and possibly the pending owner) changes: any standing
-        // not-free proof for this register is void.
+        // not-free proof for this register is void, and the register now
+        // has history — it must be probed individually from here on.
         self.free_candidates[d / 64] |= 1u64 << (d % 64);
+        self.interesting[d / 64] |= 1u64 << (d % 64);
         if let Some(o) = self.occupant[d] {
             if o != t && self.loc[o.index()] == Loc::Reg(self.phys(d)) {
                 if self.debug {
@@ -489,9 +511,16 @@ impl<'a> Scanner<'a> {
             self.free_candidates[d as usize / 64] |= 1u64 << (d % 64);
         }
         let range = self.class_range(class);
+        // Only registers *with history* (see `interesting`) are probed
+        // individually: a clear bit proves the trivial hole (INF, INF), and
+        // under the tier rules every virgin register lands in tier 0 with
+        // the largest possible hole — so the whole virgin remainder of the
+        // class collapses into one candidate, folded in after the loop. The
+        // sweep is thereby O(registers ever bound), not O(registers): a
+        // wide machine running a narrow function never scans its idle tail.
         let mut d = range.start;
         while d < range.end {
-            let word = self.free_candidates[d / 64] >> (d % 64);
+            let word = (self.free_candidates[d / 64] & self.interesting[d / 64]) >> (d % 64);
             if word == 0 {
                 d = (d / 64 + 1) * 64;
                 continue;
@@ -552,6 +581,39 @@ impl<'a> Scanner<'a> {
             }
             if prev == Some(d) {
                 prev_tier = Some((tier, free_until));
+            }
+        }
+        // Fold the virgin remainder in as one candidate: the lowest-indexed
+        // non-excluded register with no history. Its hole is (INF, INF) —
+        // always sufficient, so tier 0 — and the full sweep resolves tier-0
+        // ties (equal free_until) to the lowest index, which is exactly the
+        // lexicographic comparison below.
+        let mut v = range.start;
+        while v < range.end {
+            let word = !self.interesting[v / 64] >> (v % 64);
+            if word == 0 {
+                v = (v / 64 + 1) * 64;
+                continue;
+            }
+            v += word.trailing_zeros() as usize;
+            if v >= range.end || !exclude.contains(&v) {
+                break;
+            }
+            v += 1;
+        }
+        if v < range.end {
+            debug_assert_eq!(self.reg_hole(v, at, t), Some((INF, INF)));
+            let better = match best[0] {
+                None => true,
+                Some((e, b)) => e == INF && v < b,
+            };
+            if better {
+                best[0] = Some((INF, v));
+            }
+            if let Some(p) = prev {
+                if self.interesting[p / 64] & (1u64 << (p % 64)) == 0 {
+                    prev_tier = Some((0, INF));
+                }
             }
         }
         let tiers: &[usize] =
@@ -1291,6 +1353,7 @@ impl<'a> Scanner<'a> {
         self.scratch.unblocked_cache = std::mem::take(&mut self.unblocked_cache);
         self.scratch.live_cache = std::mem::take(&mut self.live_cache);
         self.scratch.free_candidates = std::mem::take(&mut self.free_candidates);
+        self.scratch.interesting = std::mem::take(&mut self.interesting);
         self.scratch.hole_expiry = std::mem::take(&mut self.hole_expiry);
         self.out
     }

@@ -58,6 +58,7 @@ pub struct AllocScratch {
     pub(crate) sweep_buf: Vec<u32>,
     // ---- scan: incremental free-hole candidate structure ----
     pub(crate) free_candidates: Vec<u64>,
+    pub(crate) interesting: Vec<u64>,
     pub(crate) hole_expiry:
         std::collections::BinaryHeap<std::cmp::Reverse<(lsra_analysis::Point, u32)>>,
     // ---- scan: liveness/blocked-segment query memos ----

@@ -4,7 +4,8 @@
 //! lsra print <file.lsra>                      parse, validate, pretty-print
 //! lsra run <file.lsra> [--input FILE] [--machine SPEC]
 //! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup]
-//!                        [--check] [--run] [--lint] [--deny CODE]...
+//!                        [--check] [--run] [--backend vm|native]
+//!                        [--lint] [--deny CODE]...
 //!                        [--time-phases] [--workers N]
 //!                        [--trace FILE] [--trace-format FMT]
 //! lsra lint <file.lsra> [--allocator NAME] [--machine SPEC]
@@ -12,8 +13,9 @@
 //! lsra report <file.lsra> [--allocator NAME] [--machine SPEC] [--json FILE]
 //! lsra workloads                              list the built-in benchmarks
 //! lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]
+//!                       [--backend vm|native] [--exec-runs N]
 //! lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]...
-//!           [--shrink] [--no-serve]
+//!           [--shrink] [--no-serve] [--no-native]
 //! lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B]
 //!            [--max-queue N] [--timeout-ms T]
 //!            [--telemetry-log FILE] [--slow-ms T]
@@ -45,7 +47,20 @@
 //! `alloc --check` proves the allocation with the symbolic checker (and the
 //! VM's static check) before identity-move removal; `alloc --run` executes
 //! both the original and the allocated module and reports any observational
-//! mismatch (return value, output trace, final memory).
+//! mismatch (return value, output trace, final memory). `--backend native`
+//! runs the allocated side as JIT-compiled x86-64 machine code instead of
+//! on the VM (the original always runs interpreted, so the comparison also
+//! cross-checks the JIT); on hosts that cannot map executable memory it
+//! falls back to the VM with a message.
+//!
+//! `bench --backend native` JIT-compiles the workload under every allocator
+//! and measures wall-clock execute time over `--exec-runs` repeated runs
+//! (default 10), recording each run into a telemetry histogram; the
+//! resulting p50/p95/min/mean — alongside one interpreted run for scale and
+//! a native-vs-VM equality check — are written to `BENCH_exec_time.json`.
+//! This is the reproduction's analogue of the paper's §4 quality metric:
+//! allocators are judged by how fast their *output code* runs, not only by
+//! dynamic spill counts.
 //!
 //! `lint` runs the static diagnostics engine: the input-IR validation lints
 //! (`L0xx` — use-before-def, unreachable blocks, bad branch targets,
@@ -106,14 +121,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lsra print <file.lsra>\n  lsra run <file.lsra> [--input FILE] [--machine SPEC]\n  \
          lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--check] [--run]\n           \
-         [--lint] [--deny CODE]... [--time-phases] [--workers N] [--trace FILE]\n           \
-         [--trace-format log|jsonl|chrome|annotate]\n  \
+         [--backend vm|native] [--lint] [--deny CODE]... [--time-phases] [--workers N]\n           \
+         [--trace FILE] [--trace-format log|jsonl|chrome|annotate]\n  \
          lsra lint <file.lsra> [--allocator NAME] [--machine SPEC] [--format human|json]\n          \
          [--deny CODE]...\n  \
          lsra report <file.lsra> [--allocator NAME] [--machine SPEC] [--json FILE]\n  \
-         lsra workloads\n  lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]\n  \
+         lsra workloads\n  lsra bench [<workload>] [--allocator NAME] [--time-phases] [--workers N]\n            \
+         [--backend vm|native] [--exec-runs N]\n  \
          lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n       \
-         [--no-serve]\n  \
+         [--no-serve] [--no-native]\n  \
          lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B] [--max-queue N]\n           \
          [--timeout-ms T] [--telemetry-log FILE] [--slow-ms T]\n  \
          lsra loadgen <workload>... [--requests N] [--concurrency C] [--dup-percent P]\n             \
@@ -216,6 +232,14 @@ struct Opts {
     interval_ms: u64,
     /// `--frames N` (top): stop after N frames (0 = run until killed).
     frames: u64,
+    /// `--backend vm|native` (alloc --run, bench): execution backend for
+    /// the allocated module.
+    backend: String,
+    /// `--exec-runs N` (bench --backend native): repeated native runs per
+    /// allocator feeding the execute-time histogram.
+    exec_runs: usize,
+    /// `--no-native` (fuzz): skip the native-vs-VM differential stage.
+    no_native: bool,
 }
 
 impl Opts {
@@ -261,6 +285,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         slow_ms: None,
         interval_ms: 1000,
         frames: 0,
+        backend: "vm".to_string(),
+        exec_runs: 10,
+        no_native: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -334,6 +361,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--no-serve" => o.no_serve = true,
+            "--no-native" => o.no_native = true,
+            "--exec-runs" => {
+                let v = it.next().ok_or("--exec-runs needs a count")?;
+                o.exec_runs = v.parse().map_err(|_| "bad run count")?;
+                if o.exec_runs == 0 {
+                    return Err("--exec-runs must be at least 1".to_string());
+                }
+            }
             "--telemetry-log" => {
                 o.telemetry_log = Some(it.next().ok_or("--telemetry-log needs a file")?.clone());
             }
@@ -348,6 +383,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--frames" => {
                 let v = it.next().ok_or("--frames needs a count")?;
                 o.frames = v.parse().map_err(|_| "bad frame count")?;
+            }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                if !["vm", "native"].contains(&v.as_str()) {
+                    return Err(format!("unknown backend `{v}` (vm | native)"));
+                }
+                o.backend = v.clone();
             }
             "--lint" => o.lint = true,
             "--format" => {
@@ -573,21 +615,50 @@ fn cmd_alloc(o: &Opts) -> Result<(), String> {
     if o.run {
         // Run both modules ourselves (rather than verify_allocation, which
         // panics when the *reference* faults) so every failure mode gets a
-        // diagnostic instead of a crash.
+        // diagnostic instead of a crash. The original always runs on the
+        // VM; `--backend native` executes the allocated side as machine
+        // code, so the same comparison also cross-checks the JIT.
         let opts = VmOptions::default();
         let before = Vm::new(&original, &spec, &o.input, opts.clone())
             .run()
             .map_err(|e| format!("original program faulted: {e}"))?;
-        let after = Vm::new(&m, &spec, &o.input, opts)
-            .run()
-            .map_err(|e| format!("mismatch: {}", lsra_vm::Mismatch::Fault(e)))?;
+        let (after, backend_used) = run_allocated_backend(o, &m, &spec, &opts)?;
         lsra_vm::compare_runs(&before, &after).map_err(|e| format!("mismatch: {e}"))?;
         eprintln!(
-            "; verified: return {:?}, {} dynamic instructions ({} original)",
+            "; verified ({backend_used}): return {:?}, {} dynamic instructions ({} original)",
             after.ret, after.counts.total, before.counts.total
         );
     }
     Ok(())
+}
+
+/// Runs the allocated module on the `--backend` selected by `o`, returning
+/// the result and the backend that actually ran. `native` falls back to the
+/// VM (with a stderr note) when the host cannot map executable code.
+fn run_allocated_backend(
+    o: &Opts,
+    m: &Module,
+    spec: &MachineSpec,
+    opts: &VmOptions,
+) -> Result<(lsra_vm::RunResult, &'static str), String> {
+    use second_chance_regalloc::jit;
+    if o.backend == "native" {
+        if jit::jit_supported() {
+            let code = jit::compile_module(m, spec).map_err(|e| format!("jit: {e}"))?;
+            return match code.run(&o.input, opts) {
+                Ok(r) => Ok((r, "native")),
+                Err(jit::JitRunError::Vm(e)) => {
+                    Err(format!("mismatch: {}", lsra_vm::Mismatch::Fault(e)))
+                }
+                Err(jit::JitRunError::Jit(e)) => Err(format!("jit: {e}")),
+            };
+        }
+        eprintln!("; backend native unavailable on this host; falling back to vm");
+    }
+    let r = Vm::new(m, spec, &o.input, opts.clone())
+        .run()
+        .map_err(|e| format!("mismatch: {}", lsra_vm::Mismatch::Fault(e)))?;
+    Ok((r, "vm"))
 }
 
 fn cmd_report(o: &Opts) -> Result<(), String> {
@@ -660,6 +731,7 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
         },
         shrink: o.shrink,
         serve: !o.no_serve,
+        native: !o.no_native,
         ..defaults
     };
     for name in &cfg.allocators {
@@ -674,12 +746,19 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
     let report = second_chance_regalloc::fuzz::run_fuzz(&cfg);
     std::panic::set_hook(hook);
     eprintln!(
-        "; fuzz: seed={:#x} iters={} machines={} allocators={} cases={}",
+        "; fuzz: seed={:#x} iters={} machines={} allocators={} cases={} native={}",
         cfg.seed,
         report.iters,
         cfg.machines.iter().map(|m| m.name()).collect::<Vec<_>>().join(","),
         cfg.allocators.join(","),
         report.cases,
+        if !cfg.native {
+            "off"
+        } else if second_chance_regalloc::jit::jit_supported() {
+            "on"
+        } else {
+            "skipped (cannot map executable code on this host)"
+        },
     );
     let fired: Vec<String> = LintCode::ALL
         .into_iter()
@@ -929,6 +1008,9 @@ fn cmd_workloads() -> Result<(), String> {
 }
 
 fn cmd_bench(o: &Opts) -> Result<(), String> {
+    if o.backend == "native" {
+        return cmd_bench_native(o);
+    }
     let name = o.positional.first().ok_or("missing workload name")?;
     let w = lsra_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
     let alloc = make_allocator(o)?;
@@ -962,6 +1044,168 @@ fn cmd_bench(o: &Opts) -> Result<(), String> {
         std::fs::write(path, sink.finish().to_json())
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics:    {path}");
+    }
+    Ok(())
+}
+
+/// The five allocators the execute-time table covers, in report order.
+const BENCH_ALLOCATORS: [&str; 5] = ["binpack", "two-pass", "coloring", "poletto", "ion"];
+
+/// `lsra bench --backend native`: the paper's §4 measurement closed on real
+/// hardware. For every allocator, the workload is allocated, JIT-compiled,
+/// and executed `--exec-runs` times; each run's wall-clock nanoseconds go
+/// through a telemetry histogram so the table reports p50/p95 rather than a
+/// single noisy sample. One interpreted run per allocator provides the
+/// static/dynamic/wall-clock comparison and a native-vs-VM equality check.
+/// Everything is written to `BENCH_exec_time.json`.
+fn cmd_bench_native(o: &Opts) -> Result<(), String> {
+    use second_chance_regalloc::jit;
+    use second_chance_regalloc::trace::json::JsonWriter;
+
+    let name = o.positional.first().map(String::as_str).unwrap_or("sort");
+    let w = lsra_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let original = (w.build)();
+    let input = (w.input)();
+    let spec = o.machine();
+    let supported = jit::jit_supported();
+    if !supported {
+        eprintln!("; backend native unavailable on this host; recording vm-only figures");
+    }
+
+    struct Row {
+        allocator: &'static str,
+        dyn_insts: u64,
+        code_bytes: usize,
+        vm_ns: u64,
+        native: Option<lsra_telemetry::HistogramSnapshot>,
+        checked_vs_vm: bool,
+    }
+    let mut rows = Vec::new();
+    for alloc_name in BENCH_ALLOCATORS {
+        let alloc: Box<dyn RegisterAllocator> = match alloc_name {
+            "binpack" => Box::new(BinpackAllocator::new(BinpackConfig {
+                workers: o.workers,
+                ..BinpackConfig::default()
+            })),
+            "two-pass" => Box::new(BinpackAllocator::new(BinpackConfig {
+                workers: o.workers,
+                ..BinpackConfig::two_pass()
+            })),
+            "coloring" => Box::new(ColoringAllocator),
+            "poletto" => Box::new(PolettoAllocator),
+            _ => Box::new(IonAllocator),
+        };
+        let mut m = original.clone();
+        allocate_and_cleanup(&mut m, alloc.as_ref(), &spec);
+        let vm_t0 = std::time::Instant::now();
+        let vm_run = Vm::new(&m, &spec, &input, VmOptions::default())
+            .run()
+            .map_err(|e| format!("{alloc_name}: vm run faulted: {e}"))?;
+        let vm_ns = vm_t0.elapsed().as_nanos() as u64;
+        let (code_bytes, native, checked_vs_vm) = if supported {
+            let code =
+                jit::compile_module(&m, &spec).map_err(|e| format!("{alloc_name}: jit: {e}"))?;
+            let mapped = code.map().map_err(|e| format!("{alloc_name}: jit: {e}"))?;
+            // Lock-free histogram from the telemetry crate: nanoseconds per
+            // run, quantiles over --exec-runs samples.
+            let hist = lsra_telemetry::Histogram::new();
+            let mut checked = true;
+            for _ in 0..o.exec_runs {
+                let t0 = std::time::Instant::now();
+                let r = mapped
+                    .run(&input, &VmOptions::default())
+                    .map_err(|e| format!("{alloc_name}: native run faulted: {e}"))?;
+                hist.record(t0.elapsed().as_nanos() as u64);
+                checked &= r == vm_run;
+            }
+            (code.code_size(), Some(hist.snapshot()), checked)
+        } else {
+            (0, None, false)
+        };
+        rows.push(Row {
+            allocator: alloc_name,
+            dyn_insts: vm_run.counts.total,
+            code_bytes,
+            vm_ns,
+            native,
+            checked_vs_vm,
+        });
+    }
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("workload:   {name} (machine {}, {} native runs)", spec.name(), o.exec_runs);
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>12}  vs vm",
+        "allocator", "dyn insts", "code B", "native p50", "native p95", "vm once"
+    );
+    for r in &rows {
+        let (p50, p95) = r
+            .native
+            .as_ref()
+            .map(|h| {
+                (format!("{:.3}", ms(h.quantile(0.5))), format!("{:.3}", ms(h.quantile(0.95))))
+            })
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        println!(
+            "{:<10} {:>12} {:>10} {:>12} {:>12} {:>12.3}  {}",
+            r.allocator,
+            r.dyn_insts,
+            r.code_bytes,
+            p50,
+            p95,
+            ms(r.vm_ns),
+            if r.native.is_none() {
+                "skipped"
+            } else if r.checked_vs_vm {
+                "ok"
+            } else {
+                "MISMATCH"
+            },
+        );
+    }
+
+    let mut j = JsonWriter::new();
+    j.begin_object();
+    j.field_str("workload", name);
+    j.field_str("machine", &spec.selector());
+    j.field_str("backend", "native");
+    j.key("jit_supported");
+    j.bool(supported);
+    j.field_uint("exec_runs", o.exec_runs as u64);
+    j.key("allocators");
+    j.begin_array();
+    for r in &rows {
+        j.begin_object();
+        j.field_str("allocator", r.allocator);
+        j.field_uint("dyn_insts", r.dyn_insts);
+        j.field_uint("code_bytes", r.code_bytes as u64);
+        j.field_uint("vm_exec_ns", r.vm_ns);
+        j.key("checked_vs_vm");
+        j.bool(r.checked_vs_vm);
+        j.key("exec_ns");
+        match &r.native {
+            Some(h) => {
+                j.begin_object();
+                j.field_uint("count", h.count);
+                j.field_uint("min", h.min);
+                j.field_uint("p50", h.quantile(0.5));
+                j.field_uint("p95", h.quantile(0.95));
+                j.field_uint("mean", h.sum.checked_div(h.count).unwrap_or(0));
+                j.end_object();
+            }
+            None => j.null(),
+        }
+        j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    let path = "BENCH_exec_time.json";
+    std::fs::write(path, j.finish()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("report:     {path}");
+    for r in &rows {
+        if r.native.is_some() && !r.checked_vs_vm {
+            return Err(format!("{}: native run differed from the VM", r.allocator));
+        }
     }
     Ok(())
 }

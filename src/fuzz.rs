@@ -19,7 +19,16 @@
 //!    and allocated module text — must match a direct, cache-free
 //!    execution of the same request **byte-for-byte**. This hammers the
 //!    protocol's parse/render paths and the content-addressed result cache
-//!    (repeated and colliding keys must never change a response).
+//!    (repeated and colliding keys must never change a response);
+//! 6. (cases that pass 1–4, on hosts where [`lsra_jit::jit_supported`])
+//!    native differential execution: the allocated module is JIT-compiled
+//!    to x86-64 and executed, and its **entire** [`lsra_vm::RunResult`] —
+//!    return value, output bytes, final-memory checksum, and every
+//!    [`lsra_vm::DynCounts`] field — must equal the VM's run of the same
+//!    allocated module. This cross-checks two independent implementations
+//!    of the IR's semantics instruction by instruction; disable with
+//!    [`FuzzConfig::native`] (`--no-native`), and it auto-skips on hosts
+//!    without executable-memory support.
 //!
 //! Alongside the hard oracle, every allocation that reaches stage 3 is run
 //! through the Family B quality lints ([`lsra_lint::lint_quality`], before
@@ -75,6 +84,10 @@ pub struct FuzzConfig {
     /// Round-trip every passing case through an in-process allocation
     /// server and require a byte-identical response to direct allocation.
     pub serve: bool,
+    /// JIT-compile every passing case and require the native run to equal
+    /// the VM's run field-for-field (auto-skipped on hosts that cannot map
+    /// executable code).
+    pub native: bool,
 }
 
 impl Default for FuzzConfig {
@@ -91,6 +104,7 @@ impl Default for FuzzConfig {
             shrink: false,
             max_failures: 5,
             serve: true,
+            native: true,
         }
     }
 }
@@ -190,6 +204,16 @@ pub fn check_case_tallying(
     spec: &MachineSpec,
     lints: &mut [u64; lsra_lint::NUM_CODES],
 ) -> Result<(), String> {
+    check_case_impl(original, allocator, spec, lints, true)
+}
+
+fn check_case_impl(
+    original: &Module,
+    allocator: &str,
+    spec: &MachineSpec,
+    lints: &mut [u64; lsra_lint::NUM_CODES],
+    native: bool,
+) -> Result<(), String> {
     let alloc =
         allocator_by_name(allocator).ok_or_else(|| format!("unknown allocator `{allocator}`"))?;
     let mut m = original.clone();
@@ -213,7 +237,40 @@ pub fn check_case_tallying(
     let after = Vm::new(&m, spec, &[], vm_options())
         .run()
         .map_err(|e| format!("allocated run faulted: {e}"))?;
-    compare_runs(&before, &after).map_err(|e| format!("differential run: {e}"))
+    compare_runs(&before, &after).map_err(|e| format!("differential run: {e}"))?;
+    if native && lsra_jit::jit_supported() {
+        check_native_case(&m, spec, &after)?;
+    }
+    Ok(())
+}
+
+/// Oracle stage 6: JIT-compiles the allocated module and requires the
+/// native [`lsra_vm::RunResult`] to equal the VM's field-for-field —
+/// including every dynamic-count field, which pins the two backends to the
+/// same instruction-by-instruction account of the program.
+fn check_native_case(
+    m: &Module,
+    spec: &MachineSpec,
+    vm_result: &lsra_vm::RunResult,
+) -> Result<(), String> {
+    let code = lsra_jit::compile_module(m, spec)
+        .map_err(|e| format!("native stage: compile failed on a validated allocation: {e}"))?;
+    let native = code
+        .run(&[], &vm_options())
+        .map_err(|e| format!("native stage: native run faulted but the VM's succeeded: {e}"))?;
+    if native != *vm_result {
+        return Err(format!(
+            "native differential: native run disagrees with the VM\n  vm:     ret={:?} \
+             counts={:?} checksum={:#x}\n  native: ret={:?} counts={:?} checksum={:#x}",
+            vm_result.ret,
+            vm_result.counts,
+            vm_result.memory_checksum,
+            native.ret,
+            native.counts,
+            native.memory_checksum,
+        ));
+    }
+    Ok(())
 }
 
 /// Best-effort annotated decision trace of allocating `original` (binpack
@@ -317,17 +374,22 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             debug_assert!(reference_clean(&module, spec), "generator produced a faulting module");
             for name in &cfg.allocators {
                 report.cases += 1;
-                let (what, serve_stage) =
-                    match check_case_tallying(&module, name, spec, &mut report.quality_lints) {
-                        Err(e) => (e, false),
-                        Ok(()) => {
-                            let Some(service) = service.as_ref() else { continue };
-                            match check_serve_case(service, &module, name, spec) {
-                                Ok(()) => continue,
-                                Err(e) => (e, true),
-                            }
+                let (what, serve_stage) = match check_case_impl(
+                    &module,
+                    name,
+                    spec,
+                    &mut report.quality_lints,
+                    cfg.native,
+                ) {
+                    Err(e) => (e, false),
+                    Ok(()) => {
+                        let Some(service) = service.as_ref() else { continue };
+                        match check_serve_case(service, &module, name, spec) {
+                            Ok(()) => continue,
+                            Err(e) => (e, true),
                         }
-                    };
+                    }
+                };
                 // Trace the smallest module that still fails: the shrunk
                 // repro when shrinking is on, the original otherwise. A
                 // serve-stage mismatch passes `check_case`, so the shrink
@@ -336,8 +398,17 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 let shrunk_mod;
                 let mut trace_subject = &module;
                 if cfg.shrink && !serve_stage {
-                    let mut oracle =
-                        |c: &Module| reference_clean(c, spec) && check_case(c, name, spec).is_err();
+                    let mut oracle = |c: &Module| {
+                        reference_clean(c, spec)
+                            && check_case_impl(
+                                c,
+                                name,
+                                spec,
+                                &mut [0; lsra_lint::NUM_CODES],
+                                cfg.native,
+                            )
+                            .is_err()
+                    };
                     let (small, _) = lsra_checker::shrink_module(&module, &mut oracle);
                     shrunk_text = Some(format!("{small}"));
                     shrunk_mod = small;

@@ -64,6 +64,7 @@ pub use lsra_coloring as coloring;
 pub use lsra_core as binpack;
 pub use lsra_ion as ion;
 pub use lsra_ir as ir;
+pub use lsra_jit as jit;
 pub use lsra_lint as lint;
 pub use lsra_poletto as poletto;
 pub use lsra_server as server;
