@@ -83,6 +83,52 @@ pub enum Cc {
     G = 15,
 }
 
+impl Cc {
+    /// Every condition code, in nibble order.
+    pub const ALL: [Cc; 14] = [
+        Cc::B,
+        Cc::Ae,
+        Cc::E,
+        Cc::Ne,
+        Cc::Be,
+        Cc::A,
+        Cc::S,
+        Cc::Ns,
+        Cc::P,
+        Cc::Np,
+        Cc::L,
+        Cc::Ge,
+        Cc::Le,
+        Cc::G,
+    ];
+
+    /// The condition code with opcode nibble `n`, if one exists (the
+    /// decoder's inverse of `jcc`/`setcc` emission).
+    pub fn from_nibble(n: u8) -> Option<Cc> {
+        Cc::ALL.into_iter().find(|c| *c as u8 == n)
+    }
+
+    /// The standard mnemonic suffix (`e`, `ne`, `l`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cc::B => "b",
+            Cc::Ae => "ae",
+            Cc::E => "e",
+            Cc::Ne => "ne",
+            Cc::Be => "be",
+            Cc::A => "a",
+            Cc::S => "s",
+            Cc::Ns => "ns",
+            Cc::P => "p",
+            Cc::Np => "np",
+            Cc::L => "l",
+            Cc::Ge => "ge",
+            Cc::Le => "le",
+            Cc::G => "g",
+        }
+    }
+}
+
 /// A forward-referencable position in the code stream.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Label(usize);

@@ -43,6 +43,25 @@ pub use runtime::{jit_supported, Env};
 
 use runtime::{err, ExecMem, IoState};
 
+/// The lowering's machine-level contract, re-exported for static analysis.
+///
+/// Everything generated code and the runtime agree on lives here: the
+/// [`Env`] field offsets baked into `inc`/`cmp`/`mov` instructions, the
+/// error codes fault stubs write, the per-function [`abi::FrameLayout`],
+/// the transfer-file addressing ([`abi::xfer_off`]), the counter-tag order
+/// ([`abi::tag_index`]), and the absolute helper addresses embedded at
+/// external call sites. The `lsra-verify` crate checks compiled buffers
+/// against exactly these constants.
+pub mod abi {
+    pub use crate::lower::{tag_index, xfer_off, FrameLayout};
+    pub use crate::runtime::{err, ftoi_address, helper_address, MAX_REGS};
+    pub use crate::runtime::{OFF_BY_TAG, OFF_CALLS, OFF_MEMORY_OPS, OFF_MOVES, OFF_TOTAL};
+    pub use crate::runtime::{OFF_DEPTH, OFF_FUEL, OFF_MAX_DEPTH};
+    pub use crate::runtime::{OFF_ERR_ADDR, OFF_ERR_CODE, OFF_ERR_FUNC};
+    pub use crate::runtime::{OFF_LAST_RET, OFF_MEM_BASE, OFF_MEM_WORDS};
+    pub use crate::runtime::{OFF_XFER_FLOAT, OFF_XFER_INT};
+}
+
 /// A compile-time JIT failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JitError {
@@ -145,6 +164,18 @@ impl CodeBuffer {
     /// [`CodeBuffer::encoding`].
     pub fn func_offset(&self, id: FuncId) -> usize {
         self.func_ranges[id.index()].0
+    }
+
+    /// Per-function `(start, end)` byte ranges within
+    /// [`CodeBuffer::encoding`], indexed by [`FuncId`]. Functions are laid
+    /// out in id order immediately after the entry trampoline.
+    pub fn func_ranges(&self) -> &[(usize, usize)] {
+        &self.func_ranges
+    }
+
+    /// Byte offset of the `extern "C" fn(*mut Env)` entry trampoline.
+    pub fn entry_offset(&self) -> usize {
+        self.entry_offset
     }
 
     /// Total code size in bytes.

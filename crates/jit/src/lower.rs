@@ -68,15 +68,21 @@ pub(crate) struct LoweredModule {
     pub func_ranges: Vec<(usize, usize)>,
 }
 
-/// The frame geometry of one function.
-struct FrameLayout {
-    ni: i32,
-    nf: i32,
-    ns: i32,
+/// The frame geometry of one function — part of the JIT's public contract
+/// (re-exported as [`crate::abi::FrameLayout`] for the static verifier).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// Number of integer-class virtual registers in the frame.
+    pub ni: i32,
+    /// Number of float-class virtual registers in the frame.
+    pub nf: i32,
+    /// Number of spill slots in the frame.
+    pub ns: i32,
 }
 
 impl FrameLayout {
-    fn new(f: &Function, spec: &MachineSpec) -> FrameLayout {
+    /// The layout `f` compiles with under `spec`.
+    pub fn new(f: &Function, spec: &MachineSpec) -> FrameLayout {
         FrameLayout {
             ni: spec.num_regs(RegClass::Int) as i32,
             nf: spec.num_regs(RegClass::Float) as i32,
@@ -84,29 +90,32 @@ impl FrameLayout {
         }
     }
 
-    fn words(&self) -> i32 {
+    /// Frame payload in 8-byte words (registers + spill slots).
+    pub fn words(&self) -> i32 {
         self.ni + self.nf + self.ns
     }
 
     /// Frame size in bytes, 16-byte aligned so `rsp` stays aligned at calls.
-    fn size(&self) -> i32 {
+    pub fn size(&self) -> i32 {
         (8 * self.words() + 15) & !15
     }
 
-    fn reg_off(&self, p: PhysReg) -> i32 {
+    /// `rbp`-relative home offset of a physical register.
+    pub fn reg_off(&self, p: PhysReg) -> i32 {
         match p.class {
             RegClass::Int => -8 * (p.index as i32 + 1),
             RegClass::Float => -8 * (self.ni + p.index as i32 + 1),
         }
     }
 
-    fn slot_off(&self, slot: i32) -> i32 {
+    /// `rbp`-relative offset of spill slot `slot`.
+    pub fn slot_off(&self, slot: i32) -> i32 {
         -8 * (self.ni + self.nf + slot + 1)
     }
 }
 
 /// `Env` transfer-file offset for a physical register.
-fn xfer_off(p: PhysReg) -> i32 {
+pub fn xfer_off(p: PhysReg) -> i32 {
     match p.class {
         RegClass::Int => rt::OFF_XFER_INT + 8 * p.index as i32,
         RegClass::Float => rt::OFF_XFER_FLOAT + 8 * p.index as i32,
@@ -114,7 +123,7 @@ fn xfer_off(p: PhysReg) -> i32 {
 }
 
 /// `DynCounts::by_tag` index for a spill tag (the VM's `tag_index` order).
-fn tag_index(tag: SpillTag) -> i32 {
+pub fn tag_index(tag: SpillTag) -> i32 {
     match tag {
         SpillTag::None => 0,
         SpillTag::EvictLoad => 1,
@@ -503,7 +512,7 @@ impl<'a> FuncLowering<'a> {
                 // out-of-line Rust helper for bit-exact agreement.
                 let asm = &mut *self.asm;
                 asm.mov_rm(RDI, RBP, s0);
-                asm.mov_ri(RAX, rt::rt_ftoi as *const () as usize as i64);
+                asm.mov_ri(RAX, rt::ftoi_address() as i64);
                 asm.call_r(RAX);
                 asm.mov_mr(RBP, d, RAX);
             }
@@ -550,12 +559,7 @@ impl<'a> FuncLowering<'a> {
         self.asm.inc_m(RBX, rt::OFF_CALLS);
         match callee {
             Callee::Ext(ext) => {
-                let helper: usize = match ext {
-                    ExtFn::GetChar => rt::rt_getchar as *const () as usize,
-                    ExtFn::PutInt => rt::rt_putint as *const () as usize,
-                    ExtFn::PutChar => rt::rt_putchar as *const () as usize,
-                    ExtFn::PutFloat => rt::rt_putfloat as *const () as usize,
-                };
+                let helper: usize = rt::helper_address(ext);
                 // Mirror the interpreter's argument selection: first operand
                 // of the class the routine consumes.
                 let wanted = match ext {

@@ -27,7 +27,7 @@ use std::sync::OnceLock;
 use lsra_vm::OutputEvent;
 
 /// Error codes written by generated code into [`Env::err_code`].
-pub(crate) mod err {
+pub mod err {
     /// Integer division or remainder by zero.
     pub const DIV_BY_ZERO: u64 = 1;
     /// Data-memory access outside `0..memory_words`.
@@ -40,7 +40,7 @@ pub(crate) mod err {
 
 /// Upper bound on per-class register-file size addressable through the
 /// transfer arrays (register indices are `u8`).
-pub(crate) const MAX_REGS: usize = 256;
+pub const MAX_REGS: usize = 256;
 
 /// Host-side I/O state reached from helper routines via [`Env::io`].
 /// Opaque to generated code.
@@ -122,23 +122,68 @@ impl Env {
     }
 }
 
-// Env field offsets baked into generated code.
-pub(crate) const OFF_TOTAL: i32 = std::mem::offset_of!(Env, total) as i32;
-pub(crate) const OFF_BY_TAG: i32 = std::mem::offset_of!(Env, by_tag) as i32;
-pub(crate) const OFF_CALLS: i32 = std::mem::offset_of!(Env, calls) as i32;
-pub(crate) const OFF_MEMORY_OPS: i32 = std::mem::offset_of!(Env, memory_ops) as i32;
-pub(crate) const OFF_MOVES: i32 = std::mem::offset_of!(Env, moves) as i32;
-pub(crate) const OFF_FUEL: i32 = std::mem::offset_of!(Env, fuel) as i32;
-pub(crate) const OFF_DEPTH: i32 = std::mem::offset_of!(Env, depth) as i32;
-pub(crate) const OFF_MAX_DEPTH: i32 = std::mem::offset_of!(Env, max_depth) as i32;
-pub(crate) const OFF_ERR_CODE: i32 = std::mem::offset_of!(Env, err_code) as i32;
-pub(crate) const OFF_ERR_FUNC: i32 = std::mem::offset_of!(Env, err_func) as i32;
-pub(crate) const OFF_ERR_ADDR: i32 = std::mem::offset_of!(Env, err_addr) as i32;
-pub(crate) const OFF_MEM_BASE: i32 = std::mem::offset_of!(Env, mem_base) as i32;
-pub(crate) const OFF_MEM_WORDS: i32 = std::mem::offset_of!(Env, mem_words) as i32;
-pub(crate) const OFF_LAST_RET: i32 = std::mem::offset_of!(Env, last_ret_reg) as i32;
-pub(crate) const OFF_XFER_INT: i32 = std::mem::offset_of!(Env, xfer_int) as i32;
-pub(crate) const OFF_XFER_FLOAT: i32 = std::mem::offset_of!(Env, xfer_float) as i32;
+// Env field offsets baked into generated code (and checked by the static
+// verifier in `lsra-verify`, which re-exports them through `crate::abi`).
+
+/// Offset of [`Env::total`].
+pub const OFF_TOTAL: i32 = std::mem::offset_of!(Env, total) as i32;
+/// Offset of [`Env::by_tag`] (7 contiguous 8-byte counters).
+pub const OFF_BY_TAG: i32 = std::mem::offset_of!(Env, by_tag) as i32;
+/// Offset of [`Env::calls`].
+pub const OFF_CALLS: i32 = std::mem::offset_of!(Env, calls) as i32;
+/// Offset of [`Env::memory_ops`].
+pub const OFF_MEMORY_OPS: i32 = std::mem::offset_of!(Env, memory_ops) as i32;
+/// Offset of [`Env::moves`].
+pub const OFF_MOVES: i32 = std::mem::offset_of!(Env, moves) as i32;
+/// Offset of [`Env::fuel`].
+pub const OFF_FUEL: i32 = std::mem::offset_of!(Env, fuel) as i32;
+/// Offset of [`Env::depth`].
+pub const OFF_DEPTH: i32 = std::mem::offset_of!(Env, depth) as i32;
+/// Offset of [`Env::max_depth`].
+pub const OFF_MAX_DEPTH: i32 = std::mem::offset_of!(Env, max_depth) as i32;
+/// Offset of [`Env::err_code`].
+pub const OFF_ERR_CODE: i32 = std::mem::offset_of!(Env, err_code) as i32;
+/// Offset of [`Env::err_func`].
+pub const OFF_ERR_FUNC: i32 = std::mem::offset_of!(Env, err_func) as i32;
+/// Offset of [`Env::err_addr`].
+pub const OFF_ERR_ADDR: i32 = std::mem::offset_of!(Env, err_addr) as i32;
+/// Offset of [`Env::mem_base`].
+pub const OFF_MEM_BASE: i32 = std::mem::offset_of!(Env, mem_base) as i32;
+/// Offset of [`Env::mem_words`].
+pub const OFF_MEM_WORDS: i32 = std::mem::offset_of!(Env, mem_words) as i32;
+/// Offset of [`Env::last_ret_reg`].
+pub const OFF_LAST_RET: i32 = std::mem::offset_of!(Env, last_ret_reg) as i32;
+/// Offset of [`Env::xfer_int`].
+pub const OFF_XFER_INT: i32 = std::mem::offset_of!(Env, xfer_int) as i32;
+/// Offset of [`Env::xfer_float`].
+pub const OFF_XFER_FLOAT: i32 = std::mem::offset_of!(Env, xfer_float) as i32;
+
+/// Absolute address of the helper routine the lowering embeds (as a
+/// `movabs` immediate) for an external call to `ext`. Process-constant, so
+/// a compiled buffer can be statically checked against it.
+///
+/// `inline(never)`: the fn-pointer coercion must be codegen'd exactly
+/// once. Inlined into multiple codegen units, each copy can resolve the
+/// coercion to a *different* duplicate of the helper symbol, and then the
+/// address the lowering embeds would not equal the address the verifier
+/// compares against.
+#[inline(never)]
+pub fn helper_address(ext: lsra_ir::ExtFn) -> usize {
+    match ext {
+        lsra_ir::ExtFn::GetChar => rt_getchar as *const () as usize,
+        lsra_ir::ExtFn::PutInt => rt_putint as *const () as usize,
+        lsra_ir::ExtFn::PutChar => rt_putchar as *const () as usize,
+        lsra_ir::ExtFn::PutFloat => rt_putfloat as *const () as usize,
+    }
+}
+
+/// Absolute address of the out-of-line `f64 as i64` helper used by
+/// `FloatToInt` lowering. `inline(never)` for the same reason as
+/// [`helper_address`].
+#[inline(never)]
+pub fn ftoi_address() -> usize {
+    rt_ftoi as *const () as usize
+}
 
 // ---- extern "C" helper routines called from generated code ----
 //

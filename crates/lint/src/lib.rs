@@ -78,12 +78,14 @@ impl fmt::Display for Severity {
 }
 
 /// Number of shipped lint codes (the length of [`LintCode::ALL`]).
-pub const NUM_CODES: usize = 12;
+pub const NUM_CODES: usize = 19;
 
 /// A stable lint code. `L0xx` codes are Family A (input-IR validation),
-/// `Q1xx` codes are Family B (allocation quality). The numeric code, the
-/// kebab-case name, the default severity, and the one-line description are
-/// all fixed per variant — see the tables in `DESIGN.md` §11.
+/// `Q1xx` codes are Family B (allocation quality), and `N0xx` codes are
+/// Family C (native-code translation validation, emitted by the
+/// `lsra-verify` crate's static machine-code verifier). The numeric code,
+/// the kebab-case name, the default severity, and the one-line description
+/// are all fixed per variant — see the tables in `DESIGN.md` §11 and §16.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// `L001`: a temporary is read before any definition reaches it.
@@ -113,10 +115,28 @@ pub enum LintCode {
     /// `Q105`: spill code in a block whose register pressure never exhausts
     /// the register file.
     LowPressureSpill,
+    /// `N001`: machine bytes that do not decode as any instruction the JIT
+    /// encoder can emit.
+    NativeDecode,
+    /// `N002`: a decoded instruction does not fit the lowering template for
+    /// the allocated-IR instruction it should implement.
+    NativeShape,
+    /// `N003`: the symbolic effect of a template disagrees with the
+    /// allocated-IR semantics (wrong source, destination, or spill offset).
+    NativeDataflow,
+    /// `N004`: a missing or wrong fuel check or telemetry counter update.
+    NativeCounter,
+    /// `N005`: a jump, branch, or fault edge resolves to the wrong target.
+    NativeBranch,
+    /// `N006`: a malformed prologue, stub region, or function extent.
+    NativeFrame,
+    /// `N007`: a call site violates the helper or intra-module call ABI.
+    NativeCall,
 }
 
 const CODES: [&str; NUM_CODES] = [
     "L001", "L002", "L003", "L004", "L005", "L006", "L007", "Q101", "Q102", "Q103", "Q104", "Q105",
+    "N001", "N002", "N003", "N004", "N005", "N006", "N007",
 ];
 
 const NAMES: [&str; NUM_CODES] = [
@@ -132,6 +152,13 @@ const NAMES: [&str; NUM_CODES] = [
     "identity-move",
     "move-chain",
     "low-pressure-spill",
+    "native-decode",
+    "native-shape",
+    "native-dataflow",
+    "native-counter",
+    "native-branch",
+    "native-frame",
+    "native-call",
 ];
 
 const SEVERITIES: [Severity; NUM_CODES] = [
@@ -147,6 +174,13 @@ const SEVERITIES: [Severity; NUM_CODES] = [
     Severity::Note,    // Q103
     Severity::Note,    // Q104
     Severity::Note,    // Q105
+    Severity::Error,   // N001
+    Severity::Error,   // N002
+    Severity::Error,   // N003
+    Severity::Error,   // N004
+    Severity::Error,   // N005
+    Severity::Error,   // N006
+    Severity::Error,   // N007
 ];
 
 const DESCRIPTIONS: [&str; NUM_CODES] = [
@@ -162,6 +196,13 @@ const DESCRIPTIONS: [&str; NUM_CODES] = [
     "identity register move (removed by the postopt pass)",
     "adjacent move chain that could read the original source",
     "spill code in a block whose pressure never exhausts the register file",
+    "machine bytes outside the JIT encoder's instruction language",
+    "decoded instruction does not fit the expected lowering template",
+    "symbolic machine effect disagrees with the allocated-IR semantics",
+    "missing or wrong fuel check or telemetry counter update",
+    "jump, branch, or fault edge resolves to the wrong target",
+    "malformed prologue, stub region, or function extent",
+    "call site violates the helper or intra-module call ABI",
 ];
 
 impl LintCode {
@@ -179,6 +220,13 @@ impl LintCode {
         LintCode::IdentityMove,
         LintCode::MoveChain,
         LintCode::LowPressureSpill,
+        LintCode::NativeDecode,
+        LintCode::NativeShape,
+        LintCode::NativeDataflow,
+        LintCode::NativeCounter,
+        LintCode::NativeBranch,
+        LintCode::NativeFrame,
+        LintCode::NativeCall,
     ];
 
     /// Dense index into [`LintCode::ALL`] (and the per-code tally arrays).
@@ -210,6 +258,11 @@ impl LintCode {
     /// True for the Family B (allocation-quality, `Q1xx`) codes.
     pub fn is_quality(self) -> bool {
         self.code().starts_with('Q')
+    }
+
+    /// True for the Family C (native translation-validation, `N0xx`) codes.
+    pub fn is_native(self) -> bool {
+        self.code().starts_with('N')
     }
 
     /// Parses a code (`L001`) or name (`use-before-def`), as the `--deny`
@@ -472,7 +525,11 @@ mod tests {
             assert_eq!(LintCode::parse(c.code()), Some(c));
             assert_eq!(LintCode::parse(c.name()), Some(c));
             assert!(!c.description().is_empty());
-            assert_eq!(c.is_quality(), i >= 7, "{c}");
+            assert_eq!(c.is_quality(), (7..12).contains(&i), "{c}");
+            assert_eq!(c.is_native(), i >= 12, "{c}");
+            if c.is_native() {
+                assert_eq!(c.severity(), Severity::Error, "{c}");
+            }
         }
         let mut codes: Vec<_> = CODES.to_vec();
         codes.sort_unstable();

@@ -38,6 +38,8 @@ pub use event::{
     CoalesceOutcome, EvictAction, FitTier, ResolveOp, SpillCandidate, SplitKind, TraceEvent,
 };
 pub use json::JsonWriter;
-pub use metrics::{FunctionMetrics, Histogram, MetricsSink, ModuleMetrics, QualityLintSummary};
+pub use metrics::{
+    FunctionMetrics, Histogram, MetricsSink, ModuleMetrics, QualityLintSummary, VerifyNativeSummary,
+};
 pub use sink::{NoopSink, RecordSink, TraceSink};
 pub use sinks::{JsonlSink, LogSink};

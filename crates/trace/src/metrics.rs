@@ -381,6 +381,33 @@ impl QualityLintSummary {
     }
 }
 
+/// Summary of static native-code verification (`lsra-verify`), threaded
+/// into [`ModuleMetrics`] by `lsra report`.
+///
+/// Like [`QualityLintSummary`], kept generic so this crate does not depend
+/// on the verifier crate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyNativeSummary {
+    /// Functions whose machine code was statically verified.
+    pub functions: u64,
+    /// Total machine-code bytes walked (trampoline included).
+    pub code_bytes: u64,
+    /// `N0xx` diagnostics reported (0 = the image provably implements the
+    /// allocated IR).
+    pub diagnostics: u64,
+}
+
+impl VerifyNativeSummary {
+    /// Serialises as one JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_uint("functions", self.functions);
+        w.field_uint("code_bytes", self.code_bytes);
+        w.field_uint("diagnostics", self.diagnostics);
+        w.end_object();
+    }
+}
+
 /// Per-function metrics for a whole module, plus the merged total.
 #[derive(Clone, Debug)]
 pub struct ModuleMetrics {
@@ -389,6 +416,9 @@ pub struct ModuleMetrics {
     /// Quality-lint summary, when the caller ran the Family B lints over the
     /// allocated output (see `lsra report`).
     pub quality_lints: Option<QualityLintSummary>,
+    /// Native-verification summary, when the caller compiled the allocated
+    /// module and ran the static verifier over it (see `lsra report`).
+    pub verify_native: Option<VerifyNativeSummary>,
 }
 
 impl ModuleMetrics {
@@ -461,6 +491,13 @@ impl ModuleMetrics {
                 let _ = writeln!(out, "  {code:<24} {n:>8}");
             }
         }
+        if let Some(v) = &self.verify_native {
+            let _ = writeln!(
+                out,
+                "native verify: {} function(s), {} code bytes, {} diagnostic(s)",
+                v.functions, v.code_bytes, v.diagnostics
+            );
+        }
         let _ = writeln!(
             out,
             "int register pressure per program point (mean {:.2}, max {}):",
@@ -497,6 +534,11 @@ impl ModuleMetrics {
             Some(q) => q.write_json(&mut w),
             None => w.null(),
         }
+        w.key("verify_native");
+        match &self.verify_native {
+            Some(v) => v.write_json(&mut w),
+            None => w.null(),
+        }
         w.end_object();
         w.finish()
     }
@@ -521,7 +563,7 @@ impl MetricsSink {
         if let Some(f) = self.cur.take() {
             self.done.push(f);
         }
-        ModuleMetrics { funcs: self.done, quality_lints: None }
+        ModuleMetrics { funcs: self.done, quality_lints: None, verify_native: None }
     }
 }
 

@@ -1,0 +1,1069 @@
+//! An x86-64 decoder for exactly the instruction set [`lsra_jit::encoder`]
+//! emits.
+//!
+//! The decoder is deliberately *strict*: it accepts precisely the canonical
+//! byte shapes the encoder produces and nothing else. Memory operands must
+//! use the uniform disp32 form (with the SIB byte `0x24` for `rsp`/`r12`
+//! bases), `mov r64, imm` must use the sign-extended imm32 form whenever
+//! the immediate fits (a `movabs` of a small immediate is rejected as
+//! non-canonical), REX prefixes may only carry the extension bits the
+//! corresponding encoder method sets, and byte-register forms are limited
+//! to `al`/`cl`/`dl`/`bl`. Strictness buys two properties:
+//!
+//! 1. **Round trip**: `decode` followed by [`MInst::encode`] reproduces the
+//!    original bytes exactly (see the property sweep in
+//!    `tests/verify_subsystem.rs`), and conversely every encoder emission
+//!    decodes — the decoder's language *is* the encoder's image.
+//! 2. **Mutation sensitivity**: a corrupted byte either changes the decoded
+//!    operands (caught by the symbolic verifier) or falls outside the
+//!    language entirely (a [`DecodeError`], diagnostic `N001`).
+
+use std::fmt;
+
+use lsra_jit::encoder::{Asm, Cc, Gpr, Xmm};
+
+/// The 64-bit ALU operations sharing the `REX.W op /r` shape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AluOp {
+    /// `add` (opcode `0x01`).
+    Add,
+    /// `sub` (opcode `0x29`).
+    Sub,
+    /// `and` (opcode `0x21`).
+    And,
+    /// `or` (opcode `0x09`).
+    Or,
+    /// `xor` (opcode `0x31`).
+    Xor,
+    /// `cmp` (opcode `0x39`, flags only).
+    Cmp,
+    /// `test` (opcode `0x85`, flags only).
+    Test,
+}
+
+impl AluOp {
+    fn from_opcode(b: u8) -> Option<AluOp> {
+        Some(match b {
+            0x01 => AluOp::Add,
+            0x29 => AluOp::Sub,
+            0x21 => AluOp::And,
+            0x09 => AluOp::Or,
+            0x31 => AluOp::Xor,
+            0x39 => AluOp::Cmp,
+            0x85 => AluOp::Test,
+            _ => return None,
+        })
+    }
+
+    /// The Intel mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+            AluOp::Test => "test",
+        }
+    }
+}
+
+/// The scalar-double SSE2 arithmetic ops sharing the `F2 0F op /r` shape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SseOp {
+    /// `addsd` (opcode `0x58`).
+    Add,
+    /// `subsd` (opcode `0x5C`).
+    Sub,
+    /// `mulsd` (opcode `0x59`).
+    Mul,
+    /// `divsd` (opcode `0x5E`).
+    Div,
+    /// `sqrtsd` (opcode `0x51`).
+    Sqrt,
+}
+
+impl SseOp {
+    fn from_opcode(b: u8) -> Option<SseOp> {
+        Some(match b {
+            0x58 => SseOp::Add,
+            0x5C => SseOp::Sub,
+            0x59 => SseOp::Mul,
+            0x5E => SseOp::Div,
+            0x51 => SseOp::Sqrt,
+            _ => return None,
+        })
+    }
+
+    /// The Intel mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SseOp::Add => "addsd",
+            SseOp::Sub => "subsd",
+            SseOp::Mul => "mulsd",
+            SseOp::Div => "divsd",
+            SseOp::Sqrt => "sqrtsd",
+        }
+    }
+}
+
+/// One decoded machine instruction — the typed form of every byte shape the
+/// JIT encoder can emit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MInst {
+    /// `mov dst, src` (64-bit register-register).
+    MovRR {
+        /// Destination register.
+        dst: Gpr,
+        /// Source register.
+        src: Gpr,
+    },
+    /// `mov dst, imm` — imm32 sign-extended when it fits, else `movabs`.
+    MovRI {
+        /// Destination register.
+        dst: Gpr,
+        /// The immediate (the encoding form is canonical given its value).
+        imm: i64,
+    },
+    /// `mov dst, [base + disp]` (64-bit load).
+    MovRM {
+        /// Destination register.
+        dst: Gpr,
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `mov [base + disp], src` (64-bit store).
+    MovMR {
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+        /// Source register.
+        src: Gpr,
+    },
+    /// `mov dst, [base + index*8]`.
+    MovRMIndex8 {
+        /// Destination register.
+        dst: Gpr,
+        /// Memory base register.
+        base: Gpr,
+        /// Scaled index register.
+        index: Gpr,
+    },
+    /// `mov [base + index*8], src`.
+    MovMRIndex8 {
+        /// Memory base register.
+        base: Gpr,
+        /// Scaled index register.
+        index: Gpr,
+        /// Source register.
+        src: Gpr,
+    },
+    /// `mov qword [base + disp], imm32` (sign-extended).
+    MovMI {
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+        /// The immediate.
+        imm: i32,
+    },
+    /// `movzx dst, src8` (zero-extend a low byte register).
+    MovzxRb {
+        /// Destination register.
+        dst: Gpr,
+        /// Source low-byte register (`al`/`cl`/`dl`/`bl`).
+        src: Gpr,
+    },
+    /// A two-register 64-bit ALU operation.
+    Alu {
+        /// Which operation.
+        op: AluOp,
+        /// Destination (rm) register — for `cmp`/`test`, the first operand.
+        dst: Gpr,
+        /// Source (reg) register — for `cmp`/`test`, the second operand.
+        src: Gpr,
+    },
+    /// `imul dst, src` (low 64 bits).
+    ImulRR {
+        /// Destination register.
+        dst: Gpr,
+        /// Source register.
+        src: Gpr,
+    },
+    /// `add reg, imm32`.
+    AddRI {
+        /// The register.
+        reg: Gpr,
+        /// The immediate.
+        imm: i32,
+    },
+    /// `sub reg, imm32`.
+    SubRI {
+        /// The register.
+        reg: Gpr,
+        /// The immediate.
+        imm: i32,
+    },
+    /// `cmp reg, imm8` (sign-extended).
+    CmpRI8 {
+        /// The register.
+        reg: Gpr,
+        /// The immediate.
+        imm: i8,
+    },
+    /// `cmp qword [base + disp], imm8` (sign-extended).
+    CmpMI8 {
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+        /// The immediate.
+        imm: i8,
+    },
+    /// `cmp reg, qword [base + disp]`.
+    CmpRM {
+        /// The register operand.
+        reg: Gpr,
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `neg reg`.
+    NegR {
+        /// The register.
+        reg: Gpr,
+    },
+    /// `not reg`.
+    NotR {
+        /// The register.
+        reg: Gpr,
+    },
+    /// `shl reg, cl`.
+    ShlCl {
+        /// The register.
+        reg: Gpr,
+    },
+    /// `sar reg, cl`.
+    SarCl {
+        /// The register.
+        reg: Gpr,
+    },
+    /// `cqo`.
+    Cqo,
+    /// `idiv reg`.
+    IdivR {
+        /// The divisor register.
+        reg: Gpr,
+    },
+    /// `xor e<reg>, e<reg>` — the canonical zeroing idiom.
+    ZeroR {
+        /// The register being zeroed.
+        reg: Gpr,
+    },
+    /// `setcc reg8` on a low byte register.
+    Setcc {
+        /// The condition.
+        cc: Cc,
+        /// The low-byte register (`al`/`cl`/`dl`/`bl`).
+        reg: Gpr,
+    },
+    /// `and dst8, src8` on low byte registers.
+    AndRR8 {
+        /// Destination low-byte register.
+        dst: Gpr,
+        /// Source low-byte register.
+        src: Gpr,
+    },
+    /// `inc qword [base + disp]`.
+    IncM {
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `dec qword [base + disp]`.
+    DecM {
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `movsd xmm, [base + disp]`.
+    MovsdXM {
+        /// Destination SSE register.
+        dst: Xmm,
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `movsd [base + disp], xmm`.
+    MovsdMX {
+        /// Memory base register.
+        base: Gpr,
+        /// Byte displacement.
+        disp: i32,
+        /// Source SSE register.
+        src: Xmm,
+    },
+    /// A two-register scalar-double arithmetic operation.
+    Sse {
+        /// Which operation.
+        op: SseOp,
+        /// Destination SSE register.
+        dst: Xmm,
+        /// Source SSE register.
+        src: Xmm,
+    },
+    /// `ucomisd a, b`.
+    Ucomisd {
+        /// First operand.
+        a: Xmm,
+        /// Second operand.
+        b: Xmm,
+    },
+    /// `cvtsi2sd xmm, r64`.
+    Cvtsi2sd {
+        /// Destination SSE register.
+        dst: Xmm,
+        /// Source general-purpose register.
+        src: Gpr,
+    },
+    /// `push reg`.
+    PushR {
+        /// The register.
+        reg: Gpr,
+    },
+    /// `pop reg`.
+    PopR {
+        /// The register.
+        reg: Gpr,
+    },
+    /// `leave`.
+    Leave,
+    /// `ret`.
+    Ret,
+    /// `rep stosq`.
+    RepStosq,
+    /// `jmp rel32`.
+    Jmp {
+        /// Displacement relative to the end of this instruction.
+        rel: i32,
+    },
+    /// `jcc rel32`.
+    Jcc {
+        /// The condition.
+        cc: Cc,
+        /// Displacement relative to the end of this instruction.
+        rel: i32,
+    },
+    /// `call rel32`.
+    CallRel {
+        /// Displacement relative to the end of this instruction.
+        rel: i32,
+    },
+    /// `call reg` (indirect).
+    CallR {
+        /// The register holding the target address.
+        reg: Gpr,
+    },
+}
+
+/// A byte sequence outside the encoder's instruction language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset (relative to the buffer passed to [`decode_one`]) at
+    /// which decoding failed.
+    pub pos: usize,
+    /// What was wrong.
+    pub what: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undecodable at +{:#x}: {}", self.pos, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over the byte stream with canonicality checks.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    start: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn err<T>(&self, what: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError { pos: self.start, what: what.into() })
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.err("truncated instruction"),
+        }
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let mut buf = [0u8; 4];
+        for b in &mut buf {
+            *b = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(buf))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let mut buf = [0u8; 8];
+        for b in &mut buf {
+            *b = self.u8()?;
+        }
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    fn modrm(&mut self) -> Result<(u8, u8, u8), DecodeError> {
+        let m = self.u8()?;
+        Ok((m >> 6, (m >> 3) & 7, m & 7))
+    }
+
+    /// Register-direct ModRM: returns `(reg, rm)` register numbers given
+    /// the REX extension bits.
+    fn modrm_rr(&mut self, rex_r: u8, rex_b: u8) -> Result<(u8, u8), DecodeError> {
+        let (md, reg, rm) = self.modrm()?;
+        if md != 3 {
+            return self.err("expected register-direct ModRM");
+        }
+        Ok(((rex_r << 3) | reg, (rex_b << 3) | rm))
+    }
+
+    /// The encoder's canonical `[base + disp32]` operand: mod=2, SIB `0x24`
+    /// iff the base is `rsp`/`r12`. Returns `(reg, base, disp)`.
+    fn modrm_mem(&mut self, rex_r: u8, rex_b: u8) -> Result<(u8, Gpr, i32), DecodeError> {
+        let (md, reg, rm) = self.modrm()?;
+        if md != 2 {
+            return self.err("expected disp32 memory operand (mod=2)");
+        }
+        let base = if rm == 4 {
+            let sib = self.u8()?;
+            if sib != 0x24 {
+                return self.err(format!("non-canonical SIB {sib:#04x} for rsp/r12 base"));
+            }
+            (rex_b << 3) | 4
+        } else {
+            (rex_b << 3) | rm
+        };
+        Ok(((rex_r << 3) | reg, Gpr(base), self.i32()?))
+    }
+
+    /// The encoder's `[base + index*8]` operand: mod=0, rm=4, SIB scale=3.
+    /// Returns `(reg, base, index)`.
+    fn modrm_index8(
+        &mut self,
+        rex_r: u8,
+        rex_x: u8,
+        rex_b: u8,
+    ) -> Result<(u8, Gpr, Gpr), DecodeError> {
+        let (md, reg, rm) = self.modrm()?;
+        if md != 0 || rm != 4 {
+            return self.err("expected scaled-index memory operand (mod=0, rm=4)");
+        }
+        let sib = self.u8()?;
+        if sib >> 6 != 3 {
+            return self.err("expected *8 scale in SIB");
+        }
+        let index = (rex_x << 3) | ((sib >> 3) & 7);
+        let base = (rex_b << 3) | (sib & 7);
+        if base & 7 == 5 {
+            return self.err("rbp/r13 base is not valid without displacement");
+        }
+        if index & 7 == 4 {
+            return self.err("rsp cannot be an index register");
+        }
+        Ok(((rex_r << 3) | reg, Gpr(base), Gpr(index)))
+    }
+}
+
+/// Decodes the instruction starting at `bytes[pos]`; returns it with its
+/// byte length.
+///
+/// # Errors
+///
+/// [`DecodeError`] when the bytes are not a canonical encoding of any
+/// instruction [`lsra_jit::encoder::Asm`] can emit.
+pub fn decode_one(bytes: &[u8], pos: usize) -> Result<(MInst, usize), DecodeError> {
+    let mut c = Cur { bytes, pos, start: pos };
+    let inst = decode_inner(&mut c)?;
+    let len = c.pos - pos;
+    Ok((inst, len))
+}
+
+fn decode_inner(c: &mut Cur) -> Result<MInst, DecodeError> {
+    let b0 = c.u8()?;
+    match b0 {
+        // rep stosq: F3 48 AB.
+        0xF3 => {
+            if c.u8()? != 0x48 || c.u8()? != 0xAB {
+                return c.err("only `rep stosq` may follow an F3 prefix");
+            }
+            Ok(MInst::RepStosq)
+        }
+        // Scalar-double SSE2 family.
+        0xF2 => decode_f2(c),
+        // ucomisd: 66 [REX] 0F 2E /r.
+        0x66 => {
+            let mut b = c.u8()?;
+            let (rex_r, rex_b) = if b & 0xF0 == 0x40 {
+                if b & 0x0A != 0 {
+                    return c.err("non-canonical REX on ucomisd");
+                }
+                let (r, bb) = ((b >> 2) & 1, b & 1);
+                if r == 0 && bb == 0 {
+                    return c.err("redundant REX on ucomisd");
+                }
+                b = c.u8()?;
+                (r, bb)
+            } else {
+                (0, 0)
+            };
+            if b != 0x0F || c.u8()? != 0x2E {
+                return c.err("only `ucomisd` may follow a 66 prefix");
+            }
+            let (reg, rm) = c.modrm_rr(rex_r, rex_b)?;
+            Ok(MInst::Ucomisd { a: Xmm(reg), b: Xmm(rm) })
+        }
+        // 41-prefixed: push/pop r8..r15, call r8..r15.
+        0x41 => {
+            let b1 = c.u8()?;
+            match b1 {
+                0x50..=0x57 => Ok(MInst::PushR { reg: Gpr(8 + (b1 & 7)) }),
+                0x58..=0x5F => Ok(MInst::PopR { reg: Gpr(8 + (b1 & 7)) }),
+                0xFF => {
+                    let (md, reg, rm) = c.modrm()?;
+                    if md != 3 || reg != 2 {
+                        return c.err("expected `call reg` after 41 FF");
+                    }
+                    Ok(MInst::CallR { reg: Gpr(8 + rm) })
+                }
+                _ => c.err(format!("unsupported 41-prefixed opcode {b1:#04x}")),
+            }
+        }
+        // zero_r on r8..r15: 45 31 /r with reg == rm.
+        0x45 => {
+            if c.u8()? != 0x31 {
+                return c.err("only the zeroing idiom may follow a 45 prefix");
+            }
+            let (reg, rm) = c.modrm_rr(1, 1)?;
+            if reg != rm {
+                return c.err("zeroing idiom requires identical registers");
+            }
+            Ok(MInst::ZeroR { reg: Gpr(reg) })
+        }
+        // REX.W forms.
+        0x48..=0x4F => {
+            let (rex_r, rex_x, rex_b) = ((b0 >> 2) & 1, (b0 >> 1) & 1, b0 & 1);
+            decode_rexw(c, rex_r, rex_x, rex_b)
+        }
+        // zero_r on rax..rdi: 31 /r with reg == rm (no REX).
+        0x31 => {
+            let (reg, rm) = c.modrm_rr(0, 0)?;
+            if reg != rm {
+                return c.err("zeroing idiom requires identical registers");
+            }
+            Ok(MInst::ZeroR { reg: Gpr(reg) })
+        }
+        // setcc / jcc rel32.
+        0x0F => {
+            let b1 = c.u8()?;
+            if b1 & 0xF0 == 0x90 {
+                let cc = Cc::from_nibble(b1 & 0x0F)
+                    .ok_or(())
+                    .or_else(|()| c.err(format!("unsupported condition nibble in {b1:#04x}")))?;
+                let (md, reg, rm) = c.modrm()?;
+                if md != 3 || reg != 0 || rm >= 4 {
+                    return c.err("setcc must target a plain low byte register");
+                }
+                Ok(MInst::Setcc { cc, reg: Gpr(rm) })
+            } else if b1 & 0xF0 == 0x80 {
+                let cc = Cc::from_nibble(b1 & 0x0F)
+                    .ok_or(())
+                    .or_else(|()| c.err(format!("unsupported condition nibble in {b1:#04x}")))?;
+                Ok(MInst::Jcc { cc, rel: c.i32()? })
+            } else {
+                c.err(format!("unsupported 0F opcode {b1:#04x}"))
+            }
+        }
+        // and r/m8, r8 on low byte registers.
+        0x20 => {
+            let (reg, rm) = c.modrm_rr(0, 0)?;
+            if reg >= 4 || rm >= 4 {
+                return c.err("byte `and` limited to al/cl/dl/bl");
+            }
+            Ok(MInst::AndRR8 { dst: Gpr(rm), src: Gpr(reg) })
+        }
+        0x50..=0x57 => Ok(MInst::PushR { reg: Gpr(b0 & 7) }),
+        0x58..=0x5F => Ok(MInst::PopR { reg: Gpr(b0 & 7) }),
+        0xC9 => Ok(MInst::Leave),
+        0xC3 => Ok(MInst::Ret),
+        0xE9 => Ok(MInst::Jmp { rel: c.i32()? }),
+        0xE8 => Ok(MInst::CallRel { rel: c.i32()? }),
+        0xFF => {
+            let (md, reg, rm) = c.modrm()?;
+            if md != 3 || reg != 2 {
+                return c.err("expected `call reg` after FF");
+            }
+            Ok(MInst::CallR { reg: Gpr(rm) })
+        }
+        _ => c.err(format!("unsupported opcode {b0:#04x}")),
+    }
+}
+
+/// The `F2`-prefixed scalar-double family: movsd loads/stores, arithmetic,
+/// and `cvtsi2sd` (which carries REX.W).
+fn decode_f2(c: &mut Cur) -> Result<MInst, DecodeError> {
+    let mut b = c.u8()?;
+    let (mut rex_w, mut rex_r, mut rex_b, had_rex) = (0, 0, 0, b & 0xF0 == 0x40);
+    if had_rex {
+        if b & 0x02 != 0 {
+            return c.err("non-canonical REX.X in SSE instruction");
+        }
+        rex_w = (b >> 3) & 1;
+        rex_r = (b >> 2) & 1;
+        rex_b = b & 1;
+        b = c.u8()?;
+    }
+    if b != 0x0F {
+        return c.err("expected 0F after F2 prefix");
+    }
+    let op = c.u8()?;
+    if rex_w == 1 {
+        // cvtsi2sd is the only REX.W form in the family.
+        if op != 0x2A {
+            return c.err(format!("unsupported F2 REX.W opcode {op:#04x}"));
+        }
+        let (reg, rm) = c.modrm_rr(rex_r, rex_b)?;
+        return Ok(MInst::Cvtsi2sd { dst: Xmm(reg), src: Gpr(rm) });
+    }
+    if had_rex && rex_r == 0 && rex_b == 0 {
+        return c.err("redundant REX in SSE instruction");
+    }
+    match op {
+        0x10 => {
+            let (reg, base, disp) = c.modrm_mem(rex_r, rex_b)?;
+            Ok(MInst::MovsdXM { dst: Xmm(reg), base, disp })
+        }
+        0x11 => {
+            let (reg, base, disp) = c.modrm_mem(rex_r, rex_b)?;
+            Ok(MInst::MovsdMX { base, disp, src: Xmm(reg) })
+        }
+        _ => match SseOp::from_opcode(op) {
+            Some(s) => {
+                let (reg, rm) = c.modrm_rr(rex_r, rex_b)?;
+                Ok(MInst::Sse { op: s, dst: Xmm(reg), src: Xmm(rm) })
+            }
+            None => c.err(format!("unsupported F2 opcode {op:#04x}")),
+        },
+    }
+}
+
+fn decode_rexw(c: &mut Cur, rex_r: u8, rex_x: u8, rex_b: u8) -> Result<MInst, DecodeError> {
+    let no_x = |c: &mut Cur| if rex_x != 0 { c.err("non-canonical REX.X") } else { Ok(()) };
+    let op = c.u8()?;
+    match op {
+        // mov r/m64, r64: register, memory, or scaled-index store forms.
+        0x89 => match c.bytes.get(c.pos).map(|m| m >> 6) {
+            Some(3) => {
+                no_x(c)?;
+                let (reg, rm) = c.modrm_rr(rex_r, rex_b)?;
+                Ok(MInst::MovRR { dst: Gpr(rm), src: Gpr(reg) })
+            }
+            Some(0) => {
+                let (reg, base, index) = c.modrm_index8(rex_r, rex_x, rex_b)?;
+                Ok(MInst::MovMRIndex8 { base, index, src: Gpr(reg) })
+            }
+            _ => {
+                no_x(c)?;
+                let (reg, base, disp) = c.modrm_mem(rex_r, rex_b)?;
+                Ok(MInst::MovMR { base, disp, src: Gpr(reg) })
+            }
+        },
+        // mov r64, r/m64: memory or scaled-index load forms.
+        0x8B => match c.bytes.get(c.pos).map(|m| m >> 6) {
+            Some(0) => {
+                let (reg, base, index) = c.modrm_index8(rex_r, rex_x, rex_b)?;
+                Ok(MInst::MovRMIndex8 { dst: Gpr(reg), base, index })
+            }
+            _ => {
+                no_x(c)?;
+                let (reg, base, disp) = c.modrm_mem(rex_r, rex_b)?;
+                Ok(MInst::MovRM { dst: Gpr(reg), base, disp })
+            }
+        },
+        // mov r/m64, imm32: register or memory destination.
+        0xC7 => {
+            no_x(c)?;
+            if rex_r != 0 {
+                return c.err("non-canonical REX.R on mov imm");
+            }
+            match c.bytes.get(c.pos).map(|m| m >> 6) {
+                Some(3) => {
+                    let (reg, rm) = c.modrm_rr(0, rex_b)?;
+                    if reg & 7 != 0 {
+                        return c.err("mov imm requires /0");
+                    }
+                    Ok(MInst::MovRI { dst: Gpr(rm), imm: c.i32()? as i64 })
+                }
+                _ => {
+                    let (reg, base, disp) = c.modrm_mem(0, rex_b)?;
+                    if reg & 7 != 0 {
+                        return c.err("mov imm requires /0");
+                    }
+                    Ok(MInst::MovMI { base, disp, imm: c.i32()? })
+                }
+            }
+        }
+        // movabs r64, imm64 — canonical only when the imm does not fit i32.
+        0xB8..=0xBF => {
+            no_x(c)?;
+            if rex_r != 0 {
+                return c.err("non-canonical REX.R on movabs");
+            }
+            let dst = Gpr((rex_b << 3) | (op & 7));
+            let imm = c.i64()?;
+            if imm as i32 as i64 == imm {
+                return c.err("non-canonical movabs of an imm32-sized value");
+            }
+            Ok(MInst::MovRI { dst, imm })
+        }
+        // 0F-escape: movzx r64, r8 and imul r64, r64.
+        0x0F => {
+            no_x(c)?;
+            let op2 = c.u8()?;
+            match op2 {
+                0xB6 => {
+                    let (reg, rm) = c.modrm_rr(rex_r, rex_b)?;
+                    if rm >= 4 {
+                        return c.err("movzx source limited to al/cl/dl/bl");
+                    }
+                    Ok(MInst::MovzxRb { dst: Gpr(reg), src: Gpr(rm) })
+                }
+                0xAF => {
+                    let (reg, rm) = c.modrm_rr(rex_r, rex_b)?;
+                    Ok(MInst::ImulRR { dst: Gpr(reg), src: Gpr(rm) })
+                }
+                _ => c.err(format!("unsupported REX.W 0F opcode {op2:#04x}")),
+            }
+        }
+        // Two-register ALU ops (reg field is the source).
+        0x01 | 0x29 | 0x21 | 0x09 | 0x31 | 0x39 | 0x85 => {
+            no_x(c)?;
+            let alu = AluOp::from_opcode(op).unwrap();
+            let (reg, rm) = c.modrm_rr(rex_r, rex_b)?;
+            Ok(MInst::Alu { op: alu, dst: Gpr(rm), src: Gpr(reg) })
+        }
+        // cmp r64, m64.
+        0x3B => {
+            no_x(c)?;
+            let (reg, base, disp) = c.modrm_mem(rex_r, rex_b)?;
+            Ok(MInst::CmpRM { reg: Gpr(reg), base, disp })
+        }
+        // add/sub r64, imm32.
+        0x81 => {
+            no_x(c)?;
+            if rex_r != 0 {
+                return c.err("non-canonical REX.R on ALU imm");
+            }
+            let (reg, rm) = c.modrm_rr(0, rex_b)?;
+            match reg & 7 {
+                0 => Ok(MInst::AddRI { reg: Gpr(rm), imm: c.i32()? }),
+                5 => Ok(MInst::SubRI { reg: Gpr(rm), imm: c.i32()? }),
+                other => c.err(format!("unsupported 81 /{other}")),
+            }
+        }
+        // cmp r/m64, imm8.
+        0x83 => {
+            no_x(c)?;
+            if rex_r != 0 {
+                return c.err("non-canonical REX.R on cmp imm8");
+            }
+            match c.bytes.get(c.pos).map(|m| m >> 6) {
+                Some(3) => {
+                    let (reg, rm) = c.modrm_rr(0, rex_b)?;
+                    if reg & 7 != 7 {
+                        return c.err("83 group limited to /7 (cmp)");
+                    }
+                    Ok(MInst::CmpRI8 { reg: Gpr(rm), imm: c.u8()? as i8 })
+                }
+                _ => {
+                    let (reg, base, disp) = c.modrm_mem(0, rex_b)?;
+                    if reg & 7 != 7 {
+                        return c.err("83 group limited to /7 (cmp)");
+                    }
+                    Ok(MInst::CmpMI8 { base, disp, imm: c.u8()? as i8 })
+                }
+            }
+        }
+        // neg/not/idiv.
+        0xF7 => {
+            no_x(c)?;
+            if rex_r != 0 {
+                return c.err("non-canonical REX.R on F7 group");
+            }
+            let (reg, rm) = c.modrm_rr(0, rex_b)?;
+            match reg & 7 {
+                3 => Ok(MInst::NegR { reg: Gpr(rm) }),
+                2 => Ok(MInst::NotR { reg: Gpr(rm) }),
+                7 => Ok(MInst::IdivR { reg: Gpr(rm) }),
+                other => c.err(format!("unsupported F7 /{other}")),
+            }
+        }
+        // shl/sar by cl.
+        0xD3 => {
+            no_x(c)?;
+            if rex_r != 0 {
+                return c.err("non-canonical REX.R on shift");
+            }
+            let (reg, rm) = c.modrm_rr(0, rex_b)?;
+            match reg & 7 {
+                4 => Ok(MInst::ShlCl { reg: Gpr(rm) }),
+                7 => Ok(MInst::SarCl { reg: Gpr(rm) }),
+                other => c.err(format!("unsupported D3 /{other}")),
+            }
+        }
+        // cqo (REX must be exactly 48).
+        0x99 => {
+            if rex_r != 0 || rex_x != 0 || rex_b != 0 {
+                return c.err("non-canonical REX on cqo");
+            }
+            Ok(MInst::Cqo)
+        }
+        // inc/dec m64.
+        0xFF => {
+            no_x(c)?;
+            if rex_r != 0 {
+                return c.err("non-canonical REX.R on inc/dec");
+            }
+            let (reg, base, disp) = c.modrm_mem(0, rex_b)?;
+            match reg & 7 {
+                0 => Ok(MInst::IncM { base, disp }),
+                1 => Ok(MInst::DecM { base, disp }),
+                other => c.err(format!("unsupported FF /{other}")),
+            }
+        }
+        _ => c.err(format!("unsupported REX.W opcode {op:#04x}")),
+    }
+}
+
+impl MInst {
+    /// Re-encodes the instruction through [`lsra_jit::encoder::Asm`] (the
+    /// rel32 control-flow forms, which the encoder only emits via labels or
+    /// placeholders, are emitted directly in their fixed shapes). Together
+    /// with the decoder's strictness this is a byte-exact round trip.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut a = Asm::new();
+        match *self {
+            MInst::MovRR { dst, src } => a.mov_rr(dst, src),
+            MInst::MovRI { dst, imm } => a.mov_ri(dst, imm),
+            MInst::MovRM { dst, base, disp } => a.mov_rm(dst, base, disp),
+            MInst::MovMR { base, disp, src } => a.mov_mr(base, disp, src),
+            MInst::MovRMIndex8 { dst, base, index } => a.mov_rm_index8(dst, base, index),
+            MInst::MovMRIndex8 { base, index, src } => a.mov_mr_index8(base, index, src),
+            MInst::MovMI { base, disp, imm } => a.mov_mi(base, disp, imm),
+            MInst::MovzxRb { dst, src } => a.movzx_rb(dst, src),
+            MInst::Alu { op, dst, src } => match op {
+                AluOp::Add => a.add_rr(dst, src),
+                AluOp::Sub => a.sub_rr(dst, src),
+                AluOp::And => a.and_rr(dst, src),
+                AluOp::Or => a.or_rr(dst, src),
+                AluOp::Xor => a.xor_rr(dst, src),
+                AluOp::Cmp => a.cmp_rr(dst, src),
+                AluOp::Test => a.test_rr(dst, src),
+            },
+            MInst::ImulRR { dst, src } => a.imul_rr(dst, src),
+            MInst::AddRI { reg, imm } => a.add_ri(reg, imm),
+            MInst::SubRI { reg, imm } => a.sub_ri(reg, imm),
+            MInst::CmpRI8 { reg, imm } => a.cmp_ri8(reg, imm),
+            MInst::CmpMI8 { base, disp, imm } => a.cmp_mi8(base, disp, imm),
+            MInst::CmpRM { reg, base, disp } => a.cmp_rm(reg, base, disp),
+            MInst::NegR { reg } => a.neg_r(reg),
+            MInst::NotR { reg } => a.not_r(reg),
+            MInst::ShlCl { reg } => a.shl_cl(reg),
+            MInst::SarCl { reg } => a.sar_cl(reg),
+            MInst::Cqo => a.cqo(),
+            MInst::IdivR { reg } => a.idiv_r(reg),
+            MInst::ZeroR { reg } => a.zero_r(reg),
+            MInst::Setcc { cc, reg } => a.setcc(cc, reg),
+            MInst::AndRR8 { dst, src } => a.and_rr8(dst, src),
+            MInst::IncM { base, disp } => a.inc_m(base, disp),
+            MInst::DecM { base, disp } => a.dec_m(base, disp),
+            MInst::MovsdXM { dst, base, disp } => a.movsd_xm(dst, base, disp),
+            MInst::MovsdMX { base, disp, src } => a.movsd_mx(base, disp, src),
+            MInst::Sse { op, dst, src } => match op {
+                SseOp::Add => a.addsd(dst, src),
+                SseOp::Sub => a.subsd(dst, src),
+                SseOp::Mul => a.mulsd(dst, src),
+                SseOp::Div => a.divsd(dst, src),
+                SseOp::Sqrt => a.sqrtsd(dst, src),
+            },
+            MInst::Ucomisd { a: x, b: y } => a.ucomisd(x, y),
+            MInst::Cvtsi2sd { dst, src } => a.cvtsi2sd(dst, src),
+            MInst::PushR { reg } => a.push_r(reg),
+            MInst::PopR { reg } => a.pop_r(reg),
+            MInst::Leave => a.leave(),
+            MInst::Ret => a.ret(),
+            MInst::RepStosq => a.rep_stosq(),
+            MInst::Jmp { rel } => {
+                out.push(0xE9);
+                out.extend_from_slice(&rel.to_le_bytes());
+                return;
+            }
+            MInst::Jcc { cc, rel } => {
+                out.push(0x0F);
+                out.push(0x80 | cc as u8);
+                out.extend_from_slice(&rel.to_le_bytes());
+                return;
+            }
+            MInst::CallRel { rel } => {
+                out.push(0xE8);
+                out.extend_from_slice(&rel.to_le_bytes());
+                return;
+            }
+            MInst::CallR { reg } => a.call_r(reg),
+        }
+        out.extend_from_slice(&a.finish());
+    }
+}
+
+/// The conventional name of a 64-bit register.
+pub fn gpr_name(r: Gpr) -> &'static str {
+    const NAMES: [&str; 16] = [
+        "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
+        "r13", "r14", "r15",
+    ];
+    NAMES[r.0 as usize & 15]
+}
+
+/// The conventional name of a low byte register (`al`/`cl`/`dl`/`bl`).
+pub fn byte_name(r: Gpr) -> &'static str {
+    const NAMES: [&str; 4] = ["al", "cl", "dl", "bl"];
+    NAMES[r.0 as usize & 3]
+}
+
+fn mem(f: &mut fmt::Formatter<'_>, base: Gpr, disp: i32) -> fmt::Result {
+    if disp == 0 {
+        write!(f, "[{}]", gpr_name(base))
+    } else if disp < 0 {
+        write!(f, "[{}-{:#x}]", gpr_name(base), -(disp as i64))
+    } else {
+        write!(f, "[{}+{disp:#x}]", gpr_name(base))
+    }
+}
+
+impl fmt::Display for MInst {
+    /// Intel-syntax rendering. Relative control flow prints its raw rel32
+    /// (`jmp +0x12`); the disassembly listing resolves absolute targets.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = gpr_name;
+        match *self {
+            MInst::MovRR { dst, src } => write!(f, "mov {}, {}", g(dst), g(src)),
+            MInst::MovRI { dst, imm } => {
+                if imm as i32 as i64 == imm {
+                    write!(f, "mov {}, {imm}", g(dst))
+                } else {
+                    write!(f, "movabs {}, {imm:#x}", g(dst))
+                }
+            }
+            MInst::MovRM { dst, base, disp } => {
+                write!(f, "mov {}, ", g(dst))?;
+                mem(f, base, disp)
+            }
+            MInst::MovMR { base, disp, src } => {
+                write!(f, "mov ")?;
+                mem(f, base, disp)?;
+                write!(f, ", {}", g(src))
+            }
+            MInst::MovRMIndex8 { dst, base, index } => {
+                write!(f, "mov {}, [{}+{}*8]", g(dst), g(base), g(index))
+            }
+            MInst::MovMRIndex8 { base, index, src } => {
+                write!(f, "mov [{}+{}*8], {}", g(base), g(index), g(src))
+            }
+            MInst::MovMI { base, disp, imm } => {
+                write!(f, "mov qword ")?;
+                mem(f, base, disp)?;
+                write!(f, ", {imm}")
+            }
+            MInst::MovzxRb { dst, src } => write!(f, "movzx {}, {}", g(dst), byte_name(src)),
+            MInst::Alu { op, dst, src } => write!(f, "{} {}, {}", op.mnemonic(), g(dst), g(src)),
+            MInst::ImulRR { dst, src } => write!(f, "imul {}, {}", g(dst), g(src)),
+            MInst::AddRI { reg, imm } => write!(f, "add {}, {imm}", g(reg)),
+            MInst::SubRI { reg, imm } => write!(f, "sub {}, {imm}", g(reg)),
+            MInst::CmpRI8 { reg, imm } => write!(f, "cmp {}, {imm}", g(reg)),
+            MInst::CmpMI8 { base, disp, imm } => {
+                write!(f, "cmp qword ")?;
+                mem(f, base, disp)?;
+                write!(f, ", {imm}")
+            }
+            MInst::CmpRM { reg, base, disp } => {
+                write!(f, "cmp {}, ", g(reg))?;
+                mem(f, base, disp)
+            }
+            MInst::NegR { reg } => write!(f, "neg {}", g(reg)),
+            MInst::NotR { reg } => write!(f, "not {}", g(reg)),
+            MInst::ShlCl { reg } => write!(f, "shl {}, cl", g(reg)),
+            MInst::SarCl { reg } => write!(f, "sar {}, cl", g(reg)),
+            MInst::Cqo => write!(f, "cqo"),
+            MInst::IdivR { reg } => write!(f, "idiv {}", g(reg)),
+            MInst::ZeroR { reg } => {
+                // 32-bit form, as encoded.
+                let e: [&str; 16] = [
+                    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d",
+                    "r11d", "r12d", "r13d", "r14d", "r15d",
+                ];
+                let n = e[reg.0 as usize & 15];
+                write!(f, "xor {n}, {n}")
+            }
+            MInst::Setcc { cc, reg } => write!(f, "set{} {}", cc.mnemonic(), byte_name(reg)),
+            MInst::AndRR8 { dst, src } => write!(f, "and {}, {}", byte_name(dst), byte_name(src)),
+            MInst::IncM { base, disp } => {
+                write!(f, "inc qword ")?;
+                mem(f, base, disp)
+            }
+            MInst::DecM { base, disp } => {
+                write!(f, "dec qword ")?;
+                mem(f, base, disp)
+            }
+            MInst::MovsdXM { dst, base, disp } => {
+                write!(f, "movsd xmm{}, ", dst.0)?;
+                mem(f, base, disp)
+            }
+            MInst::MovsdMX { base, disp, src } => {
+                write!(f, "movsd ")?;
+                mem(f, base, disp)?;
+                write!(f, ", xmm{}", src.0)
+            }
+            MInst::Sse { op, dst, src } => {
+                write!(f, "{} xmm{}, xmm{}", op.mnemonic(), dst.0, src.0)
+            }
+            MInst::Ucomisd { a, b } => write!(f, "ucomisd xmm{}, xmm{}", a.0, b.0),
+            MInst::Cvtsi2sd { dst, src } => write!(f, "cvtsi2sd xmm{}, {}", dst.0, g(src)),
+            MInst::PushR { reg } => write!(f, "push {}", g(reg)),
+            MInst::PopR { reg } => write!(f, "pop {}", g(reg)),
+            MInst::Leave => write!(f, "leave"),
+            MInst::Ret => write!(f, "ret"),
+            MInst::RepStosq => write!(f, "rep stosq"),
+            MInst::Jmp { rel } => write!(f, "jmp {rel:+#x}"),
+            MInst::Jcc { cc, rel } => write!(f, "j{} {rel:+#x}", cc.mnemonic()),
+            MInst::CallRel { rel } => write!(f, "call {rel:+#x}"),
+            MInst::CallR { reg } => write!(f, "call {}", g(reg)),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Annotated disassembly of compiled images.
+//!
+//! The listing interleaves the decoded instruction stream with allocated-IR
+//! annotations recovered by the verifier's walk: block labels, the IR
+//! instruction each template implements, and the prologue/stub regions.
+//! Helper addresses are rendered symbolically (`<ext:putint>`,
+//! `<rt:ftoi>`) so listings are deterministic across processes and can be
+//! pinned as golden files.
+
+use lsra_ir::{ExtFn, FuncId, Function, MachineSpec, Module};
+use lsra_jit::{abi, CodeBuffer};
+
+use crate::decoder::{decode_one, MInst};
+use crate::verifier::walk_function;
+
+use std::fmt::Write as _;
+
+const EXTS: [ExtFn; 4] = [ExtFn::GetChar, ExtFn::PutInt, ExtFn::PutChar, ExtFn::PutFloat];
+
+/// Renders a `mov r64, imm64` immediate symbolically when it matches a
+/// known runtime helper address.
+fn symbolize_imm(imm: i64) -> Option<String> {
+    if imm == abi::ftoi_address() as i64 {
+        return Some("<rt:ftoi>".to_string());
+    }
+    EXTS.iter()
+        .find(|e| imm == abi::helper_address(**e) as i64)
+        .map(|e| format!("<ext:{}>", e.name()))
+}
+
+/// Renders one decoded instruction for the listing: control flow gets
+/// absolute targets, helper immediates get symbolic names.
+fn render_inst(mi: &MInst, end_pos: usize) -> String {
+    match *mi {
+        MInst::MovRI { dst, imm } => {
+            if let Some(sym) = symbolize_imm(imm) {
+                return format!("mov {}, {sym}", crate::decoder::gpr_name(dst));
+            }
+            format!("{mi}")
+        }
+        MInst::Jmp { rel } => format!("jmp {:#x}", end_pos as i64 + rel as i64),
+        MInst::Jcc { cc, rel } => {
+            format!("j{} {:#x}", cc.mnemonic(), end_pos as i64 + rel as i64)
+        }
+        MInst::CallRel { rel } => format!("call {:#x}", end_pos as i64 + rel as i64),
+        _ => format!("{mi}"),
+    }
+}
+
+fn hex_bytes(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+/// Renders `code[start..end]` with the given `(offset, text)` annotations.
+fn render_range(
+    out: &mut String,
+    code: &[u8],
+    start: usize,
+    end: usize,
+    markers: &[(usize, String)],
+) {
+    let mut pos = start;
+    let mut mi_idx = 0;
+    while pos < end {
+        while mi_idx < markers.len() && markers[mi_idx].0 <= pos {
+            let _ = writeln!(out, "        ; {}", markers[mi_idx].1);
+            mi_idx += 1;
+        }
+        match decode_one(&code[..end], pos) {
+            Ok((mi, len)) => {
+                let text = render_inst(&mi, pos + len);
+                let _ = writeln!(out, "{pos:>6x}: {:<30} {text}", hex_bytes(&code[pos..pos + len]));
+                pos += len;
+            }
+            Err(_) => {
+                let _ = writeln!(
+                    out,
+                    "{pos:>6x}: {:<30} db {:#04x}",
+                    hex_bytes(&code[pos..pos + 1]),
+                    code[pos]
+                );
+                pos += 1;
+            }
+        }
+    }
+    // Trailing markers (e.g. annotations recorded at `end` itself).
+    while mi_idx < markers.len() && markers[mi_idx].0 <= end {
+        let _ = writeln!(out, "        ; {}", markers[mi_idx].1);
+        mi_idx += 1;
+    }
+}
+
+/// Produces an annotated listing for a compiled image from raw parts.
+///
+/// Each function's listing is prefixed with its name and byte range; the
+/// entry trampoline (everything before the first function) is rendered
+/// first. The output is deterministic for a given module, allocator, and
+/// machine — helper addresses never appear numerically.
+pub fn disasm_image(
+    funcs: &[Function],
+    _entry: FuncId,
+    spec: &MachineSpec,
+    code: &[u8],
+    entry_offset: usize,
+    func_ranges: &[(usize, usize)],
+) -> String {
+    let mut out = String::new();
+    let tramp_end = func_ranges.iter().map(|r| r.0).min().unwrap_or(code.len());
+    let _ = writeln!(out, "; entry trampoline ({} bytes)", tramp_end - entry_offset);
+    render_range(&mut out, code, entry_offset, tramp_end, &[]);
+    for (i, f) in funcs.iter().enumerate() {
+        let (s, e) = func_ranges[i];
+        let _ = writeln!(out, "\n; fn {} ({} bytes at {s:#x})", f.name, e - s);
+        let walk = walk_function(code, f, FuncId(i as u32), spec, (s, e));
+        render_range(&mut out, code, s, e, &walk.markers);
+    }
+    out
+}
+
+/// Annotated disassembly of a [`CodeBuffer`] compiled from `module`.
+pub fn disasm_module(module: &Module, spec: &MachineSpec, buf: &CodeBuffer) -> String {
+    disasm_image(
+        &module.funcs,
+        module.entry,
+        spec,
+        buf.encoding(),
+        buf.entry_offset(),
+        buf.func_ranges(),
+    )
+}
+
+/// Annotated disassembly of a single-function [`CodeBuffer`].
+pub fn disasm_function(f: &Function, spec: &MachineSpec, buf: &CodeBuffer) -> String {
+    disasm_image(
+        std::slice::from_ref(f),
+        FuncId(0),
+        spec,
+        buf.encoding(),
+        buf.entry_offset(),
+        buf.func_ranges(),
+    )
+}

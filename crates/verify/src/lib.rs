@@ -1,0 +1,34 @@
+//! Static translation validation for the native JIT backend.
+//!
+//! Where `lsra_jit::check` validates the backend *dynamically* — executing
+//! compiled code and differencing it against the VM — this crate validates
+//! it *statically*: it decodes the emitted machine code back into a typed
+//! instruction stream and symbolically re-interprets it against the
+//! allocated IR, proving for every compiled function that
+//!
+//! * the bytes lie inside the encoder's exact instruction language
+//!   (strict, canonical decoding — [`decoder`]),
+//! * the prologue, counter preludes, fault stubs, and call sites follow
+//!   the ABI contracts of `DESIGN.md` §15, and
+//! * every template's dataflow effect on the frame, the `Env`, and data
+//!   memory equals its IR instruction's denotation (`DESIGN.md` §16).
+//!
+//! Verification needs no executable memory, so it runs on hosts where the
+//! JIT itself cannot (noexec mounts, non-x86-64 machines, hardened CI).
+//! Diagnostics are ordinary [`lsra_lint::LintReport`]s using the
+//! error-severity `N0xx` code family, so `--deny N001` and friends work
+//! exactly like the allocation-quality lints.
+//!
+//! Entry points: [`verify_module`] / [`verify_function`] for
+//! [`lsra_jit::CodeBuffer`]s, [`verify_image`] for raw parts (mutation
+//! testing, images reconstructed from disk), and [`disasm_module`] /
+//! [`disasm_function`] / [`disasm_image`] for annotated listings.
+
+#![warn(missing_docs)]
+
+pub mod decoder;
+mod disasm;
+mod verifier;
+
+pub use disasm::{disasm_function, disasm_image, disasm_module};
+pub use verifier::{verify_function, verify_image, verify_module};

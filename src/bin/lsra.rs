@@ -6,6 +6,7 @@
 //! lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup]
 //!                        [--check] [--run] [--backend vm|native]
 //!                        [--lint] [--deny CODE]...
+//!                        [--verify-native] [--emit-asm] [--corrupt-byte OFF]
 //!                        [--time-phases] [--workers N]
 //!                        [--trace FILE] [--trace-format FMT]
 //! lsra lint <file.lsra> [--allocator NAME] [--machine SPEC]
@@ -15,7 +16,7 @@
 //! lsra bench <workload> [--allocator NAME] [--time-phases] [--workers N]
 //!                       [--backend vm|native] [--exec-runs N]
 //! lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]...
-//!           [--shrink] [--no-serve] [--no-native]
+//!           [--shrink] [--no-serve] [--no-native] [--no-verify]
 //! lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B]
 //!            [--max-queue N] [--timeout-ms T]
 //!            [--telemetry-log FILE] [--slow-ms T]
@@ -74,14 +75,26 @@
 //! nonzero exit. `alloc --lint` runs the same quality lints on the
 //! allocation it prints, reporting to stderr and honouring `--deny`.
 //!
+//! `alloc --verify-native` JIT-compiles the allocation and statically
+//! verifies the machine code against the allocated IR (`N0xx` diagnostics:
+//! strict decode, symbolic dataflow, counter/frame/call ABI) — no
+//! executable memory needed, so it works on noexec hosts; any diagnostic
+//! fails the run. `--emit-asm` prints a deterministic disassembly listing
+//! annotated with the allocated IR instead of the module text.
+//! `--corrupt-byte OFF` flips one byte of the compiled image before
+//! verifying (a self-test hook: the verifier must reject the corruption).
+//!
 //! `fuzz` generates random adversarial modules and runs each requested
 //! allocator (default: all five) on each requested machine (default:
 //! `small:2,1`, `small:4,2`, `alpha`) under the full oracle — static check,
-//! symbolic checker, differential execution, and a service round-trip
-//! (each case is also sent through an in-process allocation server and the
-//! response compared byte-for-byte against direct allocation; disable with
-//! `--no-serve`). `--shrink` minimizes any failing module with delta
-//! debugging before printing it. Runs are deterministic in `--seed`.
+//! symbolic checker, differential execution, native-vs-VM execution
+//! (`--no-native` to skip), static machine-code verification of every
+//! compiled case (`--no-verify` to skip; runs even on noexec hosts), and a
+//! service round-trip (each case is also sent through an in-process
+//! allocation server and the response compared byte-for-byte against
+//! direct allocation; disable with `--no-serve`). `--shrink` minimizes any
+//! failing module with delta debugging before printing it. Runs are
+//! deterministic in `--seed`.
 //!
 //! `serve` starts the allocation service: one line-delimited JSON request
 //! per line in, one JSON response per line out, over stdin/stdout (the
@@ -122,6 +135,7 @@ fn usage() -> ExitCode {
         "usage:\n  lsra print <file.lsra>\n  lsra run <file.lsra> [--input FILE] [--machine SPEC]\n  \
          lsra alloc <file.lsra> [--allocator NAME] [--machine SPEC] [--cleanup] [--check] [--run]\n           \
          [--backend vm|native] [--lint] [--deny CODE]... [--time-phases] [--workers N]\n           \
+         [--verify-native] [--emit-asm] [--corrupt-byte OFF]\n           \
          [--trace FILE] [--trace-format log|jsonl|chrome|annotate]\n  \
          lsra lint <file.lsra> [--allocator NAME] [--machine SPEC] [--format human|json]\n          \
          [--deny CODE]...\n  \
@@ -129,7 +143,7 @@ fn usage() -> ExitCode {
          lsra workloads\n  lsra bench [<workload>] [--allocator NAME] [--time-phases] [--workers N]\n            \
          [--backend vm|native] [--exec-runs N]\n  \
          lsra fuzz [--seed N] [--iters N] [--machine SPEC]... [--allocator NAME]... [--shrink]\n       \
-         [--no-serve] [--no-native]\n  \
+         [--no-serve] [--no-native] [--no-verify]\n  \
          lsra serve [--stdio | --addr HOST:PORT] [--workers N] [--cache-bytes B] [--max-queue N]\n           \
          [--timeout-ms T] [--telemetry-log FILE] [--slow-ms T]\n  \
          lsra loadgen <workload>... [--requests N] [--concurrency C] [--dup-percent P]\n             \
@@ -240,6 +254,17 @@ struct Opts {
     exec_runs: usize,
     /// `--no-native` (fuzz): skip the native-vs-VM differential stage.
     no_native: bool,
+    /// `--no-verify` (fuzz): skip the static native-verification stage.
+    no_verify: bool,
+    /// `--verify-native` (alloc): statically verify the compiled machine
+    /// code against the allocated IR (no executable memory needed).
+    verify_native: bool,
+    /// `--emit-asm` (alloc): print an annotated disassembly listing instead
+    /// of the allocated IR.
+    emit_asm: bool,
+    /// `--corrupt-byte OFF` (alloc): XOR the machine-code byte at OFF with
+    /// 0xFF before verification — the verifier must reject the image.
+    corrupt_byte: Option<usize>,
 }
 
 impl Opts {
@@ -288,6 +313,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         backend: "vm".to_string(),
         exec_runs: 10,
         no_native: false,
+        no_verify: false,
+        verify_native: false,
+        emit_asm: false,
+        corrupt_byte: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -362,6 +391,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--no-serve" => o.no_serve = true,
             "--no-native" => o.no_native = true,
+            "--no-verify" => o.no_verify = true,
+            "--verify-native" => o.verify_native = true,
+            "--emit-asm" => o.emit_asm = true,
+            "--corrupt-byte" => {
+                let v = it.next().ok_or("--corrupt-byte needs a byte offset")?;
+                o.corrupt_byte = Some(v.parse().map_err(|_| "bad byte offset")?);
+            }
             "--exec-runs" => {
                 let v = it.next().ok_or("--exec-runs needs a count")?;
                 o.exec_runs = v.parse().map_err(|_| "bad run count")?;
@@ -401,8 +437,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--deny" => {
                 let v = it.next().ok_or("--deny needs a lint code or name")?;
-                let code = LintCode::parse(v)
-                    .ok_or_else(|| format!("unknown lint `{v}` (L001..L007, Q101..Q105)"))?;
+                let code = LintCode::parse(v).ok_or_else(|| {
+                    format!(
+                        "unknown lint `{v}` (families: L0xx input, Q1xx allocation quality, \
+                         N0xx native verification)"
+                    )
+                })?;
                 o.deny.push(code);
             }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -601,7 +641,58 @@ fn cmd_alloc(o: &Opts) -> Result<(), String> {
             lsra_analysis::remove_identity_moves(m.func_mut(id));
         }
     }
-    print!("{m}");
+    // Static translation validation of the JIT output. Pure byte analysis:
+    // works on hosts that cannot map executable memory.
+    if o.verify_native || o.emit_asm || o.corrupt_byte.is_some() {
+        use second_chance_regalloc::{jit, verify};
+        let code = jit::compile_module(&m, &spec).map_err(|e| format!("jit: {e}"))?;
+        if o.emit_asm {
+            print!("{}", verify::disasm_module(&m, &spec, &code));
+        }
+        if o.verify_native || o.corrupt_byte.is_some() {
+            let report = match o.corrupt_byte {
+                Some(off) => {
+                    let mut bytes = code.encoding().to_vec();
+                    if off >= bytes.len() {
+                        return Err(format!(
+                            "--corrupt-byte {off} out of range ({} code bytes)",
+                            bytes.len()
+                        ));
+                    }
+                    bytes[off] ^= 0xFF;
+                    eprintln!("; corrupted code byte at {off:#x} before verification");
+                    verify::verify_image(
+                        &m.funcs,
+                        m.entry,
+                        &spec,
+                        &bytes,
+                        code.entry_offset(),
+                        code.func_ranges(),
+                    )
+                }
+                None => verify::verify_module(&m, &spec, &code),
+            };
+            eprint!("{}", report.render_human());
+            let denied = report.denied(&o.deny);
+            if denied > 0 {
+                return Err(format!("{denied} denied native diagnostic(s)"));
+            }
+            if !report.diags.is_empty() {
+                return Err(format!(
+                    "native verification failed: {} diagnostic(s)",
+                    report.diags.len()
+                ));
+            }
+            eprintln!(
+                "; native verify: {} function(s), {} code bytes, clean",
+                m.funcs.len(),
+                code.code_size()
+            );
+        }
+    }
+    if !o.emit_asm {
+        print!("{m}");
+    }
     eprintln!(
         "; {}: candidates={} spilled={} inserted={} coalesced={} ({:.2} ms)",
         alloc_name,
@@ -673,6 +764,18 @@ fn cmd_report(o: &Opts) -> Result<(), String> {
     // are defined over.
     metrics.quality_lints =
         Some(second_chance_regalloc::lint::lint_quality(&m, &spec).quality_summary());
+    // Compile the allocation to machine code and statically verify it; the
+    // summary lands in the report (and its JSON) as `verify_native`.
+    {
+        use second_chance_regalloc::{jit, verify};
+        let code = jit::compile_module(&m, &spec).map_err(|e| format!("jit: {e}"))?;
+        let report = verify::verify_module(&m, &spec, &code);
+        metrics.verify_native = Some(second_chance_regalloc::trace::VerifyNativeSummary {
+            functions: m.funcs.len() as u64,
+            code_bytes: code.code_size() as u64,
+            diagnostics: report.diags.len() as u64,
+        });
+    }
     print!("{}", metrics.report());
     eprintln!(
         "; {}: candidates={} spilled={} inserted={} ({:.2} ms)",
@@ -732,6 +835,7 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
         shrink: o.shrink,
         serve: !o.no_serve,
         native: !o.no_native,
+        verify: !o.no_verify,
         ..defaults
     };
     for name in &cfg.allocators {
@@ -746,7 +850,7 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
     let report = second_chance_regalloc::fuzz::run_fuzz(&cfg);
     std::panic::set_hook(hook);
     eprintln!(
-        "; fuzz: seed={:#x} iters={} machines={} allocators={} cases={} native={}",
+        "; fuzz: seed={:#x} iters={} machines={} allocators={} cases={} native={} verify={}",
         cfg.seed,
         report.iters,
         cfg.machines.iter().map(|m| m.name()).collect::<Vec<_>>().join(","),
@@ -759,6 +863,7 @@ fn cmd_fuzz(o: &Opts) -> Result<(), String> {
         } else {
             "skipped (cannot map executable code on this host)"
         },
+        if cfg.verify { "on" } else { "off" },
     );
     let fired: Vec<String> = LintCode::ALL
         .into_iter()

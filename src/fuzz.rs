@@ -4,7 +4,7 @@
 //! knobs (float mix, critical-edge density, swap-heavy diamonds, register
 //! pressure against the machine under test), generates a random module, and
 //! runs every requested allocator (all five by default) through a
-//! five-stage oracle:
+//! seven-stage oracle:
 //!
 //! 1. the allocation itself must not panic and its output must
 //!    [`validate`](lsra_ir::Module::validate);
@@ -28,7 +28,14 @@
 //!    allocated module. This cross-checks two independent implementations
 //!    of the IR's semantics instruction by instruction; disable with
 //!    [`FuzzConfig::native`] (`--no-native`), and it auto-skips on hosts
-//!    without executable-memory support.
+//!    without executable-memory support;
+//! 7. (cases that pass 1–4, on **every** host) static translation
+//!    validation: the same compiled image is decoded back into a typed
+//!    instruction stream and symbolically verified against the allocated
+//!    IR ([`lsra_verify::verify_module`]) — any `N0xx` diagnostic fails
+//!    the case. Unlike stage 6 this needs no executable memory, so the
+//!    machine-code backend stays under differential test even on noexec
+//!    hosts; disable with [`FuzzConfig::verify`] (`--no-verify`).
 //!
 //! Alongside the hard oracle, every allocation that reaches stage 3 is run
 //! through the Family B quality lints ([`lsra_lint::lint_quality`], before
@@ -88,6 +95,10 @@ pub struct FuzzConfig {
     /// the VM's run field-for-field (auto-skipped on hosts that cannot map
     /// executable code).
     pub native: bool,
+    /// Statically verify every JIT-compiled case against its allocated IR
+    /// (decoder + symbolic machine-code verifier). Runs on every host —
+    /// static verification needs no executable memory.
+    pub verify: bool,
 }
 
 impl Default for FuzzConfig {
@@ -105,6 +116,7 @@ impl Default for FuzzConfig {
             max_failures: 5,
             serve: true,
             native: true,
+            verify: true,
         }
     }
 }
@@ -204,7 +216,7 @@ pub fn check_case_tallying(
     spec: &MachineSpec,
     lints: &mut [u64; lsra_lint::NUM_CODES],
 ) -> Result<(), String> {
-    check_case_impl(original, allocator, spec, lints, true)
+    check_case_impl(original, allocator, spec, lints, true, true)
 }
 
 fn check_case_impl(
@@ -213,6 +225,7 @@ fn check_case_impl(
     spec: &MachineSpec,
     lints: &mut [u64; lsra_lint::NUM_CODES],
     native: bool,
+    verify: bool,
 ) -> Result<(), String> {
     let alloc =
         allocator_by_name(allocator).ok_or_else(|| format!("unknown allocator `{allocator}`"))?;
@@ -238,8 +251,26 @@ fn check_case_impl(
         .run()
         .map_err(|e| format!("allocated run faulted: {e}"))?;
     compare_runs(&before, &after).map_err(|e| format!("differential run: {e}"))?;
-    if native && lsra_jit::jit_supported() {
-        check_native_case(&m, spec, &after)?;
+    let exec_native = native && lsra_jit::jit_supported();
+    if exec_native || verify {
+        // Compile once: stage 6 (dynamic differential execution, exec hosts
+        // only) and stage 7 (static verification, every host) share the
+        // image.
+        let code = lsra_jit::compile_module(&m, spec)
+            .map_err(|e| format!("native stage: compile failed on a validated allocation: {e}"))?;
+        if verify {
+            let vreport = lsra_verify::verify_module(&m, spec, &code);
+            if !vreport.diags.is_empty() {
+                return Err(format!(
+                    "static native verification: {} diagnostic(s) on a validated allocation:\n{}",
+                    vreport.diags.len(),
+                    vreport.render_human()
+                ));
+            }
+        }
+        if exec_native {
+            check_native_case(&code, &after)?;
+        }
     }
     Ok(())
 }
@@ -249,12 +280,9 @@ fn check_case_impl(
 /// including every dynamic-count field, which pins the two backends to the
 /// same instruction-by-instruction account of the program.
 fn check_native_case(
-    m: &Module,
-    spec: &MachineSpec,
+    code: &lsra_jit::CodeBuffer,
     vm_result: &lsra_vm::RunResult,
 ) -> Result<(), String> {
-    let code = lsra_jit::compile_module(m, spec)
-        .map_err(|e| format!("native stage: compile failed on a validated allocation: {e}"))?;
     let native = code
         .run(&[], &vm_options())
         .map_err(|e| format!("native stage: native run faulted but the VM's succeeded: {e}"))?;
@@ -380,6 +408,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     spec,
                     &mut report.quality_lints,
                     cfg.native,
+                    cfg.verify,
                 ) {
                     Err(e) => (e, false),
                     Ok(()) => {
@@ -406,6 +435,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                                 spec,
                                 &mut [0; lsra_lint::NUM_CODES],
                                 cfg.native,
+                                cfg.verify,
                             )
                             .is_err()
                     };

@@ -71,6 +71,7 @@ pub use lsra_server as server;
 pub use lsra_ssa as ssa;
 pub use lsra_telemetry as telemetry;
 pub use lsra_trace as trace;
+pub use lsra_verify as verify;
 pub use lsra_vm as vm;
 pub use lsra_workloads as workloads;
 
